@@ -1,0 +1,197 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V) at bench scale, plus micro-benchmarks of the hot paths and the
+// ablations called out in DESIGN.md.
+//
+// Figure benches run the same harness as cmd/hcexp with 1 trial at 2%
+// scale so `go test -bench=.` completes quickly; the recorded paper-shape
+// numbers in EXPERIMENTS.md come from cmd/hcexp at larger scale.
+package taskdrop_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	taskdrop "github.com/hpcclab/taskdrop"
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/expt"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// benchRunner builds a harness runner at bench scale.
+func benchRunner() *expt.Runner {
+	o := expt.DefaultOptions()
+	o.Trials = 1
+	o.Scale = 0.02
+	o.Progress = io.Discard
+	return expt.NewRunner(o)
+}
+
+// benchFigure runs one paper figure end to end per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	fig, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("unknown figure %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		r := benchRunner()
+		tabs, err := fig.Run(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+			b.Fatal("figure produced no data")
+		}
+	}
+}
+
+// One benchmark per evaluation figure/table of the paper.
+
+func BenchmarkFig5EffectiveDepth(b *testing.B)   { benchFigure(b, "fig5") }
+func BenchmarkFig6Beta(b *testing.B)             { benchFigure(b, "fig6") }
+func BenchmarkFig7aHeterogeneous(b *testing.B)   { benchFigure(b, "fig7a") }
+func BenchmarkFig7bHomogeneous(b *testing.B)     { benchFigure(b, "fig7b") }
+func BenchmarkFig8DroppingPolicies(b *testing.B) { benchFigure(b, "fig8") }
+func BenchmarkFig9Cost(b *testing.B)             { benchFigure(b, "fig9") }
+func BenchmarkFig10Video(b *testing.B)           { benchFigure(b, "fig10") }
+func BenchmarkReactiveShare(b *testing.B)        { benchFigure(b, "drops") }
+
+// BenchmarkEngineThroughput measures raw simulated tasks per second for
+// the paper's flagship combination (PAM + Heuristic) on the SPEC system.
+func BenchmarkEngineThroughput(b *testing.B) {
+	sys := taskdrop.SPECSystem()
+	tr := sys.Workload(2000, 13000, taskdrop.DefaultGammaSlack, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Simulate(tr, "PAM", taskdrop.HeuristicDropper())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(2000*b.N)/b.Elapsed().Seconds(), "tasks/s")
+}
+
+// benchDecide measures a single dropping decision over a representative
+// full queue.
+func benchDecide(b *testing.B, policy core.Policy) {
+	b.Helper()
+	m := pet.Build(pet.SPECProfile(pet.DefaultProfileSeed), pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+	calc := core.NewCalculus(m)
+	queue := []core.QueueTask{
+		{Type: 0, Deadline: 400, Running: true, Elapsed: 30},
+		{Type: 3, Deadline: 350},
+		{Type: 7, Deadline: 420},
+		{Type: 1, Deadline: 380},
+		{Type: 9, Deadline: 500},
+		{Type: 5, Deadline: 460},
+	}
+	ctx := &core.Context{Calc: calc, Machine: 2, Now: 100, Queue: queue, BatchPressure: 1.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = policy.Decide(ctx)
+	}
+}
+
+func BenchmarkDecideHeuristic(b *testing.B) { benchDecide(b, core.NewHeuristic()) }
+func BenchmarkDecideOptimal(b *testing.B)   { benchDecide(b, core.Optimal{}) }
+func BenchmarkDecideThreshold(b *testing.B) { benchDecide(b, core.NewThreshold()) }
+
+// BenchmarkMapperStep measures one full PAM mapping pass over a loaded
+// batch (25 unmapped tasks, one free slot per machine).
+func BenchmarkMapperStep(b *testing.B) {
+	sys := taskdrop.SPECSystem()
+	tr := sys.Workload(1000, 6500, taskdrop.DefaultGammaSlack, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Simulate(tr, "MinMin", taskdrop.ReactiveDropper()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: compaction budget. DESIGN.md calls out the impulse budget as
+// the accuracy/speed lever of the calculus; this bench quantifies the
+// speed side (EXPERIMENTS.md records the accuracy side).
+func BenchmarkAblationCompactionBudget(b *testing.B) {
+	for _, budget := range []int{8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			m := pet.Build(pet.SPECProfile(pet.DefaultProfileSeed), pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+			calc := core.NewCalculus(m)
+			calc.MaxImpulses = budget
+			queue := []core.QueueTask{
+				{Type: 0, Deadline: 400, Running: true, Elapsed: 30},
+				{Type: 3, Deadline: 350},
+				{Type: 7, Deadline: 420},
+				{Type: 1, Deadline: 380},
+				{Type: 9, Deadline: 500},
+				{Type: 5, Deadline: 460},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = calc.SuccessProbs(2, 100, queue)
+			}
+		})
+	}
+}
+
+// Ablation: effective depth η — per-decision cost growth.
+func BenchmarkAblationEta(b *testing.B) {
+	for eta := 1; eta <= 5; eta++ {
+		b.Run(fmt.Sprintf("eta=%d", eta), func(b *testing.B) {
+			benchDecide(b, core.Heuristic{Beta: 1, Eta: eta})
+		})
+	}
+}
+
+// BenchmarkWorkloadGeneration measures trace construction (Poisson
+// arrivals + per-machine-type Gamma draws).
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	m := pet.Build(pet.SPECProfile(pet.DefaultProfileSeed), pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+	cfg := workload.Config{TotalTasks: 5000, Window: 32500, GammaSlack: workload.DefaultGammaSlack}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = workload.Generate(m, cfg, int64(i))
+	}
+}
+
+// BenchmarkQueueChain measures the completion-time chain over a full
+// six-slot queue — the innermost loop of every dropper and mapper.
+func BenchmarkQueueChain(b *testing.B) {
+	m := pet.Build(pet.SPECProfile(pet.DefaultProfileSeed), pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+	calc := core.NewCalculus(m)
+	queue := []core.QueueTask{
+		{Type: 0, Deadline: 400, Running: true, Elapsed: 30},
+		{Type: 3, Deadline: 350},
+		{Type: 7, Deadline: 420},
+		{Type: 1, Deadline: 380},
+		{Type: 9, Deadline: 500},
+		{Type: 5, Deadline: 460},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = calc.CompletionPMFs(2, 100, queue)
+	}
+}
+
+var sinkPMF pmf.PMF
+
+// BenchmarkEq1 measures a single deadline-truncated convolution (Eq. 1)
+// through the workspace path used in production.
+func BenchmarkEq1(b *testing.B) {
+	m := pet.Build(pet.SPECProfile(pet.DefaultProfileSeed), pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+	calc := core.NewCalculus(m)
+	prev := m.ExecPMF(0, 0).Shift(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPMF = calc.Append(prev, 3, 450, 0)
+	}
+}

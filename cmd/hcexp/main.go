@@ -1,0 +1,94 @@
+// Command hcexp regenerates the tables and figures of the paper's
+// evaluation section (§V). Each figure is reproduced as an aligned text
+// table (mean ± 95% CI over trials) and, optionally, CSV files.
+//
+//	hcexp                          # run everything at the configured scale
+//	hcexp -fig fig8                # a single figure
+//	hcexp -trials 30 -scale 1.0    # paper-faithful (slow)
+//	hcexp -csv results/            # also write one CSV per table
+//
+// Workloads are paired: every combination inside a figure sees identical
+// task traces, so differences between rows are differences between
+// policies, not between workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/expt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hcexp: ")
+
+	var (
+		figIDs  = flag.String("fig", "all", "comma-separated figure ids (fig5,fig6,fig7a,fig7b,fig8,fig9,fig10,drops) or 'all'")
+		trials  = flag.Int("trials", 10, "trials per configuration (paper: 30)")
+		scale   = flag.Float64("scale", 0.1, "workload scale in (0,1]; 1.0 = paper scale (20k/30k/40k tasks)")
+		seed    = flag.Int64("seed", 7, "base seed; trial t uses seed+t")
+		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files")
+		quiet   = flag.Bool("q", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	opt := expt.DefaultOptions()
+	opt.Trials = *trials
+	opt.Scale = *scale
+	opt.BaseSeed = *seed
+	opt.Workers = *workers
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+	runner := expt.NewRunner(opt)
+
+	var figs []expt.Figure
+	if *figIDs == "all" {
+		figs = expt.All()
+	} else {
+		for _, id := range strings.Split(*figIDs, ",") {
+			f, ok := expt.ByID(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown figure %q (known: fig5 fig6 fig7a fig7b fig8 fig9 fig10 drops)", id)
+			}
+			figs = append(figs, f)
+		}
+	}
+
+	fmt.Printf("# taskdrop experiment suite — trials=%d scale=%.2f seed=%d\n",
+		opt.Trials, opt.Scale, opt.BaseSeed)
+	fmt.Printf("# started %s\n\n", time.Now().Format(time.RFC3339))
+
+	for _, fig := range figs {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", fig.ID, fig.Title)
+		tables, err := fig.Run(runner)
+		if err != nil {
+			log.Fatalf("%s: %v", fig.ID, err)
+		}
+		for i := range tables {
+			tables[i].Fprint(os.Stdout)
+			if *csvDir != "" {
+				if err := writeCSV(*csvDir, &tables[i]); err != nil {
+					log.Fatalf("%s: %v", fig.ID, err)
+				}
+			}
+		}
+		fmt.Printf("  (%s)\n\n", time.Since(start).Round(time.Second))
+	}
+}
+
+func writeCSV(dir string, t *expt.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	return os.WriteFile(path, []byte(t.CSV()), 0o644)
+}

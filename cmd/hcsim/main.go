@@ -1,0 +1,130 @@
+// Command hcsim runs a single simulated trial of the heterogeneous
+// computing system and prints its metrics. It is the quickest way to poke
+// at one (profile, mapper, dropper, workload) combination:
+//
+//	hcsim -profile spec -mapper PAM -dropper heuristic -tasks 30000
+//
+// For the full paper experiments use cmd/hcexp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hcsim: ")
+
+	var (
+		profileName = flag.String("profile", "spec", "system profile: spec | video | homog")
+		mapperName  = flag.String("mapper", "PAM", "mapping heuristic (MinMin, MSD, PAM, FCFS, SJF, EDF, ...)")
+		dropperName = flag.String("dropper", "heuristic", "dropping policy: reactdrop | heuristic | optimal | threshold")
+		tasks       = flag.Int("tasks", 30000, "number of arriving tasks (oversubscription level)")
+		window      = flag.Int64("window", int64(workload.StandardWindow), "arrival window in ms")
+		gamma       = flag.Float64("gamma", workload.DefaultGammaSlack, "deadline slack coefficient γ")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		beta        = flag.Float64("beta", core.DefaultBeta, "robustness improvement factor β (heuristic dropper)")
+		eta         = flag.Int("eta", core.DefaultEta, "effective depth η (heuristic dropper)")
+		queueCap    = flag.Int("queue", 6, "machine queue capacity incl. running task")
+		scale       = flag.Float64("scale", 1.0, "shrink factor in (0,1]: scales tasks and window together")
+		verbose     = flag.Bool("v", false, "print the PET summary before running")
+		breakdown   = flag.Bool("breakdown", false, "print per-task-type and per-machine statistics")
+		mtbf        = flag.Int64("mtbf", 0, "machine mean time between failures in ms (0 = no failure injection)")
+		repair      = flag.Int64("repair", 0, "mean repair time in ms (default mtbf/10)")
+	)
+	flag.Parse()
+
+	profile, err := pet.ProfileByName(*profileName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapper, err := mapping.New(*mapperName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dropper, err := core.PolicyByName(*dropperName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if h, ok := dropper.(core.Heuristic); ok {
+		h.Beta, h.Eta = *beta, *eta
+		dropper = h
+	}
+
+	matrix := pet.Build(profile, pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+	if *verbose {
+		printPET(matrix)
+	}
+
+	cfg := workload.Config{TotalTasks: *tasks, Window: pmf.Tick(*window), GammaSlack: *gamma}
+	if *scale != 1.0 {
+		cfg = cfg.Scaled(*scale)
+	}
+	trace := workload.Generate(matrix, cfg, *seed)
+
+	simCfg := sim.DefaultConfig()
+	simCfg.QueueCap = *queueCap
+	if *mtbf > 0 {
+		rep := *repair
+		if rep <= 0 {
+			rep = *mtbf / 10
+		}
+		simCfg.Failures = sim.FailureConfig{MTBF: pmf.Tick(*mtbf), MeanRepair: pmf.Tick(rep), Seed: *seed}
+	}
+
+	start := time.Now()
+	engine := sim.New(matrix, trace, mapper, dropper, simCfg)
+	res := engine.Run()
+	elapsed := time.Since(start)
+
+	fmt.Printf("profile=%s mapper=%s dropper=%s tasks=%d window=%dms gamma=%.2f seed=%d\n",
+		profile.Name, mapper.Name(), dropper.Name(), cfg.TotalTasks, cfg.Window, *gamma, *seed)
+	fmt.Printf("robustness            %6.2f %% of measured tasks completed on time\n", res.RobustnessPct)
+	fmt.Printf("measured window       %d tasks (of %d total)\n", res.Measured, res.Total)
+	fmt.Printf("completed on time     %d\n", res.MOnTime)
+	fmt.Printf("completed late        %d\n", res.MLate)
+	fmt.Printf("dropped reactively    %d\n", res.MDroppedReactive)
+	fmt.Printf("dropped proactively   %d\n", res.MDroppedProactive)
+	fmt.Printf("reactive drop share   %.1f %% of all drops\n", 100*res.DropReactiveShare())
+	fmt.Printf("total cost            $%.4f\n", res.TotalCostUSD)
+	fmt.Printf("cost / robustness     %.6f $/%%\n", res.CostPerRobustness)
+	fmt.Printf("makespan              %.1f s   utilization %.1f %%\n", float64(res.Makespan)/1000, res.UtilizationPct)
+	if res.Failed > 0 {
+		fmt.Printf("killed by failures    %d\n", res.MFailed)
+	}
+	fmt.Printf("wall clock            %s\n", elapsed.Round(time.Millisecond))
+	if err := res.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *breakdown {
+		fmt.Println()
+		types, machines := engine.Breakdown()
+		sim.FprintBreakdown(os.Stdout, types, machines)
+	}
+	_ = os.Stdout.Sync()
+}
+
+func printPET(m *pet.Matrix) {
+	p := m.Profile()
+	fmt.Printf("PET matrix %q: %d task types × %d machine types (mean ms)\n",
+		p.Name, m.NumTaskTypes(), m.NumMachineTypes())
+	for i := 0; i < m.NumTaskTypes(); i++ {
+		fmt.Printf("  %-18s", p.TaskTypeNames[i])
+		for j := 0; j < m.NumMachineTypes(); j++ {
+			fmt.Printf(" %7.1f", m.CellMean(pet.TaskType(i), pet.MachineType(j)))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  avg_all = %.1f ms, machines = %d\n", m.MeanAll(), len(m.Machines()))
+}

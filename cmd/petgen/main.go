@@ -1,0 +1,125 @@
+// Command petgen builds and inspects Probabilistic Execution Time (PET)
+// matrices: the per-(task type, machine type) execution-time PMFs the
+// whole mechanism runs on.
+//
+//	petgen -profile spec                  # mean matrix + machine list
+//	petgen -profile video -stats          # add per-cell stddev / quantiles
+//	petgen -profile spec -dump pet.csv    # full impulse dump as CSV
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("petgen: ")
+
+	var (
+		profileName = flag.String("profile", "spec", "system profile: spec | video | homog")
+		seed        = flag.Int64("seed", pet.DefaultProfileSeed, "build seed")
+		samples     = flag.Int("samples", 500, "Gamma samples per PET cell")
+		bins        = flag.Int("bins", 25, "histogram bins per PMF")
+		stats       = flag.Bool("stats", false, "print per-cell stddev and quantiles")
+		dump        = flag.String("dump", "", "write the full PET impulse list to this CSV file")
+		save        = flag.String("save", "", "write the matrix as JSON to this file")
+		load        = flag.String("load", "", "load the matrix from a JSON file instead of building it")
+	)
+	flag.Parse()
+
+	var m *pet.Matrix
+	if *load != "" {
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err = pet.UnmarshalMatrix(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		profile, err := pet.ProfileByName(*profileName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = pet.Build(profile, *seed, pet.BuildOptions{SamplesPerCell: *samples, BinsPerPMF: *bins})
+	}
+	profile := m.Profile()
+
+	fmt.Printf("PET matrix %q — %d task types × %d machine types, %d machines\n\n",
+		profile.Name, m.NumTaskTypes(), m.NumMachineTypes(), len(m.Machines()))
+
+	fmt.Println("machines:")
+	for _, spec := range m.Machines() {
+		fmt.Printf("  [%d] %-40s $%.3f/h\n", spec.Index, spec.Name, spec.PriceHour)
+	}
+
+	fmt.Println("\nmean execution time (ms):")
+	fmt.Printf("  %-20s", "task type \\ machine")
+	for j := range profile.MachineTypeNames {
+		fmt.Printf(" %8s", fmt.Sprintf("mt%d", j))
+	}
+	fmt.Printf(" %9s\n", "avg_i")
+	for i := 0; i < m.NumTaskTypes(); i++ {
+		fmt.Printf("  %-20.20s", profile.TaskTypeNames[i])
+		for j := 0; j < m.NumMachineTypes(); j++ {
+			fmt.Printf(" %8.1f", m.CellMean(pet.TaskType(i), pet.MachineType(j)))
+		}
+		fmt.Printf(" %9.1f\n", m.TypeMean(pet.TaskType(i)))
+	}
+	fmt.Printf("\n  avg_all = %.1f ms\n", m.MeanAll())
+
+	if *stats {
+		fmt.Println("\nper-cell spread (stddev ms | p50 | p95):")
+		for i := 0; i < m.NumTaskTypes(); i++ {
+			fmt.Printf("  %-20.20s", profile.TaskTypeNames[i])
+			for j := 0; j < m.NumMachineTypes(); j++ {
+				cell := m.ExecPMF(pet.TaskType(i), pet.MachineType(j))
+				fmt.Printf(" %6.1f|%d|%d", cell.StdDev(), cell.Quantile(0.5), cell.Quantile(0.95))
+			}
+			fmt.Println()
+		}
+	}
+
+	if *dump != "" {
+		if err := dumpCSV(*dump, m); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote impulse dump to %s\n", *dump)
+	}
+	if *save != "" {
+		data, err := json.MarshalIndent(m, "", " ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote matrix JSON to %s\n", *save)
+	}
+}
+
+// dumpCSV writes every impulse of every PET cell as
+// task_type,machine_type,tick,probability rows.
+func dumpCSV(path string, m *pet.Matrix) error {
+	var b strings.Builder
+	b.WriteString("task_type,machine_type,tick_ms,probability\n")
+	p := m.Profile()
+	for i := 0; i < m.NumTaskTypes(); i++ {
+		for j := 0; j < m.NumMachineTypes(); j++ {
+			for _, im := range m.ExecPMF(pet.TaskType(i), pet.MachineType(j)).Impulses() {
+				fmt.Fprintf(&b, "%s,%s,%d,%.9f\n",
+					p.TaskTypeNames[i], p.MachineTypeNames[j], pmf.Tick(im.T), im.P)
+			}
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

@@ -1,0 +1,57 @@
+package taskdrop_test
+
+import (
+	"fmt"
+
+	taskdrop "github.com/hpcclab/taskdrop"
+)
+
+// Example demonstrates the minimal end-to-end flow: build a system,
+// generate an oversubscribed workload, and compare robustness with and
+// without the autonomous proactive dropping heuristic on identical
+// arrivals.
+func Example() {
+	sys := taskdrop.VideoSystem()
+	trace := sys.Workload(500, 3000, taskdrop.DefaultGammaSlack, 42)
+
+	with, _ := sys.Simulate(trace, "PAM", taskdrop.HeuristicDropper())
+	without, _ := sys.Simulate(trace, "PAM", taskdrop.ReactiveDropper())
+
+	fmt.Println("proactive dropping helps:", with.RobustnessPct > without.RobustnessPct)
+	// Output:
+	// proactive dropping helps: true
+}
+
+// ExampleSystem_Workload shows the deadline rule of §V-A: every task's
+// deadline is its arrival plus its type's mean execution time plus
+// γ × the grand mean.
+func ExampleSystem_Workload() {
+	sys := taskdrop.VideoSystem()
+	trace := sys.Workload(3, 100, 1.0, 7)
+	for _, task := range trace.Tasks {
+		fmt.Println(task.Deadline > task.Arrival)
+	}
+	// Output:
+	// true
+	// true
+	// true
+}
+
+// ExampleHeuristicDropperWith tunes the heuristic's aggressiveness: β
+// close to 1 drops on any improvement, larger β is more conservative
+// (Fig. 6 of the paper).
+func ExampleHeuristicDropperWith() {
+	conservative := taskdrop.HeuristicDropperWith(2.0, 2)
+	fmt.Println(conservative.Name())
+	// Output:
+	// Heuristic
+}
+
+// ExampleMapperNames lists the built-in mapping heuristics that can be
+// passed to System.Simulate.
+func ExampleMapperNames() {
+	names := taskdrop.MapperNames()
+	fmt.Println(len(names) >= 6, names[0], names[2])
+	// Output:
+	// true MinMin PAM
+}

@@ -1,0 +1,69 @@
+// Edge cluster: proactive dropping on a homogeneous system (§V-E, Fig. 7b).
+//
+// An edge site runs eight identical nodes (think a disaster-response field
+// deployment, the paper's edge-computing motivation [12]): resources cannot
+// be scaled out, so oversubscription must be absorbed by scheduling. Even
+// without machine heterogeneity, execution times stay uncertain — and the
+// dropping mechanism still buys robustness.
+//
+// The example sweeps the classic homogeneous disciplines (FCFS, SJF, EDF)
+// plus PAM, each with and without the proactive dropping heuristic, on
+// identical arrivals, then shows how the gain scales with oversubscription.
+//
+//	go run ./examples/edgecluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	taskdrop "github.com/hpcclab/taskdrop"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	sys := taskdrop.HomogeneousSystem()
+	fmt.Printf("edge site: %d identical nodes, %d task types\n\n",
+		len(sys.Matrix.Machines()), sys.Matrix.NumTaskTypes())
+
+	trace := sys.Workload(3000, 13_000, taskdrop.DefaultGammaSlack, 3)
+	fmt.Printf("incident burst: %d tasks at %.0f/s (heavily oversubscribed)\n\n",
+		trace.Len(), trace.ArrivalRate()*1000)
+
+	fmt.Println("tasks completed on time (%):")
+	fmt.Println("  discipline   +Heuristic   +ReactDrop         gain")
+	for _, mapper := range []string{"FCFS", "EDF", "SJF", "PAM"} {
+		var with, without float64
+		for i, dropper := range []taskdrop.DropPolicy{taskdrop.HeuristicDropper(), taskdrop.ReactiveDropper()} {
+			res, err := sys.Simulate(trace, mapper, dropper)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i == 0 {
+				with = res.RobustnessPct
+			} else {
+				without = res.RobustnessPct
+			}
+		}
+		fmt.Printf("  %-10s %12.2f %12.2f %+11.2fpp\n", mapper, with, without, with-without)
+	}
+
+	// How does the benefit scale with load? Sweep the arrival intensity.
+	fmt.Println("\nPAM robustness vs oversubscription (identical node pool):")
+	fmt.Println("  tasks   +Heuristic   +ReactDrop")
+	for _, n := range []int{2000, 3000, 4000} {
+		tr := sys.Workload(n, 13_000, taskdrop.DefaultGammaSlack, 4)
+		a, err := sys.Simulate(tr, "PAM", taskdrop.HeuristicDropper())
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := sys.Simulate(tr, "PAM", taskdrop.ReactiveDropper())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %5d %12.2f %12.2f\n", n, a.RobustnessPct, b.RobustnessPct)
+	}
+	fmt.Println("\nthe mechanism needs no heterogeneity: pruning doomed tasks frees")
+	fmt.Println("node time for tasks that can still make their deadlines (§V-E).")
+}

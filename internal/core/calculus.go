@@ -1,0 +1,136 @@
+// Package core implements the paper's primary contribution: the
+// probabilistic completion-time calculus over machine queues (§IV-B/C), the
+// instantaneous-robustness objective (Eq. 3), and the three proactive
+// task-dropping policies evaluated in §V — the autonomous heuristic
+// (§IV-E), the optimal subset search (§IV-D), and the threshold baseline of
+// prior work.
+package core
+
+import (
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// QueueTask is the calculus' view of one entry in a machine queue.
+type QueueTask struct {
+	Type     pet.TaskType
+	Deadline pmf.Tick
+	// Running marks the task currently executing; only the queue head may
+	// be running. Running tasks can never be dropped.
+	Running bool
+	// Elapsed is how long a running task has been executing, in ticks.
+	Elapsed pmf.Tick
+}
+
+// Calculus evaluates completion-time PMFs and chances of success for
+// machine queues against a PET matrix. MaxImpulses bounds the impulse count
+// of intermediate completion PMFs (mass-preserving compaction); see
+// pmf.DefaultMaxImpulses.
+//
+// A Calculus owns a convolution workspace and is therefore not safe for
+// concurrent use; give each simulation engine (or test goroutine) its own.
+type Calculus struct {
+	PET         *pet.Matrix
+	MaxImpulses int
+	ws          pmf.Workspace
+}
+
+// NewCalculus returns a calculus over the given PET with the default
+// compaction budget.
+func NewCalculus(m *pet.Matrix) *Calculus {
+	return &Calculus{PET: m, MaxImpulses: pmf.DefaultMaxImpulses}
+}
+
+// exec returns the execution-time PMF for (t, mt).
+func (c *Calculus) exec(t pet.TaskType, mt pet.MachineType) pmf.PMF {
+	return c.PET.ExecPMF(t, mt)
+}
+
+// Append chains Eq. 1 once: the completion PMF of a task of type t with
+// deadline dl on machine type mt, whose predecessor completes according to
+// prev. The result is compacted to the calculus budget.
+func (c *Calculus) Append(prev pmf.PMF, t pet.TaskType, dl pmf.Tick, mt pet.MachineType) pmf.PMF {
+	return c.ws.NextCompletion(prev, c.exec(t, mt), dl).Compact(c.MaxImpulses)
+}
+
+// appendTask is Append for a QueueTask.
+func (c *Calculus) appendTask(prev pmf.PMF, qt QueueTask, mt pet.MachineType) pmf.PMF {
+	return c.Append(prev, qt.Type, qt.Deadline, mt)
+}
+
+// Availability returns the PMF of the absolute time at which the machine
+// becomes free for the first pending task, together with the index of the
+// first pending (droppable) entry in q. If the head of q is running, the
+// availability is its conditional completion time; otherwise the machine is
+// free now.
+func (c *Calculus) Availability(mt pet.MachineType, now pmf.Tick, q []QueueTask) (avail pmf.PMF, firstPending int) {
+	if len(q) > 0 && q[0].Running {
+		rem := c.exec(q[0].Type, mt).ConditionalRemaining(q[0].Elapsed)
+		return rem.Shift(now), 1
+	}
+	return pmf.Delta(now), 0
+}
+
+// CompletionPMFs returns the completion-time PMF of every task in the
+// queue, in queue order, per Eq. 1. Index 0 of a running head is its
+// conditional completion time. Each PMF is compacted to the calculus
+// budget.
+func (c *Calculus) CompletionPMFs(mt pet.MachineType, now pmf.Tick, q []QueueTask) []pmf.PMF {
+	out := make([]pmf.PMF, len(q))
+	prev, start := c.Availability(mt, now, q)
+	if start == 1 {
+		out[0] = prev
+	}
+	for i := start; i < len(q); i++ {
+		prev = c.appendTask(prev, q[i], mt)
+		out[i] = prev
+	}
+	return out
+}
+
+// SuccessProbs returns the chance of success (Eq. 2) of every task in the
+// queue: the mass of its completion PMF strictly before its deadline.
+func (c *Calculus) SuccessProbs(mt pet.MachineType, now pmf.Tick, q []QueueTask) []float64 {
+	cs := c.CompletionPMFs(mt, now, q)
+	ps := make([]float64, len(q))
+	for i, cp := range cs {
+		ps[i] = cp.MassBefore(q[i].Deadline)
+	}
+	return ps
+}
+
+// InstantaneousRobustness returns R_j of Eq. 3: the sum of the chances of
+// success of every task in the queue.
+func (c *Calculus) InstantaneousRobustness(mt pet.MachineType, now pmf.Tick, q []QueueTask) float64 {
+	sum := 0.0
+	for _, p := range c.SuccessProbs(mt, now, q) {
+		sum += p
+	}
+	return sum
+}
+
+// chainFrom computes completion PMFs for tasks, starting the chain from the
+// given predecessor-completion PMF, stopping after limit tasks (limit < 0
+// means all). Used by the dropping policies to evaluate scenarios.
+func (c *Calculus) chainFrom(prev pmf.PMF, mt pet.MachineType, tasks []QueueTask, limit int) []pmf.PMF {
+	n := len(tasks)
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	out := make([]pmf.PMF, n)
+	for i := 0; i < n; i++ {
+		prev = c.appendTask(prev, tasks[i], mt)
+		out[i] = prev
+	}
+	return out
+}
+
+// successSum returns the summed chance of success of tasks[i] under the
+// completion PMFs cs (len(cs) ≤ len(tasks)).
+func successSum(cs []pmf.PMF, tasks []QueueTask) float64 {
+	sum := 0.0
+	for i, cp := range cs {
+		sum += cp.MassBefore(tasks[i].Deadline)
+	}
+	return sum
+}

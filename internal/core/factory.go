@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PolicyByName constructs a dropping policy with its default tuning from a
+// (case-insensitive) name: "ReactDrop" (aliases "reactive", "none"),
+// "Heuristic", "Optimal", "Threshold".
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "reactdrop", "reactive", "none":
+		return ReactiveOnly{}, nil
+	case "heuristic":
+		return NewHeuristic(), nil
+	case "optimal":
+		return Optimal{}, nil
+	case "threshold":
+		return NewThreshold(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown dropping policy %q", name)
+	}
+}
+
+// PolicyNames lists the constructible policy names.
+func PolicyNames() []string {
+	return []string{"ReactDrop", "Heuristic", "Optimal", "Threshold"}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// Default tuning of the proactive dropping heuristic, as established
+// experimentally in §V-C (effective depth) and §V-D (robustness
+// improvement factor) of the paper.
+const (
+	DefaultEta  = 2
+	DefaultBeta = 1.0
+)
+
+// Heuristic is the paper's autonomous proactive task-dropping heuristic
+// (§IV-E, Fig. 4). It walks each machine queue head to tail once; for every
+// droppable task i it compares the instantaneous robustness of the next Eta
+// tasks (the "effective depth" of i's influence zone) with task i
+// provisionally dropped against the robustness of the window including i
+// when kept, and confirms the drop iff Eq. 8 holds:
+//
+//	Σ_{n=i+1..i+η} p⁽ⁱ⁾_n  >  β · Σ_{n=i..i+η} p_n
+//
+// Beta ≥ 1 is the robustness improvement factor: β→1 drops on any
+// improvement, β→∞ disables proactive dropping.
+type Heuristic struct {
+	Beta float64 // robustness improvement factor (β), ≥ 1
+	Eta  int     // effective depth (η), ≥ 1
+}
+
+// NewHeuristic returns the heuristic with the paper's tuned parameters
+// (η=2, β=1).
+func NewHeuristic() Heuristic { return Heuristic{Beta: DefaultBeta, Eta: DefaultEta} }
+
+// Name implements Policy.
+func (h Heuristic) Name() string { return "Heuristic" }
+
+// Decide implements Policy.
+func (h Heuristic) Decide(ctx *Context) []int {
+	if h.Beta < 1 || h.Eta < 1 {
+		panic(fmt.Sprintf("core: invalid heuristic parameters β=%v η=%d", h.Beta, h.Eta))
+	}
+	return heuristicWalk(ctx, h.Beta, h.Eta, chanceOfSuccess, strictDeadline)
+}
+
+// valueFunc scores one task's completion PMF; the heuristic maximizes the
+// window sum of this value. The paper's heuristic uses the chance of
+// success (Eq. 2); the approximate-computing extension uses expected
+// utility.
+type valueFunc func(cp pmf.PMF, qt QueueTask) float64
+
+// chanceOfSuccess is Eq. 2 as a valueFunc.
+func chanceOfSuccess(cp pmf.PMF, qt QueueTask) float64 {
+	return cp.MassBefore(qt.Deadline)
+}
+
+// deadlineFunc yields the Eq. 1 truncation point for a queued task: the
+// latest start time after which executing it has no value. The paper's
+// model truncates at the task deadline; the approximate-computing
+// extension pushes it out by the grace window.
+type deadlineFunc func(qt QueueTask) pmf.Tick
+
+// strictDeadline is the paper's truncation rule.
+func strictDeadline(qt QueueTask) pmf.Tick { return qt.Deadline }
+
+// heuristicWalk is the single head-to-tail pass of Fig. 4 parameterized by
+// the per-task value function and truncation rule.
+func heuristicWalk(ctx *Context, beta float64, eta int, value valueFunc, dlOf deadlineFunc) []int {
+	q := ctx.Queue
+	first, _ := droppableBounds(q)
+	if len(q)-first < 2 {
+		// Zero or one pending task: nothing droppable (a sole pending task
+		// is the last task, whose influence zone is empty).
+		return nil
+	}
+	calc := ctx.Calc
+	mt := ctx.Machine
+	prev, _ := calc.Availability(mt, ctx.Now, q)
+
+	// work holds the not-yet-decided pending suffix of the queue; orig maps
+	// its entries back to original queue indexes.
+	work := append([]QueueTask(nil), q[first:]...)
+	orig := make([]int, len(work))
+	for i := range orig {
+		orig[i] = first + i
+	}
+
+	// chainValue evaluates the first n tasks of the given slice starting
+	// from start, returning the summed value and the head completion PMF.
+	chainValue := func(start pmf.PMF, tasks []QueueTask, n int) (float64, pmf.PMF) {
+		sum := 0.0
+		cur := start
+		var head pmf.PMF
+		for k := 0; k < n && k < len(tasks); k++ {
+			cur = calc.Append(cur, tasks[k].Type, dlOf(tasks[k]), mt)
+			if k == 0 {
+				head = cur
+			}
+			sum += value(cur, tasks[k])
+		}
+		return sum, head
+	}
+
+	var drops []int
+	i := 0
+	for i < len(work)-1 { // the final task is never a candidate
+		window := eta
+		if rest := len(work) - 1 - i; rest < window {
+			window = rest
+		}
+		// Keep scenario: tasks i..i+window; drop scenario: i+1..i+window.
+		vKeep, headPMF := chainValue(prev, work[i:], window+1)
+		vDrop, _ := chainValue(prev, work[i+1:], window)
+
+		if vDrop > beta*vKeep {
+			drops = append(drops, orig[i])
+			work = append(work[:i], work[i+1:]...)
+			orig = append(orig[:i], orig[i+1:]...)
+			// prev unchanged: the chain still starts after task i−1.
+			continue
+		}
+		// Advance: the completion PMF of kept task i heads the next chain.
+		prev = headPMF
+		i++
+	}
+	return drops
+}

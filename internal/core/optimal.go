@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/bits"
+
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// Optimal is the optimal proactive dropping policy of §IV-D: at each
+// mapping event it enumerates every subset of droppable tasks (2^(q−1)
+// cases for a queue of q pending tasks — the final task is excluded, its
+// influence zone being empty) and drops the subset that maximizes the
+// queue's instantaneous robustness (Eq. 3). Exponential in the queue bound,
+// which the paper keeps small (6 slots including the running task).
+//
+// The enumeration walks the keep/drop decision tree depth-first so that
+// shared queue prefixes are convolved once, not once per subset.
+//
+// Ties are broken toward fewer drops (so the keep-everything baseline
+// survives exact ties), then toward the first subset found in drop-first
+// order.
+type Optimal struct{}
+
+// Name implements Policy.
+func (Optimal) Name() string { return "Optimal" }
+
+// optimalSearch carries the shared state of one decision-tree walk.
+type optimalSearch struct {
+	calc  *Calculus
+	mt    pet.MachineType
+	cands []QueueTask // droppable tasks (queue[first:last])
+	tail  []QueueTask // tasks after the candidates (at least the final one)
+
+	bestR    float64
+	bestMask uint32
+	bestSize int
+	haveBest bool
+}
+
+// Decide implements Policy.
+func (Optimal) Decide(ctx *Context) []int {
+	q := ctx.Queue
+	first, last := droppableBounds(q)
+	if last-first <= 0 {
+		return nil
+	}
+	avail, _ := ctx.Calc.Availability(ctx.Machine, ctx.Now, q)
+	s := &optimalSearch{
+		calc:  ctx.Calc,
+		mt:    ctx.Machine,
+		cands: q[first:last],
+		tail:  q[last:],
+	}
+	s.walk(0, avail, 0, 0)
+	if !s.haveBest || s.bestMask == 0 {
+		return nil
+	}
+	drops := make([]int, 0, s.bestSize)
+	for b := range s.cands {
+		if s.bestMask&(1<<b) != 0 {
+			drops = append(drops, first+b)
+		}
+	}
+	return drops
+}
+
+// walk explores keep/drop decisions for candidate i given the chain state.
+func (s *optimalSearch) walk(i int, prev pmf.PMF, sum float64, mask uint32) {
+	if i == len(s.cands) {
+		for _, qt := range s.tail {
+			cp := s.calc.appendTask(prev, qt, s.mt)
+			sum += cp.MassBefore(qt.Deadline)
+			prev = cp
+		}
+		size := bits.OnesCount32(mask)
+		if !s.haveBest || sum > s.bestR+1e-12 || (sum >= s.bestR-1e-12 && size < s.bestSize) {
+			s.bestR, s.bestMask, s.bestSize, s.haveBest = sum, mask, size, true
+		}
+		return
+	}
+	qt := s.cands[i]
+	// Keep candidate i.
+	cp := s.calc.appendTask(prev, qt, s.mt)
+	s.walk(i+1, cp, sum+cp.MassBefore(qt.Deadline), mask)
+	// Drop candidate i: the chain passes through unchanged.
+	s.walk(i+1, prev, sum, mask|1<<i)
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// Context carries everything a dropping policy may consult when deciding
+// which tasks to proactively drop from one machine queue at a mapping
+// event.
+type Context struct {
+	Calc    *Calculus
+	Machine pet.MachineType
+	Now     pmf.Tick
+	Queue   []QueueTask
+	// BatchPressure is the ratio of unmapped batch tasks to total machine
+	// queue slots — a cheap oversubscription signal. Only the threshold
+	// baseline consults it (its published form adapts a predetermined
+	// threshold to system load); the paper's autonomous policies ignore it.
+	BatchPressure float64
+}
+
+// Policy decides, for one machine queue, which pending tasks to
+// proactively drop. Decide returns indexes into ctx.Queue, in ascending
+// order. Policies must never return the index of a running task.
+type Policy interface {
+	// Name identifies the policy in experiment tables (e.g. "Heuristic").
+	Name() string
+	Decide(ctx *Context) []int
+}
+
+// ReactiveOnly is the no-proactive-dropping baseline ("+ReactDrop" in the
+// figures): only the engine's reactive dropping of already-missed tasks
+// takes place.
+type ReactiveOnly struct{}
+
+// Name implements Policy.
+func (ReactiveOnly) Name() string { return "ReactDrop" }
+
+// Decide implements Policy; it never drops anything.
+func (ReactiveOnly) Decide(*Context) []int { return nil }
+
+// droppableBounds returns the index range [first, last) of queue entries a
+// proactive policy may drop: pending tasks only, and excluding the final
+// queue entry whose influence zone is empty (§IV-D).
+func droppableBounds(q []QueueTask) (first, last int) {
+	first = 0
+	if len(q) > 0 && q[0].Running {
+		first = 1
+	}
+	last = len(q) - 1 // the final task is never a candidate
+	if last < first {
+		last = first
+	}
+	return first, last
+}

@@ -1,0 +1,252 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// tinyOptions keeps harness tests fast: three trials at 1% scale.
+func tinyOptions() Options {
+	o := DefaultOptions()
+	o.Trials = 3
+	o.Scale = 0.01
+	o.Workers = 2
+	return o
+}
+
+func tinySpec(o Options, label, mapper string, dropper core.Policy) TrialSpec {
+	return TrialSpec{
+		Label:       label,
+		ProfileName: "video",
+		MapperName:  mapper,
+		Dropper:     dropper,
+		Workload:    o.StandardWorkload(20000),
+	}
+}
+
+func TestRunnerProducesSummaries(t *testing.T) {
+	o := tinyOptions()
+	r := NewRunner(o)
+	specs := []TrialSpec{
+		tinySpec(o, "PAM+Heuristic", "PAM", core.NewHeuristic()),
+		tinySpec(o, "PAM+ReactDrop", "PAM", core.ReactiveOnly{}),
+	}
+	sums, err := r.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	for i, s := range sums {
+		if s.Robustness.N != o.Trials {
+			t.Fatalf("summary %d has %d observations, want %d", i, s.Robustness.N, o.Trials)
+		}
+		if s.Robustness.Mean < 0 || s.Robustness.Mean > 100 {
+			t.Fatalf("summary %d robustness = %v", i, s.Robustness.Mean)
+		}
+		if len(s.Results) != o.Trials {
+			t.Fatalf("summary %d has %d results", i, len(s.Results))
+		}
+		for _, res := range s.Results {
+			if err := res.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestRunnerPairsWorkloads(t *testing.T) {
+	// Two specs with the same workload must see identical traces: with an
+	// identical policy the results must match exactly, trial by trial.
+	o := tinyOptions()
+	r := NewRunner(o)
+	specs := []TrialSpec{
+		tinySpec(o, "a", "MinMin", core.NewHeuristic()),
+		tinySpec(o, "b", "MinMin", core.NewHeuristic()),
+	}
+	sums, err := r.Run(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tr := 0; tr < o.Trials; tr++ {
+		ra, rb := sums[0].Results[tr], sums[1].Results[tr]
+		if *ra != *rb {
+			t.Fatalf("trial %d diverged across identical specs:\n%+v\n%+v", tr, ra, rb)
+		}
+	}
+}
+
+func TestRunnerRunOneDeterministic(t *testing.T) {
+	o := tinyOptions()
+	spec := tinySpec(o, "x", "PAM", core.NewHeuristic())
+	r1, err := NewRunner(o).RunOne(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRunner(o).RunOne(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1 != *r2 {
+		t.Fatalf("RunOne not deterministic:\n%+v\n%+v", r1, r2)
+	}
+}
+
+func TestRunnerRejectsUnknownNames(t *testing.T) {
+	o := tinyOptions()
+	r := NewRunner(o)
+	if _, err := r.RunOne(TrialSpec{ProfileName: "nope", MapperName: "PAM",
+		Dropper: core.ReactiveOnly{}, Workload: o.StandardWorkload(20000)}, 0); err == nil {
+		t.Error("unknown profile must error")
+	}
+	if _, err := r.RunOne(TrialSpec{ProfileName: "video", MapperName: "nope",
+		Dropper: core.ReactiveOnly{}, Workload: o.StandardWorkload(20000)}, 0); err == nil {
+		t.Error("unknown mapper must error")
+	}
+	if _, err := r.Run([]TrialSpec{{ProfileName: "video", MapperName: "nope",
+		Dropper: core.ReactiveOnly{}, Workload: o.StandardWorkload(20000)}}); err == nil {
+		t.Error("Run must propagate spec errors")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	o.normalize()
+	if o.Trials != 1 || o.Scale != 1 || o.Workers < 1 || len(o.Levels) != 3 {
+		t.Fatalf("normalized = %+v", o)
+	}
+}
+
+func TestStandardWorkloadScaling(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.1
+	cfg := o.StandardWorkload(20000)
+	if cfg.TotalTasks != 2000 {
+		t.Fatalf("tasks = %d", cfg.TotalTasks)
+	}
+	if cfg.Window != workload.StandardWindow/10 {
+		t.Fatalf("window = %d", cfg.Window)
+	}
+	full := DefaultOptions().StandardWorkload(20000)
+	if full.TotalTasks != 20000 || full.Window != workload.StandardWindow {
+		t.Fatalf("full = %+v", full)
+	}
+}
+
+func TestFigureRegistry(t *testing.T) {
+	paper := PaperFigures()
+	wantIDs := []string{"fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig10", "drops"}
+	if len(paper) != len(wantIDs) {
+		t.Fatalf("got %d paper figures, want %d", len(paper), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if paper[i].ID != id {
+			t.Errorf("figure %d = %q, want %q", i, paper[i].ID, id)
+		}
+		f, ok := ByID(id)
+		if !ok || f.ID != id || f.Run == nil || f.Title == "" {
+			t.Errorf("ByID(%q) broken", id)
+		}
+	}
+	if _, ok := ByID("fig99"); ok {
+		t.Error("ByID must reject unknown ids")
+	}
+}
+
+func TestFigureSmoke(t *testing.T) {
+	// Every figure must produce a well-formed table at minimal scale.
+	if testing.Short() {
+		t.Skip("figure smoke test is slow")
+	}
+	o := tinyOptions()
+	o.Trials = 1
+	o.Levels = []int{20000, 30000, 40000}
+	r := NewRunner(o)
+	for _, fig := range PaperFigures() {
+		tabs, err := fig.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", fig.ID, err)
+		}
+		if len(tabs) == 0 {
+			t.Fatalf("%s produced no tables", fig.ID)
+		}
+		for _, tab := range tabs {
+			if tab.ID == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+				t.Fatalf("%s produced malformed table %+v", fig.ID, tab)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Fatalf("%s row width %d != %d columns", fig.ID, len(row), len(tab.Columns))
+				}
+			}
+		}
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := Table{
+		ID:      "tX",
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1.00"}, {"beta-long", "22.5"}},
+	}
+	var b bytes.Buffer
+	tab.Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"tX — demo", "name", "alpha", "beta-long", "22.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		ID:      "t1",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,y", `say "hi"`}},
+	}
+	got := tab.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestChart(t *testing.T) {
+	var b bytes.Buffer
+	Chart(&b, "demo", "%", []string{"one", "two"}, []float64{50, 100}, 10)
+	out := b.String()
+	if !strings.Contains(out, "one") || !strings.Contains(out, "##########") {
+		t.Fatalf("chart output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("chart has %d lines", len(lines))
+	}
+	// The 50% bar must be half the 100% bar.
+	if strings.Count(lines[1], "#") != 5 {
+		t.Fatalf("half bar = %q", lines[1])
+	}
+}
+
+func TestLevelHelpers(t *testing.T) {
+	if levelLabel(20000) != "20k" || levelLabel(1234) != "1234" {
+		t.Error("levelLabel broken")
+	}
+	if middleLevel([]int{40000, 20000, 30000}) != 30000 {
+		t.Error("middleLevel broken")
+	}
+	if lowestLevel([]int{40000, 20000, 30000}) != 20000 {
+		t.Error("lowestLevel broken")
+	}
+	got := levelLabels([]int{20000, 30000})
+	if got[0] != "20k tasks" || got[1] != "30k tasks" {
+		t.Errorf("levelLabels = %v", got)
+	}
+}

@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/sim"
+)
+
+func TestExtensionsRegistered(t *testing.T) {
+	exts := Extensions()
+	wantIDs := []string{"ext-gamma", "ext-queue", "ext-budget", "ext-mappers", "ext-failures", "ext-approx"}
+	if len(exts) != len(wantIDs) {
+		t.Fatalf("got %d extensions, want %d", len(exts), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if exts[i].ID != id {
+			t.Errorf("extension %d = %q, want %q", i, exts[i].ID, id)
+		}
+		if _, ok := ByID(id); !ok {
+			t.Errorf("ByID(%q) missing", id)
+		}
+	}
+	// All() = paper figures + extensions.
+	if len(All()) != len(PaperFigures())+len(exts) {
+		t.Error("All() does not include extensions")
+	}
+}
+
+func TestExtensionSpecsApplied(t *testing.T) {
+	// The runner must honor the extension knobs on TrialSpec.
+	o := tinyOptions()
+	r := NewRunner(o)
+
+	// Queue capacity.
+	spec := tinySpec(o, "cap", "PAM", core.NewHeuristic())
+	spec.QueueCap = 2
+	res, err := r.RunOne(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Failure injection: aggressive failures must kill at least one task.
+	spec = tinySpec(o, "fail", "PAM", core.NewHeuristic())
+	spec.Failures = sim.FailureConfig{MTBF: 30, MeanRepair: 20, Seed: 5}
+	res, err = r.RunOne(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed == 0 {
+		t.Fatalf("failure injection inert: %+v", res)
+	}
+
+	// Reactive grace: utility must be at least robustness.
+	spec = tinySpec(o, "grace", "PAM", core.NewApproxHeuristic(150))
+	spec.ReactiveGrace = 150
+	res, err = r.RunOne(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UtilityPct < res.RobustnessPct-1e-9 {
+		t.Fatalf("utility %v < robustness %v", res.UtilityPct, res.RobustnessPct)
+	}
+
+	// Compaction budget.
+	spec = tinySpec(o, "budget", "PAM", core.NewHeuristic())
+	spec.MaxImpulses = 8
+	if _, err := r.RunOne(spec, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtensionFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension smoke is slow")
+	}
+	o := tinyOptions()
+	o.Trials = 1
+	r := NewRunner(o)
+	for _, fig := range Extensions() {
+		tabs, err := fig.Run(r)
+		if err != nil {
+			t.Fatalf("%s: %v", fig.ID, err)
+		}
+		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
+			t.Fatalf("%s produced no data", fig.ID)
+		}
+	}
+}

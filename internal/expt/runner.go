@@ -1,0 +1,317 @@
+// Package expt is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§V): it expands figure definitions
+// into trial specifications, runs the trials across a worker pool with
+// paired workloads (identical traces for every combination being
+// compared), and aggregates robustness, cost and drop-mix metrics into
+// mean ± 95% CI summaries and printable tables.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/stats"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// TrialSpec is one (system, mapper, dropper, workload) combination to be
+// simulated repeatedly.
+type TrialSpec struct {
+	// Label names the combination in tables, e.g. "PAM+Heuristic".
+	Label string
+	// ProfileName selects the system profile via pet.ProfileByName.
+	ProfileName string
+	// MapperName selects the mapping heuristic via mapping.New.
+	MapperName string
+	// Dropper is the (already tuned) dropping policy.
+	Dropper core.Policy
+	// Workload configures trace generation; it should already be scaled.
+	Workload workload.Config
+	// QueueCap overrides the machine queue bound when > 0 (default 6).
+	QueueCap int
+	// Failures enables machine failure injection for this spec.
+	Failures sim.FailureConfig
+	// ReactiveGrace sets the engine's grace window (approximate-computing
+	// extension); utility is scored against the same window.
+	ReactiveGrace pmf.Tick
+	// MaxImpulses overrides the calculus compaction budget when > 0.
+	MaxImpulses int
+}
+
+// Summary aggregates the per-trial results of one TrialSpec.
+type Summary struct {
+	Spec TrialSpec
+	// Robustness is % of measured tasks completed on time (the paper's
+	// headline metric).
+	Robustness stats.Summary
+	// NormCost is Fig. 9's cost divided by robustness, scaled ×1000 for
+	// readability ($ per 1000 robustness-percent).
+	NormCost stats.Summary
+	// ReactiveShare is the % of drops that were reactive (§V-F).
+	ReactiveShare stats.Summary
+	// Utility is the approximate-computing value metric (% of measured
+	// tasks' maximum utility realized; equals Robustness at zero grace).
+	Utility stats.Summary
+	// ProactivePct / ReactivePct are % of measured tasks dropped each way.
+	ProactivePct stats.Summary
+	ReactivePct  stats.Summary
+	// Results holds the raw per-trial results, in trial order.
+	Results []*sim.Result
+}
+
+// Options tunes how the harness runs the figures.
+type Options struct {
+	// Trials per specification (paper: 30).
+	Trials int
+	// Scale in (0,1] shrinks every workload (task count and window
+	// together), preserving arrival intensity; 1.0 is paper scale.
+	Scale float64
+	// BaseSeed seeds trial t of every spec with BaseSeed+t, so specs are
+	// compared on identical traces.
+	BaseSeed int64
+	// Workers bounds simulation parallelism (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives one line per completed spec.
+	Progress io.Writer
+	// Levels are the oversubscription task counts (default 20k/30k/40k).
+	Levels []int
+}
+
+// DefaultOptions returns paper-faithful settings (30 trials, full scale).
+func DefaultOptions() Options {
+	return Options{
+		Trials:   30,
+		Scale:    1.0,
+		BaseSeed: 7,
+		Levels:   []int{20000, 30000, 40000},
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []int{20000, 30000, 40000}
+	}
+}
+
+// StandardWorkload returns the scaled workload config for an
+// oversubscription level (total task count at full scale).
+func (o Options) StandardWorkload(level int) workload.Config {
+	cfg := workload.Config{
+		TotalTasks: level,
+		Window:     workload.StandardWindow,
+		GammaSlack: workload.DefaultGammaSlack,
+	}
+	if o.Scale != 1.0 {
+		cfg = cfg.Scaled(o.Scale)
+	}
+	return cfg
+}
+
+// Runner executes trial specifications with shared, cached PET matrices
+// and traces.
+type Runner struct {
+	opt Options
+
+	mu       sync.Mutex
+	matrices map[string]*pet.Matrix
+	traces   map[traceKey]*workload.Trace
+}
+
+type traceKey struct {
+	profile string
+	cfg     workload.Config
+	seed    int64
+}
+
+// NewRunner returns a runner with the given options.
+func NewRunner(opt Options) *Runner {
+	opt.normalize()
+	return &Runner{
+		opt:      opt,
+		matrices: make(map[string]*pet.Matrix),
+		traces:   make(map[traceKey]*workload.Trace),
+	}
+}
+
+// Options returns the normalized options.
+func (r *Runner) Options() Options { return r.opt }
+
+// matrix returns the cached PET matrix for a profile name.
+func (r *Runner) matrix(name string) (*pet.Matrix, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.matrices[name]; ok {
+		return m, nil
+	}
+	p, err := pet.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m := pet.Build(p, pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+	r.matrices[name] = m
+	return m, nil
+}
+
+// trace returns the cached trace for (profile, cfg, seed). Traces are
+// read-only during simulation, so sharing across engines is safe.
+func (r *Runner) trace(m *pet.Matrix, profile string, cfg workload.Config, seed int64) *workload.Trace {
+	key := traceKey{profile: profile, cfg: cfg, seed: seed}
+	r.mu.Lock()
+	tr, ok := r.traces[key]
+	r.mu.Unlock()
+	if ok {
+		return tr
+	}
+	tr = workload.Generate(m, cfg, seed)
+	r.mu.Lock()
+	r.traces[key] = tr
+	r.mu.Unlock()
+	return tr
+}
+
+// RunOne simulates a single trial of spec with the given trial index.
+func (r *Runner) RunOne(spec TrialSpec, trial int) (*sim.Result, error) {
+	m, err := r.matrix(spec.ProfileName)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := mapping.New(spec.MapperName)
+	if err != nil {
+		return nil, err
+	}
+	tr := r.trace(m, spec.ProfileName, spec.Workload, r.opt.BaseSeed+int64(trial))
+	cfg := sim.DefaultConfig()
+	if spec.QueueCap > 0 {
+		cfg.QueueCap = spec.QueueCap
+	}
+	cfg.ReactiveGrace = spec.ReactiveGrace
+	if spec.Failures.Enabled() {
+		cfg.Failures = spec.Failures
+		// Derive a failure seed per trial so failure schedules vary with
+		// the workload while staying reproducible.
+		cfg.Failures.Seed = spec.Failures.Seed + int64(trial)
+	}
+	eng := sim.New(m, tr, mapper, spec.Dropper, cfg)
+	if spec.MaxImpulses > 0 {
+		eng.Calc().MaxImpulses = spec.MaxImpulses
+	}
+	return eng.Run(), nil
+}
+
+// Run simulates every spec × trial across the worker pool and returns one
+// Summary per spec, in spec order.
+func (r *Runner) Run(specs []TrialSpec) ([]Summary, error) {
+	type job struct{ spec, trial int }
+	type outcome struct {
+		job
+		res *sim.Result
+		err error
+	}
+	jobs := make(chan job)
+	outcomes := make(chan outcome)
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				res, err := r.RunOne(specs[j.spec], j.trial)
+				outcomes <- outcome{job: j, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for s := range specs {
+			for t := 0; t < r.opt.Trials; t++ {
+				jobs <- job{spec: s, trial: t}
+			}
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(outcomes)
+	}()
+
+	perSpec := make([][]*sim.Result, len(specs))
+	for i := range perSpec {
+		perSpec[i] = make([]*sim.Result, r.opt.Trials)
+	}
+	done := make([]int, len(specs))
+	var firstErr error
+	for oc := range outcomes {
+		if oc.err != nil {
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			continue
+		}
+		perSpec[oc.spec][oc.trial] = oc.res
+		done[oc.spec]++
+		if done[oc.spec] == r.opt.Trials && r.opt.Progress != nil {
+			fmt.Fprintf(r.opt.Progress, "done %-28s (%d trials)\n", specs[oc.spec].Label, r.opt.Trials)
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sums := make([]Summary, len(specs))
+	for i, spec := range specs {
+		sums[i] = summarize(spec, perSpec[i])
+	}
+	return sums, nil
+}
+
+// summarize aggregates trial results into a Summary.
+func summarize(spec TrialSpec, results []*sim.Result) Summary {
+	var rob, cost, share, util, pro, rea []float64
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		rob = append(rob, res.RobustnessPct)
+		cost = append(cost, res.CostPerRobustness*1000)
+		share = append(share, 100*res.DropReactiveShare())
+		util = append(util, res.UtilityPct)
+		if res.Measured > 0 {
+			pro = append(pro, 100*float64(res.MDroppedProactive)/float64(res.Measured))
+			rea = append(rea, 100*float64(res.MDroppedReactive)/float64(res.Measured))
+		}
+	}
+	return Summary{
+		Spec:          spec,
+		Robustness:    stats.Summarize(rob),
+		NormCost:      stats.Summarize(cost),
+		ReactiveShare: stats.Summarize(share),
+		Utility:       stats.Summarize(util),
+		ProactivePct:  stats.Summarize(pro),
+		ReactivePct:   stats.Summarize(rea),
+		Results:       results,
+	}
+}
+
+// sortedLevels returns a copy of levels in ascending order.
+func sortedLevels(levels []int) []int {
+	out := append([]int(nil), levels...)
+	sort.Ints(out)
+	return out
+}

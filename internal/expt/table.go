@@ -1,0 +1,109 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one printable experiment result: a title, column headers, and
+// string cells. Tables render as aligned text or CSV.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(cell)
+			}
+			if i == 0 {
+				b.WriteString(cell + strings.Repeat(" ", pad))
+			} else {
+				b.WriteString(strings.Repeat(" ", pad) + cell)
+			}
+		}
+		fmt.Fprintln(w, "  "+b.String())
+	}
+	line(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintln(w, "  "+strings.Repeat("-", total))
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// CSV renders the table as RFC-4180-ish CSV (cells are quoted when they
+// contain commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Chart renders a quick ASCII bar chart of (label, value) pairs, scaled to
+// maxWidth characters, for terminal-friendly figure output.
+func Chart(w io.Writer, title, unit string, labels []string, values []float64, maxWidth int) {
+	if maxWidth <= 0 {
+		maxWidth = 50
+	}
+	fmt.Fprintln(w, title)
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		bar := 0
+		if maxV > 0 {
+			bar = int(v / maxV * float64(maxWidth))
+		}
+		fmt.Fprintf(w, "  %-*s %6.2f%s |%s\n", maxL, labels[i], v, unit, strings.Repeat("#", bar))
+	}
+}

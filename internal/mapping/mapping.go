@@ -1,0 +1,443 @@
+// Package mapping implements the mapping heuristics of §V-B: the
+// heterogeneous-system two-phase batch heuristics MinMin (MM), MSD and PAM,
+// the homogeneous-system queue disciplines FCFS, SJF and EDF, and several
+// classic HC heuristics (MCT, MET, Sufferage, KPB, Random) used for the
+// ablation study of the "a good dropper forgives a poor mapper"
+// observation.
+//
+// All heuristics implement sim.Mapper and are constructed by name through
+// New.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/stats"
+)
+
+// New constructs a mapper by (case-insensitive) name. Recognized names:
+// MinMin/MM, MSD, PAM, FCFS, SJF, EDF, MCT, MET, Sufferage, KPB, Random.
+func New(name string) (sim.Mapper, error) {
+	switch strings.ToLower(name) {
+	case "minmin", "mm":
+		return MinMin{}, nil
+	case "msd":
+		return MSD{}, nil
+	case "pam":
+		return PAM{}, nil
+	case "fcfs":
+		return FCFS{}, nil
+	case "sjf":
+		return SJF{}, nil
+	case "edf":
+		return EDF{}, nil
+	case "mct":
+		return MCT{}, nil
+	case "met":
+		return MET{}, nil
+	case "sufferage":
+		return Sufferage{}, nil
+	case "kpb":
+		return KPB{Percent: 25}, nil
+	case "random":
+		return NewRandom(1), nil
+	default:
+		return nil, fmt.Errorf("mapping: unknown heuristic %q", name)
+	}
+}
+
+// Names lists the constructible heuristic names.
+func Names() []string {
+	return []string{"MinMin", "MSD", "PAM", "FCFS", "SJF", "EDF", "MCT", "MET", "Sufferage", "KPB", "Random"}
+}
+
+// freeMachines returns the machines that currently have an open slot.
+func freeMachines(ev *sim.MappingEvent) []*sim.Machine {
+	var out []*sim.Machine
+	for _, m := range ev.Machines() {
+		if ev.FreeSlots(m) > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// bestByECT returns the free machine giving task ts the minimum expected
+// completion time (mean of the Eq. 1 candidate completion PMF), and that
+// minimum.
+func bestByECT(ev *sim.MappingEvent, ts *sim.TaskState, free []*sim.Machine) (*sim.Machine, float64) {
+	var best *sim.Machine
+	bestECT := math.Inf(1)
+	for _, m := range free {
+		if ect := ev.CandidateCompletion(ts, m).Mean(); ect < bestECT {
+			best, bestECT = m, ect
+		}
+	}
+	return best, bestECT
+}
+
+// MinMin is the MinCompletion-MinCompletion batch heuristic (§V-B1): phase
+// one pairs every unmapped task with the machine minimizing its expected
+// completion time; phase two commits the pair with the overall minimum
+// expected completion time, then repeats until queues are full or the
+// batch is empty.
+type MinMin struct{}
+
+// Name implements sim.Mapper.
+func (MinMin) Name() string { return "MinMin" }
+
+// Map implements sim.Mapper.
+func (MinMin) Map(ev *sim.MappingEvent) {
+	for {
+		free := freeMachines(ev)
+		if len(free) == 0 || len(ev.Batch()) == 0 {
+			return
+		}
+		var (
+			pickTask *sim.TaskState
+			pickMach *sim.Machine
+			pickECT  = math.Inf(1)
+		)
+		for _, ts := range ev.Batch() {
+			m, ect := bestByECT(ev, ts, free)
+			if ect < pickECT {
+				pickTask, pickMach, pickECT = ts, m, ect
+			}
+		}
+		if pickTask == nil {
+			return
+		}
+		ev.Assign(pickTask, pickMach)
+	}
+}
+
+// MSD is the MinCompletion-Soonest Deadline batch heuristic (§V-B2): phase
+// one as MinMin; phase two commits the pair with the soonest deadline, ties
+// broken by minimum expected completion time.
+type MSD struct{}
+
+// Name implements sim.Mapper.
+func (MSD) Name() string { return "MSD" }
+
+// Map implements sim.Mapper.
+func (MSD) Map(ev *sim.MappingEvent) {
+	for {
+		free := freeMachines(ev)
+		if len(free) == 0 || len(ev.Batch()) == 0 {
+			return
+		}
+		var (
+			pickTask *sim.TaskState
+			pickMach *sim.Machine
+			pickECT  = math.Inf(1)
+		)
+		for _, ts := range ev.Batch() {
+			m, ect := bestByECT(ev, ts, free)
+			if m == nil {
+				continue
+			}
+			better := pickTask == nil ||
+				ts.Task.Deadline < pickTask.Task.Deadline ||
+				(ts.Task.Deadline == pickTask.Task.Deadline && ect < pickECT)
+			if better {
+				pickTask, pickMach, pickECT = ts, m, ect
+			}
+		}
+		if pickTask == nil {
+			return
+		}
+		ev.Assign(pickTask, pickMach)
+	}
+}
+
+// PAM is the Pruning-Aware Mapping heuristic of Gentry et al. (§V-B3):
+// phase one pairs every task with the machine offering the highest chance
+// of success; phase two commits the pair with the lowest expected
+// completion time, ties broken by shortest expected execution time. (Task
+// deferring, which PAM also performs, is disabled per §V-B3.)
+type PAM struct{}
+
+// Name implements sim.Mapper.
+func (PAM) Name() string { return "PAM" }
+
+// Map implements sim.Mapper.
+func (PAM) Map(ev *sim.MappingEvent) {
+	for {
+		free := freeMachines(ev)
+		if len(free) == 0 || len(ev.Batch()) == 0 {
+			return
+		}
+		var (
+			pickTask *sim.TaskState
+			pickMach *sim.Machine
+			pickECT  = math.Inf(1)
+			pickExec = math.Inf(1)
+		)
+		for _, ts := range ev.Batch() {
+			// Phase 1: machine with the highest chance of success; ties by
+			// lower expected completion.
+			var (
+				bm      *sim.Machine
+				bestCoS = -1.0
+				bestECT = math.Inf(1)
+			)
+			for _, m := range free {
+				c := ev.CandidateCompletion(ts, m)
+				cos := c.MassBefore(ts.Task.Deadline)
+				ect := c.Mean()
+				if cos > bestCoS+1e-12 || (cos > bestCoS-1e-12 && ect < bestECT) {
+					bm, bestCoS, bestECT = m, cos, ect
+				}
+			}
+			if bm == nil {
+				continue
+			}
+			// Phase 2: lowest completion time; ties by shortest execution.
+			exec := ev.ExpectedExec(ts, bm)
+			if bestECT < pickECT-1e-9 || (bestECT < pickECT+1e-9 && exec < pickExec) {
+				pickTask, pickMach, pickECT, pickExec = ts, bm, bestECT, exec
+			}
+		}
+		if pickTask == nil {
+			return
+		}
+		ev.Assign(pickTask, pickMach)
+	}
+}
+
+// FCFS maps the earliest-arrived task first, to the machine with the
+// earliest expected availability (the tail completion mean).
+type FCFS struct{}
+
+// Name implements sim.Mapper.
+func (FCFS) Name() string { return "FCFS" }
+
+// Map implements sim.Mapper.
+func (FCFS) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		ts := ev.Batch()[0]
+		m, _ := bestByECT(ev, ts, free)
+		ev.Assign(ts, m)
+	}
+}
+
+// SJF maps the task with the shortest expected execution time first (its
+// cheapest PET cell), to the machine minimizing its expected completion.
+type SJF struct{}
+
+// Name implements sim.Mapper.
+func (SJF) Name() string { return "SJF" }
+
+// Map implements sim.Mapper.
+func (SJF) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		var (
+			pick     *sim.TaskState
+			pickExec = math.Inf(1)
+		)
+		for _, ts := range ev.Batch() {
+			e := math.Inf(1)
+			for _, m := range free {
+				if v := ev.ExpectedExec(ts, m); v < e {
+					e = v
+				}
+			}
+			if e < pickExec {
+				pick, pickExec = ts, e
+			}
+		}
+		m, _ := bestByECT(ev, pick, free)
+		ev.Assign(pick, m)
+	}
+}
+
+// EDF maps the task with the earliest deadline first, to the machine
+// minimizing its expected completion.
+type EDF struct{}
+
+// Name implements sim.Mapper.
+func (EDF) Name() string { return "EDF" }
+
+// Map implements sim.Mapper.
+func (EDF) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		pick := ev.Batch()[0]
+		for _, ts := range ev.Batch()[1:] {
+			if ts.Task.Deadline < pick.Task.Deadline {
+				pick = ts
+			}
+		}
+		m, _ := bestByECT(ev, pick, free)
+		ev.Assign(pick, m)
+	}
+}
+
+// MCT (Minimum Completion Time) maps tasks in arrival order, each to the
+// machine minimizing its expected completion time.
+type MCT struct{}
+
+// Name implements sim.Mapper.
+func (MCT) Name() string { return "MCT" }
+
+// Map implements sim.Mapper.
+func (MCT) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		ts := ev.Batch()[0]
+		m, _ := bestByECT(ev, ts, free)
+		ev.Assign(ts, m)
+	}
+}
+
+// MET (Minimum Execution Time) maps tasks in arrival order, each to the
+// machine with its smallest mean execution time, ignoring queue state —
+// the classic load-blind baseline.
+type MET struct{}
+
+// Name implements sim.Mapper.
+func (MET) Name() string { return "MET" }
+
+// Map implements sim.Mapper.
+func (MET) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		ts := ev.Batch()[0]
+		var (
+			pick     *sim.Machine
+			pickExec = math.Inf(1)
+		)
+		for _, m := range free {
+			if v := ev.ExpectedExec(ts, m); v < pickExec {
+				pick, pickExec = m, v
+			}
+		}
+		ev.Assign(ts, pick)
+	}
+}
+
+// Sufferage commits the task that would "suffer" most if denied its best
+// machine: the task maximizing the gap between its second-best and best
+// expected completion times.
+type Sufferage struct{}
+
+// Name implements sim.Mapper.
+func (Sufferage) Name() string { return "Sufferage" }
+
+// Map implements sim.Mapper.
+func (Sufferage) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		var (
+			pick     *sim.TaskState
+			pickMach *sim.Machine
+			pickSuf  = math.Inf(-1)
+		)
+		for _, ts := range ev.Batch() {
+			best, second := math.Inf(1), math.Inf(1)
+			var bm *sim.Machine
+			for _, m := range free {
+				ect := ev.CandidateCompletion(ts, m).Mean()
+				switch {
+				case ect < best:
+					second, best, bm = best, ect, m
+				case ect < second:
+					second = ect
+				}
+			}
+			suf := second - best
+			if math.IsInf(second, 1) {
+				suf = 0 // single free machine: no alternative to suffer against
+			}
+			if suf > pickSuf {
+				pick, pickMach, pickSuf = ts, bm, suf
+			}
+		}
+		if pick == nil {
+			return
+		}
+		ev.Assign(pick, pickMach)
+	}
+}
+
+// KPB (K-Percent Best) maps tasks in arrival order; each task considers
+// only the K percent of free machines with its best mean execution times
+// and picks the minimum expected completion among them.
+type KPB struct {
+	// Percent is K in (0, 100]; at least one machine is always considered.
+	Percent int
+}
+
+// Name implements sim.Mapper.
+func (KPB) Name() string { return "KPB" }
+
+// Map implements sim.Mapper.
+func (k KPB) Map(ev *sim.MappingEvent) {
+	pct := k.Percent
+	if pct <= 0 || pct > 100 {
+		pct = 25
+	}
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		ts := ev.Batch()[0]
+		sort.Slice(free, func(i, j int) bool {
+			return ev.ExpectedExec(ts, free[i]) < ev.ExpectedExec(ts, free[j])
+		})
+		n := (len(free)*pct + 99) / 100
+		if n < 1 {
+			n = 1
+		}
+		m, _ := bestByECT(ev, ts, free[:n])
+		ev.Assign(ts, m)
+	}
+}
+
+// Random maps tasks in arrival order to uniformly random free machines.
+// It is the floor any sensible heuristic must beat.
+type Random struct {
+	rng *stats.RNG
+}
+
+// NewRandom returns a Random mapper with its own seeded stream.
+func NewRandom(seed int64) *Random { return &Random{rng: stats.NewRNG(seed)} }
+
+// Name implements sim.Mapper.
+func (*Random) Name() string { return "Random" }
+
+// Map implements sim.Mapper.
+func (r *Random) Map(ev *sim.MappingEvent) {
+	for len(ev.Batch()) > 0 {
+		free := freeMachines(ev)
+		if len(free) == 0 {
+			return
+		}
+		ev.Assign(ev.Batch()[0], free[r.rng.Intn(len(free))])
+	}
+}

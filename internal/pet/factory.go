@@ -1,0 +1,30 @@
+package pet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultProfileSeed seeds the synthesized parts of the named profiles so
+// that "the SPEC system" denotes one reproducible machine/task mix
+// everywhere (CLIs, benches, tests).
+const DefaultProfileSeed = 42
+
+// ProfileByName returns a named evaluation profile: "spec" (aliases
+// "specint", "hc"), "video" (alias "transcoding"), or "homog" (aliases
+// "homogeneous", "homo").
+func ProfileByName(name string) (Profile, error) {
+	switch strings.ToLower(name) {
+	case "spec", "specint", "hc":
+		return SPECProfile(DefaultProfileSeed), nil
+	case "video", "transcoding":
+		return VideoProfile(), nil
+	case "homog", "homogeneous", "homo":
+		return HomogeneousProfile(), nil
+	default:
+		return Profile{}, fmt.Errorf("pet: unknown profile %q", name)
+	}
+}
+
+// ProfileNames lists the constructible profile names.
+func ProfileNames() []string { return []string{"spec", "video", "homog"} }

@@ -1,0 +1,84 @@
+package pet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/stats"
+)
+
+// FromPMFs builds a PET matrix directly from measured (or hand-crafted)
+// execution-time PMFs instead of sampling Gamma laws — the deployment path
+// for systems that log real execution histograms, and the precision path
+// for tests. cells[i][j] is the execution-time PMF of task type i on
+// machine type j; every cell must be a normalized, non-empty PMF.
+//
+// Draw samples realized execution times from the cell PMF itself by
+// inverse-CDF lookup.
+func FromPMFs(p Profile, cells [][]pmf.PMF) *Matrix {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	nt, nm := len(p.TaskTypeNames), len(p.MachineTypeNames)
+	if len(cells) != nt {
+		panic(fmt.Sprintf("pet: FromPMFs got %d rows, want %d", len(cells), nt))
+	}
+	m := &Matrix{
+		profile:  p,
+		pmfs:     make([][]pmf.PMF, nt),
+		cellMean: make([][]float64, nt),
+		typeMean: make([]float64, nt),
+	}
+	var grand float64
+	for i := 0; i < nt; i++ {
+		if len(cells[i]) != nm {
+			panic(fmt.Sprintf("pet: FromPMFs row %d has %d cols, want %d", i, len(cells[i]), nm))
+		}
+		m.pmfs[i] = make([]pmf.PMF, nm)
+		m.cellMean[i] = make([]float64, nm)
+		var rowSum float64
+		for j := 0; j < nm; j++ {
+			cell := cells[i][j]
+			if cell.IsZero() {
+				panic(fmt.Sprintf("pet: FromPMFs cell (%d,%d) is empty", i, j))
+			}
+			if mass := cell.TotalMass(); math.Abs(mass-1) > 1e-6 {
+				panic(fmt.Sprintf("pet: FromPMFs cell (%d,%d) mass %v, want 1", i, j, mass))
+			}
+			m.pmfs[i][j] = cell
+			m.cellMean[i][j] = cell.Mean()
+			rowSum += cell.Mean()
+		}
+		m.typeMean[i] = rowSum / float64(nm)
+		grand += rowSum
+	}
+	m.meanAll = grand / float64(nt*nm)
+	idx := 0
+	for j := 0; j < nm; j++ {
+		for k := 0; k < p.MachinesPerType[j]; k++ {
+			m.machines = append(m.machines, MachineSpec{
+				Index:     idx,
+				Type:      MachineType(j),
+				Name:      fmt.Sprintf("%s#%d", p.MachineTypeNames[j], k),
+				PriceHour: p.PriceHour[j],
+			})
+			idx++
+		}
+	}
+	return m
+}
+
+// drawFromPMF samples a tick from a normalized PMF by inverse CDF.
+func drawFromPMF(rng *stats.RNG, p pmf.PMF) pmf.Tick {
+	u := rng.Float64()
+	cum := 0.0
+	imps := p.Impulses()
+	for _, im := range imps {
+		cum += im.P
+		if u < cum {
+			return im.T
+		}
+	}
+	return imps[len(imps)-1].T
+}

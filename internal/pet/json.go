@@ -1,0 +1,107 @@
+package pet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// JSON serialization of PET matrices. In a deployed system the PET is
+// learned offline from execution logs ("execution time PMF of task type i
+// on machine type j can be learned and estimated from the historic
+// execution time information", §III) and shipped to the scheduler; these
+// helpers are that interchange format. Round-tripping preserves the PMFs
+// exactly (probabilities as float64 bits) and the Gamma ground truth when
+// present.
+
+// matrixJSON is the wire form of a Matrix.
+type matrixJSON struct {
+	Profile Profile       `json:"profile"`
+	Cells   [][]cellJSON  `json:"cells"`
+	Dists   [][]GammaDist `json:"gamma_dists,omitempty"`
+	Version int           `json:"version"`
+}
+
+// cellJSON is one execution-time PMF as parallel tick/mass arrays.
+type cellJSON struct {
+	Ticks  []pmf.Tick `json:"t"`
+	Masses []float64  `json:"p"`
+}
+
+const matrixJSONVersion = 1
+
+// MarshalJSON implements json.Marshaler.
+func (m *Matrix) MarshalJSON() ([]byte, error) {
+	nt, nm := m.NumTaskTypes(), m.NumMachineTypes()
+	out := matrixJSON{Profile: m.profile, Version: matrixJSONVersion}
+	out.Cells = make([][]cellJSON, nt)
+	for i := 0; i < nt; i++ {
+		out.Cells[i] = make([]cellJSON, nm)
+		for j := 0; j < nm; j++ {
+			imps := m.pmfs[i][j].Impulses()
+			c := cellJSON{
+				Ticks:  make([]pmf.Tick, len(imps)),
+				Masses: make([]float64, len(imps)),
+			}
+			for k, im := range imps {
+				c.Ticks[k] = im.T
+				c.Masses[k] = im.P
+			}
+			out.Cells[i][j] = c
+		}
+	}
+	out.Dists = m.dists
+	return json.Marshal(out)
+}
+
+// UnmarshalMatrix decodes a matrix produced by MarshalJSON.
+func UnmarshalMatrix(data []byte) (*Matrix, error) {
+	var in matrixJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("pet: decoding matrix: %w", err)
+	}
+	if in.Version != matrixJSONVersion {
+		return nil, fmt.Errorf("pet: unsupported matrix version %d", in.Version)
+	}
+	if err := in.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	nt, nm := len(in.Profile.TaskTypeNames), len(in.Profile.MachineTypeNames)
+	if len(in.Cells) != nt {
+		return nil, fmt.Errorf("pet: matrix has %d rows, profile declares %d", len(in.Cells), nt)
+	}
+	cells := make([][]pmf.PMF, nt)
+	for i := range in.Cells {
+		if len(in.Cells[i]) != nm {
+			return nil, fmt.Errorf("pet: row %d has %d cols, profile declares %d", i, len(in.Cells[i]), nm)
+		}
+		cells[i] = make([]pmf.PMF, nm)
+		for j, c := range in.Cells[i] {
+			if len(c.Ticks) != len(c.Masses) {
+				return nil, fmt.Errorf("pet: cell (%d,%d) has %d ticks but %d masses", i, j, len(c.Ticks), len(c.Masses))
+			}
+			if len(c.Ticks) == 0 {
+				return nil, fmt.Errorf("pet: cell (%d,%d) is empty", i, j)
+			}
+			imps := make([]pmf.Impulse, len(c.Ticks))
+			for k := range c.Ticks {
+				imps[k] = pmf.Impulse{T: c.Ticks[k], P: c.Masses[k]}
+			}
+			cells[i][j] = pmf.FromImpulses(imps)
+		}
+	}
+	m := FromPMFs(in.Profile, cells)
+	if in.Dists != nil {
+		if len(in.Dists) != nt {
+			return nil, fmt.Errorf("pet: gamma dists have %d rows, want %d", len(in.Dists), nt)
+		}
+		for i := range in.Dists {
+			if len(in.Dists[i]) != nm {
+				return nil, fmt.Errorf("pet: gamma dists row %d has %d cols, want %d", i, len(in.Dists[i]), nm)
+			}
+		}
+		m.dists = in.Dists
+	}
+	return m, nil
+}

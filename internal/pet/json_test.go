@@ -1,0 +1,114 @@
+package pet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/stats"
+)
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	orig := Build(VideoProfile(), 5, BuildOptions{SamplesPerCell: 200, BinsPerPMF: 20})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumTaskTypes() != orig.NumTaskTypes() || back.NumMachineTypes() != orig.NumMachineTypes() {
+		t.Fatal("dimensions changed")
+	}
+	for i := 0; i < orig.NumTaskTypes(); i++ {
+		for j := 0; j < orig.NumMachineTypes(); j++ {
+			a := orig.ExecPMF(TaskType(i), MachineType(j))
+			b := back.ExecPMF(TaskType(i), MachineType(j))
+			if !a.Equal(b) {
+				t.Fatalf("cell (%d,%d) not preserved exactly", i, j)
+			}
+			if orig.TrueDist(TaskType(i), MachineType(j)) != back.TrueDist(TaskType(i), MachineType(j)) {
+				t.Fatalf("gamma dist (%d,%d) not preserved", i, j)
+			}
+		}
+	}
+	if orig.MeanAll() != back.MeanAll() {
+		t.Fatalf("MeanAll %v != %v", orig.MeanAll(), back.MeanAll())
+	}
+	if len(back.Machines()) != len(orig.Machines()) {
+		t.Fatal("machine list changed")
+	}
+}
+
+func TestMatrixJSONRoundTripFromPMFs(t *testing.T) {
+	// Matrices without Gamma ground truth round-trip too, and Draw keeps
+	// sampling from the PMFs.
+	src := Build(VideoProfile(), 6, BuildOptions{SamplesPerCell: 100, BinsPerPMF: 10})
+	cells := make([][]pmf.PMF, src.NumTaskTypes())
+	for i := range cells {
+		cells[i] = make([]pmf.PMF, src.NumMachineTypes())
+		for j := range cells[i] {
+			cells[i][j] = src.ExecPMF(TaskType(i), MachineType(j))
+		}
+	}
+	m := FromPMFs(src.Profile(), cells)
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "gamma_dists") {
+		t.Fatal("FromPMFs matrix should omit gamma_dists")
+	}
+	back, err := UnmarshalMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	if v := back.Draw(rng, 0, 0); v < 1 {
+		t.Fatalf("draw from PMF-backed matrix = %d", v)
+	}
+}
+
+func TestUnmarshalMatrixRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"version":99,"profile":{},"cells":[]}`,
+		`{"version":1,"profile":{},"cells":[]}`,
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalMatrix([]byte(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestUnmarshalMatrixRejectsShapeMismatch(t *testing.T) {
+	m := Build(VideoProfile(), 7, BuildOptions{SamplesPerCell: 100, BinsPerPMF: 10})
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one row of cells.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var cells []json.RawMessage
+	if err := json.Unmarshal(raw["cells"], &cells); err != nil {
+		t.Fatal(err)
+	}
+	trimmed, err := json.Marshal(cells[:len(cells)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw["cells"] = trimmed
+	mutated, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalMatrix(mutated); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}

@@ -1,0 +1,118 @@
+package pet
+
+import "github.com/hpcclab/taskdrop/internal/stats"
+
+// The eight machines of the paper's SPECint scenario (§V-A, footnote 1).
+var specMachineNames = []string{
+	"Dell Precision 380 (Pentium EE 3GHz)",
+	"Apple iMac (Core Duo 2GHz)",
+	"Apple XServe (Core Duo 2GHz)",
+	"IBM System X 3455 (Opteron 2347)",
+	"Shuttle SN25P (Athlon 64 FX-60)",
+	"IBM System P 570 (4.7GHz)",
+	"SunFire 3800",
+	"IBM BladeCenter HS21XM",
+}
+
+// Representative hourly prices mapped onto the eight machines (§V-G maps
+// Amazon cloud pricing onto the simulated machines; the absolute values
+// only matter relative to one another).
+var specPriceHour = []float64{0.133, 0.096, 0.102, 0.170, 0.154, 0.560, 0.480, 0.266}
+
+// Twelve SPECint 2006 benchmark names used as task types.
+var specTaskNames = []string{
+	"400.perlbench", "401.bzip2", "403.gcc", "429.mcf",
+	"445.gobmk", "456.hmmer", "458.sjeng", "462.libquantum",
+	"464.h264ref", "471.omnetpp", "473.astar", "483.xalancbmk",
+}
+
+// Base mean execution times (ms) per task type, inside the paper's
+// 50–200 ms range (§V-A).
+var specBaseMeanMS = []float64{
+	55, 70, 95, 180, 85, 120, 75, 60, 150, 135, 110, 165,
+}
+
+// SPECProfile returns the paper's primary evaluation system: twelve
+// SPECint-like task types on eight inconsistently heterogeneous machines
+// (one physical machine per type).
+//
+// The paper derives per-cell means from measured SPECint runs; those
+// measurements are not public, so we synthesize an inconsistent mean matrix
+// deterministically: cell mean = base type mean × a speed factor drawn
+// uniformly from [0.5, 2.0) with the given seed. Independent per-cell
+// factors make the system inconsistent by construction (machine A can be
+// faster than B for one type and slower for another), which is the only
+// property of the measurements the mechanism depends on.
+func SPECProfile(seed int64) Profile {
+	rng := stats.NewRNG(seed)
+	nt, nm := len(specTaskNames), len(specMachineNames)
+	means := make([][]float64, nt)
+	for i := 0; i < nt; i++ {
+		means[i] = make([]float64, nm)
+		for j := 0; j < nm; j++ {
+			means[i][j] = specBaseMeanMS[i] * rng.UniformRange(0.5, 2.0)
+		}
+	}
+	ones := make([]int, nm)
+	for j := range ones {
+		ones[j] = 1
+	}
+	return Profile{
+		Name:             "specint-hc",
+		TaskTypeNames:    specTaskNames,
+		MachineTypeNames: specMachineNames,
+		MeanMS:           means,
+		MachinesPerType:  ones,
+		PriceHour:        specPriceHour,
+		GammaScaleRange:  [2]float64{1, 20},
+	}
+}
+
+// VideoProfile returns the validation scenario of §V-H: four video
+// transcoding task types on four heterogeneous AWS VM types, two machines
+// per type. Execution-time variation across task types is high (codec
+// changes cost several times more than bitrate tweaks across all machine
+// types), matching the description of the trace.
+func VideoProfile() Profile {
+	return Profile{
+		Name: "video-transcoding",
+		TaskTypeNames: []string{
+			"reduce-resolution", "adjust-bitrate", "change-codec", "change-framerate",
+		},
+		MachineTypeNames: []string{
+			"CPU-Optimized (c5.xlarge)", "Memory-Optimized (r5.xlarge)",
+			"GPU (g4dn.xlarge)", "General (m5.xlarge)",
+		},
+		MeanMS: [][]float64{
+			// c5, r5, g4dn, m5
+			{60, 90, 25, 75},    // reduce-resolution
+			{45, 55, 35, 50},    // adjust-bitrate
+			{220, 260, 70, 240}, // change-codec
+			{180, 150, 60, 200}, // change-framerate (r5 beats c5: inconsistent)
+		},
+		MachinesPerType: []int{2, 2, 2, 2},
+		PriceHour:       []float64{0.17, 0.252, 0.526, 0.192},
+		GammaScaleRange: [2]float64{1, 20},
+	}
+}
+
+// HomogeneousProfile returns the homogeneous control system of §V-E
+// (Fig. 7b): the same twelve task types, one machine type, eight identical
+// machines. Task execution times still vary across types and are still
+// uncertain; only the machine dimension is uniform.
+func HomogeneousProfile() Profile {
+	nt := len(specTaskNames)
+	means := make([][]float64, nt)
+	for i := 0; i < nt; i++ {
+		means[i] = []float64{specBaseMeanMS[i]}
+	}
+	return Profile{
+		Name:             "homogeneous",
+		TaskTypeNames:    specTaskNames,
+		MachineTypeNames: []string{"commodity-node"},
+		MeanMS:           means,
+		MachinesPerType:  []int{8},
+		PriceHour:        []float64{0.20},
+		GammaScaleRange:  [2]float64{1, 20},
+	}
+}

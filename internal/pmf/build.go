@@ -1,0 +1,82 @@
+package pmf
+
+import "sort"
+
+// FromSamples discretizes empirical duration samples into a PMF with at
+// most bins impulses, mirroring §V-A of the paper ("we applied a histogram
+// to discretize the result and produce PMFs"). Each histogram bin
+// contributes one impulse at the bin's mass-weighted mean sample, so the
+// PMF mean matches the sample mean up to rounding. Non-positive samples are
+// clamped to one tick (a task always takes at least one tick). It panics if
+// no samples are given.
+func FromSamples(samples []Tick, bins int) PMF {
+	if len(samples) == 0 {
+		panic("pmf: FromSamples with no samples")
+	}
+	if bins <= 0 {
+		panic("pmf: FromSamples with non-positive bin count")
+	}
+	cp := make([]Tick, len(samples))
+	for i, s := range samples {
+		if s < 1 {
+			s = 1
+		}
+		cp[i] = s
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+
+	lo, hi := cp[0], cp[len(cp)-1]
+	span := hi - lo + 1
+	width := span / Tick(bins)
+	if span%Tick(bins) != 0 {
+		width++
+	}
+	if width < 1 {
+		width = 1
+	}
+	per := 1 / float64(len(cp))
+	out := make([]Impulse, 0, bins)
+	var (
+		curBin   Tick = -1
+		mass     float64
+		weighted float64
+	)
+	flush := func() {
+		if mass > 0 {
+			out = append(out, Impulse{T: Tick(weighted/mass + 0.5), P: mass})
+		}
+		mass, weighted = 0, 0
+	}
+	for _, s := range cp {
+		bin := (s - lo) / width
+		if bin != curBin {
+			flush()
+			curBin = bin
+		}
+		mass += per
+		weighted += float64(s) * per
+	}
+	flush()
+	return FromImpulses(out)
+}
+
+// Uniform returns a PMF with n equally likely impulses spanning [lo, hi]
+// inclusive. It panics if n < 1 or hi < lo.
+func Uniform(lo, hi Tick, n int) PMF {
+	if n < 1 {
+		panic("pmf: Uniform with n < 1")
+	}
+	if hi < lo {
+		panic("pmf: Uniform with hi < lo")
+	}
+	if n == 1 || hi == lo {
+		return Delta((lo + hi) / 2)
+	}
+	imps := make([]Impulse, n)
+	step := float64(hi-lo) / float64(n-1)
+	p := 1 / float64(n)
+	for i := range imps {
+		imps[i] = Impulse{T: lo + Tick(float64(i)*step+0.5), P: p}
+	}
+	return FromImpulses(imps)
+}

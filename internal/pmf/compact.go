@@ -1,0 +1,67 @@
+package pmf
+
+// DefaultMaxImpulses is the impulse budget used by the completion-time
+// calculus. The paper (§IV-F) observes that the impulse count produced by
+// convolution stays far below the |N1|·|N2| worst case; bounding it keeps
+// every convolution O(N²) for a small constant N while preserving total
+// mass exactly and distribution shape closely.
+const DefaultMaxImpulses = 32
+
+// Compact returns a PMF with at most maxN impulses that preserves the total
+// mass exactly and the mean approximately (each merge places the combined
+// impulse at the mass-weighted mean time, rounded to the grid).
+//
+// The reduction partitions the time span into maxN equal-width windows and
+// merges the impulses within each window. If the PMF already fits the
+// budget it is returned unchanged.
+func (p PMF) Compact(maxN int) PMF {
+	if maxN <= 0 {
+		panic("pmf: non-positive impulse budget")
+	}
+	if len(p.imp) <= maxN {
+		return p
+	}
+	lo, hi := p.imp[0].T, p.imp[len(p.imp)-1].T
+	span := hi - lo + 1
+	width := span / Tick(maxN)
+	if span%Tick(maxN) != 0 {
+		width++
+	}
+	if width < 1 {
+		width = 1
+	}
+	out := make([]Impulse, 0, maxN)
+	var (
+		curBin   Tick = -1
+		mass     float64
+		weighted float64
+	)
+	flush := func() {
+		if mass > massEps {
+			t := Tick(weighted/mass + 0.5)
+			out = append(out, Impulse{T: t, P: mass})
+		}
+		mass, weighted = 0, 0
+	}
+	for _, im := range p.imp {
+		bin := (im.T - lo) / width
+		if bin != curBin {
+			flush()
+			curBin = bin
+		}
+		mass += im.P
+		weighted += float64(im.T) * im.P
+	}
+	flush()
+	// Windowed merging can still round two adjacent bins to the same tick;
+	// fold duplicates.
+	merged := out[:0]
+	for _, im := range out {
+		if n := len(merged); n > 0 && merged[n-1].T == im.T {
+			merged[n-1].P += im.P
+		} else {
+			merged = append(merged, im)
+		}
+	}
+	return PMF{imp: merged}
+}

@@ -1,0 +1,125 @@
+package pmf
+
+// Workspace provides allocation- and sort-free convolution for the hot
+// paths of the completion-time calculus. It accumulates impulse masses
+// into a reusable dense array indexed by time offset, then harvests the
+// non-zero cells in order — O(n1·n2 + span) instead of the
+// O(n1·n2 · log(n1·n2)) sort-merge of the portable implementation.
+//
+// A Workspace is not safe for concurrent use; each simulation engine owns
+// one.
+type Workspace struct {
+	dense []float64
+}
+
+// maxDenseSpan bounds the dense window. Completion PMFs in this system
+// span at most a few thousand ticks (bounded queues × bounded execution
+// times); anything wider falls back to the portable sort-based path.
+const maxDenseSpan = 1 << 17
+
+// grow ensures capacity for span cells and returns the zeroed window.
+func (w *Workspace) grow(span int) []float64 {
+	if cap(w.dense) < span {
+		w.dense = make([]float64, span)
+	}
+	d := w.dense[:span]
+	clear(d)
+	return d
+}
+
+// NextCompletion is the workspace-backed equivalent of
+// PMF.NextCompletion (Eq. 1). Results are identical up to floating-point
+// addition order.
+func (w *Workspace) NextCompletion(prev, exec PMF, dl Tick) PMF {
+	if prev.IsZero() {
+		return Zero()
+	}
+	if exec.IsZero() {
+		// No execution mass at all: every scenario carries through.
+		return prev
+	}
+	// Output bounds. Impulses below dl expand by the execution span;
+	// impulses at or above dl carry through unchanged.
+	lastExec := lastBelow(prev.imp, dl)
+	var lo, hi Tick
+	switch {
+	case lastExec < 0:
+		// Everything carries through.
+		return prev
+	case lastExec == len(prev.imp)-1:
+		// Everything executes.
+		lo = prev.imp[0].T + exec.imp[0].T
+		hi = prev.imp[lastExec].T + exec.imp[len(exec.imp)-1].T
+	default:
+		lo = prev.imp[0].T + exec.imp[0].T
+		if c := prev.imp[lastExec+1].T; c < lo {
+			lo = c
+		}
+		hi = prev.imp[len(prev.imp)-1].T
+		if h := prev.imp[lastExec].T + exec.imp[len(exec.imp)-1].T; h > hi {
+			hi = h
+		}
+	}
+	span := int(hi-lo) + 1
+	if span <= 0 || span > maxDenseSpan {
+		return prev.NextCompletion(exec, dl)
+	}
+	d := w.grow(span)
+	for _, a := range prev.imp {
+		if a.T < dl {
+			for _, b := range exec.imp {
+				d[a.T+b.T-lo] += a.P * b.P
+			}
+		} else {
+			d[a.T-lo] += a.P
+		}
+	}
+	return harvest(d, lo)
+}
+
+// Convolve is the workspace-backed equivalent of PMF.Convolve.
+func (w *Workspace) Convolve(p, q PMF) PMF {
+	if p.IsZero() || q.IsZero() {
+		return Zero()
+	}
+	lo := p.imp[0].T + q.imp[0].T
+	hi := p.imp[len(p.imp)-1].T + q.imp[len(q.imp)-1].T
+	span := int(hi-lo) + 1
+	if span <= 0 || span > maxDenseSpan {
+		return p.Convolve(q)
+	}
+	d := w.grow(span)
+	for _, a := range p.imp {
+		for _, b := range q.imp {
+			d[a.T+b.T-lo] += a.P * b.P
+		}
+	}
+	return harvest(d, lo)
+}
+
+// lastBelow returns the index of the last impulse with time < dl, or −1.
+func lastBelow(imps []Impulse, dl Tick) int {
+	for i := len(imps) - 1; i >= 0; i-- {
+		if imps[i].T < dl {
+			return i
+		}
+	}
+	return -1
+}
+
+// harvest collects non-negligible cells of the dense window into a PMF.
+func harvest(d []float64, lo Tick) PMF {
+	n := 0
+	for _, v := range d {
+		if v > massEps {
+			n++
+		}
+	}
+	out := make([]Impulse, 0, n)
+	for i, v := range d {
+		if v > massEps {
+			out = append(out, Impulse{T: lo + Tick(i), P: v})
+		}
+	}
+	return PMF{imp: out}
+}

@@ -1,0 +1,130 @@
+package pmf
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWorkspaceMatchesPortable cross-checks the dense-array fast path
+// against the portable sort-merge implementation over many random inputs —
+// the two must agree impulse for impulse.
+func TestWorkspaceMatchesPortable(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	var ws Workspace
+	for i := 0; i < 500; i++ {
+		prev := randomPMF(r, 25, 2000)
+		exec := randomPMF(r, 20, 400).Normalize()
+		dl := Tick(r.Int63n(2500))
+
+		want := prev.NextCompletion(exec, dl)
+		got := ws.NextCompletion(prev, exec, dl)
+		if !got.ApproxEqual(want, 1e-9) {
+			t.Fatalf("NextCompletion mismatch (dl=%d):\n got %v\nwant %v", dl, got, want)
+		}
+
+		wantC := prev.Convolve(exec)
+		gotC := ws.Convolve(prev, exec)
+		if !gotC.ApproxEqual(wantC, 1e-9) {
+			t.Fatalf("Convolve mismatch:\n got %v\nwant %v", gotC, wantC)
+		}
+	}
+}
+
+func TestWorkspacePaperExample(t *testing.T) {
+	var ws Workspace
+	exec := FromImpulses([]Impulse{{T: 1, P: 0.6}, {T: 2, P: 0.4}})
+	prev := FromImpulses([]Impulse{{T: 10, P: 0.6}, {T: 11, P: 0.3}, {T: 12, P: 0.05}, {T: 13, P: 0.05}})
+	got := ws.NextCompletion(prev, exec, 13)
+	want := FromImpulses([]Impulse{{T: 11, P: 0.36}, {T: 12, P: 0.42}, {T: 13, P: 0.20}, {T: 14, P: 0.02}})
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("workspace NextCompletion = %v, want %v", got, want)
+	}
+}
+
+func TestWorkspaceEdgeCases(t *testing.T) {
+	var ws Workspace
+	p := FromImpulses([]Impulse{{T: 5, P: 0.5}, {T: 9, P: 0.5}})
+	exec := FromImpulses([]Impulse{{T: 3, P: 1}})
+
+	if got := ws.NextCompletion(Zero(), exec, 10); !got.IsZero() {
+		t.Fatalf("zero prev = %v", got)
+	}
+	// Empty exec: everything carries (degenerate but must not panic).
+	if got := ws.NextCompletion(p, Zero(), 100); !got.Equal(p) {
+		t.Fatalf("zero exec = %v, want pass-through", got)
+	}
+	// All mass carried (deadline at/below support).
+	if got := ws.NextCompletion(p, exec, 5); !got.Equal(p) {
+		t.Fatalf("all-carry = %v, want %v", p, got)
+	}
+	// Carried impulse below prevMin+execMin: dl=6 → impulse 9 carries to 9,
+	// executed path starts at 5+3=8; lo must cover both.
+	got := ws.NextCompletion(p, exec, 6)
+	want := FromImpulses([]Impulse{{T: 8, P: 0.5}, {T: 9, P: 0.5}})
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("mixed-carry = %v, want %v", got, want)
+	}
+}
+
+func TestWorkspaceCarryBelowExecPath(t *testing.T) {
+	// Regression: carried impulse time smaller than prevMin+execMin.
+	var ws Workspace
+	prev := FromImpulses([]Impulse{{T: 10, P: 0.5}, {T: 11, P: 0.5}})
+	exec := FromImpulses([]Impulse{{T: 5, P: 1}})
+	got := ws.NextCompletion(prev, exec, 11) // 10 executes → 15; 11 carries → 11
+	want := FromImpulses([]Impulse{{T: 11, P: 0.5}, {T: 15, P: 0.5}})
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestWorkspaceReuseDoesNotLeakState(t *testing.T) {
+	var ws Workspace
+	a := FromImpulses([]Impulse{{T: 1, P: 1}})
+	b := FromImpulses([]Impulse{{T: 2, P: 1}})
+	first := ws.Convolve(a, b)
+	// A second, wider convolution reusing the buffer.
+	c := FromImpulses([]Impulse{{T: 1, P: 0.5}, {T: 100, P: 0.5}})
+	second := ws.Convolve(c, c)
+	if !first.Equal(FromImpulses([]Impulse{{T: 3, P: 1}})) {
+		t.Fatalf("first = %v", first)
+	}
+	want := FromImpulses([]Impulse{{T: 2, P: 0.25}, {T: 101, P: 0.5}, {T: 200, P: 0.25}})
+	if !second.ApproxEqual(want, 1e-12) {
+		t.Fatalf("second = %v, want %v", second, want)
+	}
+	// And the first result must be unaffected by buffer reuse.
+	if !first.Equal(FromImpulses([]Impulse{{T: 3, P: 1}})) {
+		t.Fatalf("first mutated after reuse: %v", first)
+	}
+}
+
+func BenchmarkNextCompletionPortable(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	prev := randomPMF(r, 32, 2000)
+	exec := randomPMF(r, 25, 300).Normalize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = prev.NextCompletion(exec, 1500)
+	}
+}
+
+func BenchmarkNextCompletionWorkspace(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	prev := randomPMF(r, 32, 2000)
+	exec := randomPMF(r, 25, 300).Normalize()
+	var ws Workspace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ws.NextCompletion(prev, exec, 1500)
+	}
+}
+
+func BenchmarkCompact(b *testing.B) {
+	r := rand.New(rand.NewSource(32))
+	p := randomPMF(r, 200, 5000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = p.Compact(DefaultMaxImpulses)
+	}
+}

@@ -1,0 +1,325 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// Config tunes the resource-allocation system around the mapper and
+// dropper.
+type Config struct {
+	// QueueCap bounds each machine queue, including the running task
+	// (paper: 6).
+	QueueCap int
+	// BoundaryExclusion excludes the first and last N tasks (by arrival
+	// order) from the measured metrics, so results reflect the
+	// oversubscribed steady state (paper: 100).
+	BoundaryExclusion int
+	// DropOnArrival also runs the proactive dropper on arrival-triggered
+	// mapping events where nothing changed in the machine queues. By
+	// default the dropper engages on completion events and whenever a
+	// reactive drop fires (§V-A: "the dropping mechanism is engaged each
+	// time a system notices a task missing its deadline"); enabling this
+	// matches the strict Fig. 4 pseudocode at a significant cost in
+	// convolution work for identical queue states.
+	DropOnArrival bool
+	// Failures enables machine failure injection (disabled by default);
+	// see FailureConfig.
+	Failures FailureConfig
+	// ReactiveGrace delays reactive dropping: a waiting task is discarded
+	// only once now ≥ deadline + ReactiveGrace. Zero reproduces the
+	// paper's model (no value after the deadline); non-zero supports the
+	// approximate-computing extension, where slightly-late completions
+	// still deliver partial utility (see sim.UtilityScore and
+	// core.ApproxHeuristic).
+	ReactiveGrace pmf.Tick
+}
+
+// DefaultConfig mirrors the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{QueueCap: 6, BoundaryExclusion: 100}
+}
+
+// Mapper assigns unmapped batch tasks to free machine-queue slots at every
+// mapping event. Implementations live in internal/mapping.
+type Mapper interface {
+	// Name identifies the heuristic in experiment tables (e.g. "MinMin").
+	Name() string
+	// Map inspects the event's batch and machines and calls ev.Assign for
+	// every mapping it commits.
+	Map(ev *MappingEvent)
+}
+
+// Engine simulates one trial: one PET matrix, one trace, one mapper, one
+// dropping policy.
+type Engine struct {
+	pet     *pet.Matrix
+	trace   *workload.Trace
+	mapper  Mapper
+	dropper core.Policy
+	calc    *core.Calculus
+	cfg     Config
+
+	clock       pmf.Tick
+	machines    []*Machine
+	batch       []*TaskState
+	tasks       []TaskState
+	nextArrival int
+	totalSlots  int
+	failures    []machineFailureState
+	metrics     metrics
+}
+
+// New builds an engine. A nil dropper defaults to core.ReactiveOnly. The
+// calculus' compaction budget can be adjusted through Calc() before Run.
+func New(m *pet.Matrix, tr *workload.Trace, mapper Mapper, dropper core.Policy, cfg Config) *Engine {
+	if m == nil || tr == nil || mapper == nil {
+		panic("sim: nil PET matrix, trace, or mapper")
+	}
+	if cfg.QueueCap < 1 {
+		panic(fmt.Sprintf("sim: queue capacity %d, want >= 1", cfg.QueueCap))
+	}
+	if dropper == nil {
+		dropper = core.ReactiveOnly{}
+	}
+	e := &Engine{
+		pet:     m,
+		trace:   tr,
+		mapper:  mapper,
+		dropper: dropper,
+		calc:    core.NewCalculus(m),
+		cfg:     cfg,
+	}
+	specs := m.Machines()
+	e.machines = make([]*Machine, len(specs))
+	for i, s := range specs {
+		e.machines[i] = &Machine{Spec: s, completeAt: noCompletion}
+	}
+	e.totalSlots = len(specs) * cfg.QueueCap
+	e.tasks = make([]TaskState, len(tr.Tasks))
+	for i := range tr.Tasks {
+		e.tasks[i] = TaskState{Task: &tr.Tasks[i], Machine: -1}
+	}
+	return e
+}
+
+// Calc exposes the completion-time calculus (e.g. to tune MaxImpulses).
+func (e *Engine) Calc() *core.Calculus { return e.calc }
+
+// Now returns the simulation clock.
+func (e *Engine) Now() pmf.Tick { return e.clock }
+
+// Run executes the trial to completion (system idle, all tasks terminal)
+// and returns the result.
+func (e *Engine) Run() *Result {
+	e.initFailures()
+	for {
+		// Candidate events, tie-broken in order: completion, arrival,
+		// failure/repair.
+		cm, ct := e.nextCompletion()
+		at := pmf.Tick(-1)
+		if e.nextArrival < len(e.tasks) {
+			at = e.tasks[e.nextArrival].Task.Arrival
+		}
+		fm, ft, isRepair := -1, noCompletion, false
+		if e.failures != nil {
+			fm, ft, isRepair = e.nextFailureEvent()
+		}
+
+		switch {
+		case ct != noCompletion && (at < 0 || ct <= at) && (ft == noCompletion || ct <= ft):
+			e.advance(ct)
+			e.handleCompletion(e.machines[cm])
+		case at >= 0 && (ft == noCompletion || at <= ft):
+			e.advance(at)
+			e.handleArrival()
+		case ft != noCompletion && e.hasWork():
+			e.advance(ft)
+			if isRepair {
+				e.handleRepair(fm)
+			} else {
+				e.handleFailure(fm)
+			}
+		default:
+			return e.finish()
+		}
+	}
+}
+
+// hasWork reports whether any task can still make progress — it gates
+// failure-event processing so an otherwise-drained system terminates.
+func (e *Engine) hasWork() bool {
+	if e.nextArrival < len(e.tasks) || len(e.batch) > 0 {
+		return true
+	}
+	for _, m := range e.machines {
+		if len(m.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nextCompletion scans the (small, fixed) machine set for the earliest
+// outstanding completion.
+func (e *Engine) nextCompletion() (machine int, at pmf.Tick) {
+	machine, at = -1, noCompletion
+	for i, m := range e.machines {
+		if m.completeAt != noCompletion && (at == noCompletion || m.completeAt < at) {
+			machine, at = i, m.completeAt
+		}
+	}
+	return machine, at
+}
+
+func (e *Engine) advance(t pmf.Tick) {
+	if t < e.clock {
+		panic(fmt.Sprintf("sim: clock moving backwards: %d -> %d", e.clock, t))
+	}
+	e.clock = t
+}
+
+func (e *Engine) handleArrival() {
+	ts := &e.tasks[e.nextArrival]
+	e.nextArrival++
+	ts.Status = StatusBatch
+	e.batch = append(e.batch, ts)
+	e.mappingEvent(false)
+}
+
+func (e *Engine) handleCompletion(m *Machine) {
+	ts := m.queue[0]
+	ts.Finish = e.clock
+	if ts.Finish < ts.Task.Deadline {
+		ts.Status = StatusCompletedOnTime
+	} else {
+		ts.Status = StatusCompletedLate
+	}
+	m.busy += ts.Finish - ts.Start
+	m.running = false
+	m.completeAt = noCompletion
+	m.removeAt(0)
+	e.mappingEvent(true)
+}
+
+// mappingEvent performs the per-event pipeline of Fig. 1/Fig. 4: reactive
+// dropping, proactive dropping, mapping, and starting idle machines.
+func (e *Engine) mappingEvent(fromCompletion bool) {
+	reacted := e.reactiveDrops()
+	if fromCompletion || reacted || e.cfg.DropOnArrival {
+		e.proactiveDrops()
+	}
+	ev := MappingEvent{e: e}
+	e.mapper.Map(&ev)
+	e.startIdle()
+}
+
+// reactiveDrops removes every batched or pending task whose (grace-
+// extended) deadline has passed: it can no longer begin while it still has
+// value, so per Eq. 1 it is dropped. Reports whether anything was dropped.
+func (e *Engine) reactiveDrops() bool {
+	cutoff := func(ts *TaskState) pmf.Tick { return ts.Task.Deadline + e.cfg.ReactiveGrace }
+	dropped := false
+	// Batch queue.
+	kept := e.batch[:0]
+	for _, ts := range e.batch {
+		if cutoff(ts) <= e.clock {
+			ts.Status = StatusDroppedReactive
+			dropped = true
+		} else {
+			kept = append(kept, ts)
+		}
+	}
+	e.batch = kept
+	// Machine queues (pending entries only; running tasks finish even if
+	// late).
+	for _, m := range e.machines {
+		for i := m.firstPending(); i < len(m.queue); {
+			if cutoff(m.queue[i]) <= e.clock {
+				m.removeAt(i).Status = StatusDroppedReactive
+				dropped = true
+			} else {
+				i++
+			}
+		}
+	}
+	return dropped
+}
+
+// proactiveDrops consults the dropping policy for every machine queue.
+func (e *Engine) proactiveDrops() {
+	pressure := float64(len(e.batch)) / float64(e.totalSlots)
+	for _, m := range e.machines {
+		if len(m.queue)-m.firstPending() < 1 {
+			continue
+		}
+		ctx := core.Context{
+			Calc:          e.calc,
+			Machine:       m.Type(),
+			Now:           e.clock,
+			Queue:         m.coreQueue(e.clock),
+			BatchPressure: pressure,
+		}
+		idxs := e.dropper.Decide(&ctx)
+		if len(idxs) == 0 {
+			continue
+		}
+		fp := m.firstPending()
+		// Remove back to front so earlier indexes stay valid.
+		for k := len(idxs) - 1; k >= 0; k-- {
+			i := idxs[k]
+			if i < fp || i >= len(m.queue) {
+				panic(fmt.Sprintf("sim: dropper %q returned invalid index %d (queue %d, first pending %d)",
+					e.dropper.Name(), i, len(m.queue), fp))
+			}
+			m.removeAt(i).Status = StatusDroppedProactive
+		}
+	}
+}
+
+// startIdle begins execution on any machine that is idle but has queued
+// work. Realized execution times come pre-drawn from the trace. Failed
+// machines hold their queues until repaired.
+func (e *Engine) startIdle() {
+	for i, m := range e.machines {
+		if m.running || e.failed(i) {
+			continue
+		}
+		for len(m.queue) > 0 {
+			ts := m.queue[0]
+			if ts.Task.Deadline+e.cfg.ReactiveGrace <= e.clock {
+				// Cannot begin while it still has value: reactive drop at
+				// start time (Eq. 1 semantics, grace-extended).
+				m.removeAt(0).Status = StatusDroppedReactive
+				continue
+			}
+			exec := ts.Task.ExecByType[m.Type()]
+			ts.Status = StatusRunning
+			ts.Start = e.clock
+			m.running = true
+			m.completeAt = e.clock + exec
+			m.version++
+			break
+		}
+	}
+}
+
+// finish validates terminal bookkeeping and assembles the result. Any task
+// still in the batch at drain time could never be mapped before expiring;
+// it is accounted as reactively dropped.
+func (e *Engine) finish() *Result {
+	for _, ts := range e.batch {
+		ts.Status = StatusDroppedReactive
+	}
+	e.batch = nil
+	for _, m := range e.machines {
+		if len(m.queue) != 0 || m.running {
+			panic("sim: engine drained with non-empty machine queue")
+		}
+	}
+	return e.buildResult()
+}

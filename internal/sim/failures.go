@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/stats"
+)
+
+// FailureConfig enables machine failure injection — the "resource failure"
+// compound uncertainty the paper names as future work (§VI). Failures
+// strike each machine as a Poisson process; a failed machine kills its
+// running task (terminal state StatusFailed), holds its pending queue, and
+// accepts no new work until repaired.
+type FailureConfig struct {
+	// MTBF is the mean time between failures per machine, in ticks;
+	// 0 disables failure injection.
+	MTBF pmf.Tick
+	// MeanRepair is the mean repair duration, in ticks (exponential).
+	MeanRepair pmf.Tick
+	// Seed drives the failure process; trials with equal seeds see equal
+	// failure schedules.
+	Seed int64
+}
+
+// Enabled reports whether failure injection is active.
+func (f FailureConfig) Enabled() bool { return f.MTBF > 0 }
+
+// machineFailureState tracks one machine's failure process.
+type machineFailureState struct {
+	rng *stats.RNG
+	// nextFailAt is the next scheduled failure (noCompletion = none).
+	nextFailAt pmf.Tick
+	// repairAt is when the current outage ends (noCompletion = healthy).
+	repairAt pmf.Tick
+}
+
+// initFailures seeds per-machine failure processes.
+func (e *Engine) initFailures() {
+	if !e.cfg.Failures.Enabled() {
+		return
+	}
+	root := stats.NewRNG(e.cfg.Failures.Seed)
+	e.failures = make([]machineFailureState, len(e.machines))
+	for i := range e.failures {
+		rng := root.Split()
+		e.failures[i] = machineFailureState{
+			rng:        rng,
+			nextFailAt: pmf.Tick(rng.Exponential(float64(e.cfg.Failures.MTBF))),
+			repairAt:   noCompletion,
+		}
+	}
+}
+
+// failed reports whether machine i is currently down.
+func (e *Engine) failed(i int) bool {
+	return e.failures != nil && e.failures[i].repairAt != noCompletion
+}
+
+// nextFailureEvent returns the earliest pending failure or repair across
+// machines.
+func (e *Engine) nextFailureEvent() (machine int, at pmf.Tick, isRepair bool) {
+	machine, at = -1, noCompletion
+	for i := range e.failures {
+		fs := &e.failures[i]
+		if fs.repairAt != noCompletion {
+			if at == noCompletion || fs.repairAt < at {
+				machine, at, isRepair = i, fs.repairAt, true
+			}
+			continue
+		}
+		if fs.nextFailAt != noCompletion && (at == noCompletion || fs.nextFailAt < at) {
+			machine, at, isRepair = i, fs.nextFailAt, false
+		}
+	}
+	return machine, at, isRepair
+}
+
+// handleFailure takes machine i down: the running task dies, pending work
+// holds, and a repair is scheduled.
+func (e *Engine) handleFailure(i int) {
+	m := e.machines[i]
+	fs := &e.failures[i]
+	if m.running {
+		ts := m.queue[0]
+		ts.Status = StatusFailed
+		ts.Finish = e.clock
+		m.busy += e.clock - ts.Start // the wasted time is still billed
+		m.running = false
+		m.completeAt = noCompletion
+		m.removeAt(0)
+	}
+	fs.repairAt = e.clock + 1 + pmf.Tick(fs.rng.Exponential(float64(e.cfg.Failures.MeanRepair)))
+	fs.nextFailAt = noCompletion
+	// The failure frees no capacity but changes completion forecasts; let
+	// the pipeline reassess queues and mappings.
+	e.mappingEvent(true)
+}
+
+// handleRepair brings machine i back and schedules its next failure.
+func (e *Engine) handleRepair(i int) {
+	fs := &e.failures[i]
+	fs.repairAt = noCompletion
+	fs.nextFailAt = e.clock + 1 + pmf.Tick(fs.rng.Exponential(float64(e.cfg.Failures.MTBF)))
+	e.mappingEvent(true)
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// noCompletion marks a machine with no outstanding completion event.
+const noCompletion = pmf.Tick(-1)
+
+// Machine is one physical machine with its bounded local queue. The head
+// of the queue is the running task while running is true; every other
+// entry is pending. Queue capacity includes the running task (§V-A: "up to
+// six tasks, including the task that is currently executing").
+type Machine struct {
+	Spec pet.MachineSpec
+
+	queue   []*TaskState
+	running bool
+	// completeAt is the absolute completion time of the running task, or
+	// noCompletion when idle.
+	completeAt pmf.Tick
+	// busy accumulates execution time for cost accounting.
+	busy pmf.Tick
+	// version increments on every queue mutation; it keys the tail
+	// completion cache.
+	version uint64
+
+	tailVer   uint64
+	tailNow   pmf.Tick
+	tailPMF   pmf.PMF
+	tailValid bool
+}
+
+// Type returns the machine's PET column.
+func (m *Machine) Type() pet.MachineType { return m.Spec.Type }
+
+// QueueLen returns the number of queued tasks, including the running one.
+func (m *Machine) QueueLen() int { return len(m.queue) }
+
+// Queue returns the queue contents (head first). The slice is shared and
+// must be treated as read-only by callers.
+func (m *Machine) Queue() []*TaskState { return m.queue }
+
+// Running reports whether the machine is currently executing its head.
+func (m *Machine) Running() bool { return m.running }
+
+// BusyTicks returns the accumulated execution time.
+func (m *Machine) BusyTicks() pmf.Tick { return m.busy }
+
+// firstPending is the queue index of the first non-running task.
+func (m *Machine) firstPending() int {
+	if m.running {
+		return 1
+	}
+	return 0
+}
+
+// coreQueue converts the machine queue into the calculus' view at time
+// now.
+func (m *Machine) coreQueue(now pmf.Tick) []core.QueueTask {
+	out := make([]core.QueueTask, len(m.queue))
+	for i, ts := range m.queue {
+		out[i] = core.QueueTask{
+			Type:     ts.Task.Type,
+			Deadline: ts.Task.Deadline,
+		}
+		if i == 0 && m.running {
+			out[i].Running = true
+			out[i].Elapsed = now - ts.Start
+		}
+	}
+	return out
+}
+
+// tailCompletion returns the completion-time PMF of the machine's last
+// queued task (the availability PMF a newly appended task would chain
+// from). Results are cached per (queue version, now).
+func (m *Machine) tailCompletion(calc *core.Calculus, now pmf.Tick) pmf.PMF {
+	if m.tailValid && m.tailVer == m.version && m.tailNow == now {
+		return m.tailPMF
+	}
+	var tail pmf.PMF
+	if len(m.queue) == 0 {
+		tail = pmf.Delta(now)
+	} else {
+		cs := calc.CompletionPMFs(m.Type(), now, m.coreQueue(now))
+		tail = cs[len(cs)-1]
+	}
+	m.tailVer, m.tailNow, m.tailPMF, m.tailValid = m.version, now, tail, true
+	return tail
+}
+
+// removeAt deletes the queue entry at index i and bumps the version.
+func (m *Machine) removeAt(i int) *TaskState {
+	ts := m.queue[i]
+	m.queue = append(m.queue[:i], m.queue[i+1:]...)
+	m.version++
+	return ts
+}
+
+// push appends a task to the queue tail and bumps the version.
+func (m *Machine) push(ts *TaskState) {
+	m.queue = append(m.queue, ts)
+	m.version++
+}

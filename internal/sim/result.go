@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// metrics is the engine's running bookkeeping (currently all derived at
+// finish time; kept as a struct for future incremental counters).
+type metrics struct{}
+
+// Result summarizes one simulated trial.
+type Result struct {
+	// Total is the number of tasks in the trace; Measured excludes the
+	// first and last BoundaryExclusion tasks (§V-A).
+	Total    int
+	Measured int
+
+	// Whole-trace terminal counts. Failed counts tasks killed by injected
+	// machine failures (zero unless Config.Failures is enabled).
+	OnTime           int
+	Late             int
+	DroppedReactive  int
+	DroppedProactive int
+	Failed           int
+
+	// Measured-window terminal counts.
+	MOnTime           int
+	MLate             int
+	MDroppedReactive  int
+	MDroppedProactive int
+	MFailed           int
+
+	// RobustnessPct is the paper's robustness metric: percentage of
+	// measured tasks completed on time.
+	RobustnessPct float64
+	// UtilityPct is the approximate-computing value metric: mean realized
+	// utility of measured tasks (%) with grace = Config.ReactiveGrace.
+	// With zero grace it equals RobustnessPct.
+	UtilityPct float64
+
+	// TotalCostUSD is the execution cost across machines (busy time ×
+	// hourly price). CostPerRobustness is Fig. 9's normalized cost:
+	// TotalCostUSD divided by RobustnessPct.
+	TotalCostUSD      float64
+	CostPerRobustness float64
+
+	// Makespan is the clock at drain time; BusyTicks the summed machine
+	// busy time; UtilizationPct the busy share of machine·time capacity.
+	Makespan       pmf.Tick
+	BusyTicks      pmf.Tick
+	UtilizationPct float64
+}
+
+// DropReactiveShare returns the fraction of all measured drops that were
+// reactive — the §V-F diagnostic (≈7% under the proactive heuristic).
+func (r *Result) DropReactiveShare() float64 {
+	d := r.MDroppedReactive + r.MDroppedProactive
+	if d == 0 {
+		return 0
+	}
+	return float64(r.MDroppedReactive) / float64(d)
+}
+
+// Validate checks conservation: every task reached exactly one terminal
+// state.
+func (r *Result) Validate() error {
+	sum := r.OnTime + r.Late + r.DroppedReactive + r.DroppedProactive + r.Failed
+	if sum != r.Total {
+		return fmt.Errorf("sim: task conservation violated: %d terminal vs %d total", sum, r.Total)
+	}
+	msum := r.MOnTime + r.MLate + r.MDroppedReactive + r.MDroppedProactive + r.MFailed
+	if msum != r.Measured {
+		return fmt.Errorf("sim: measured conservation violated: %d terminal vs %d measured", msum, r.Measured)
+	}
+	return nil
+}
+
+// buildResult derives the Result after drain.
+func (e *Engine) buildResult() *Result {
+	r := &Result{Total: len(e.tasks), Makespan: e.clock}
+	lo := e.cfg.BoundaryExclusion
+	hi := len(e.tasks) - e.cfg.BoundaryExclusion
+	if hi < lo {
+		// Degenerate small traces: measure everything rather than nothing.
+		lo, hi = 0, len(e.tasks)
+	}
+	for i := range e.tasks {
+		ts := &e.tasks[i]
+		measured := i >= lo && i < hi
+		if measured {
+			r.Measured++
+		}
+		switch ts.Status {
+		case StatusCompletedOnTime:
+			r.OnTime++
+			if measured {
+				r.MOnTime++
+			}
+		case StatusCompletedLate:
+			r.Late++
+			if measured {
+				r.MLate++
+			}
+		case StatusDroppedReactive:
+			r.DroppedReactive++
+			if measured {
+				r.MDroppedReactive++
+			}
+		case StatusDroppedProactive:
+			r.DroppedProactive++
+			if measured {
+				r.MDroppedProactive++
+			}
+		case StatusFailed:
+			r.Failed++
+			if measured {
+				r.MFailed++
+			}
+		default:
+			panic(fmt.Sprintf("sim: task %d drained in non-terminal status %v", ts.Task.ID, ts.Status))
+		}
+	}
+	if r.Measured > 0 {
+		r.RobustnessPct = 100 * float64(r.MOnTime) / float64(r.Measured)
+		r.UtilityPct = UtilityScore(e.tasks, e.cfg.ReactiveGrace, e.cfg.BoundaryExclusion)
+	}
+	var busy pmf.Tick
+	var cost float64
+	for _, m := range e.machines {
+		busy += m.busy
+		cost += float64(m.busy) / 3.6e6 * m.Spec.PriceHour
+	}
+	r.BusyTicks = busy
+	r.TotalCostUSD = cost
+	if r.RobustnessPct > 0 {
+		r.CostPerRobustness = cost / r.RobustnessPct
+	}
+	if e.clock > 0 && len(e.machines) > 0 {
+		r.UtilizationPct = 100 * float64(busy) / (float64(e.clock) * float64(len(e.machines)))
+	}
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TaskStates exposes the per-task records after Run, for tests and trace
+// analysis tools.
+func (e *Engine) TaskStates() []TaskState { return e.tasks }

@@ -1,0 +1,47 @@
+package sim
+
+import "github.com/hpcclab/taskdrop/internal/pmf"
+
+// UtilityScore evaluates the approximate-computing value delivered by a
+// finished trial (the §VI extension): each task completed strictly before
+// its deadline is worth 1, a task finishing within the grace window after
+// its deadline is worth the linear remainder 1 − lateness/grace, and
+// everything else (later completions, drops, failures) is worth 0.
+//
+// The first and last boundaryExclusion tasks are excluded, mirroring the
+// robustness metric. The result is the mean utility of the measured tasks
+// as a percentage.
+func UtilityScore(states []TaskState, grace pmf.Tick, boundaryExclusion int) float64 {
+	lo := boundaryExclusion
+	hi := len(states) - boundaryExclusion
+	if hi <= lo {
+		lo, hi = 0, len(states)
+	}
+	if hi == lo {
+		return 0
+	}
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += taskUtility(&states[i], grace)
+	}
+	return 100 * sum / float64(hi-lo)
+}
+
+// taskUtility scores one terminal task state.
+func taskUtility(ts *TaskState, grace pmf.Tick) float64 {
+	switch ts.Status {
+	case StatusCompletedOnTime:
+		return 1
+	case StatusCompletedLate:
+		if grace <= 0 {
+			return 0
+		}
+		late := ts.Finish - ts.Task.Deadline
+		if late >= grace {
+			return 0
+		}
+		return 1 - float64(late)/float64(grace)
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+func mkState(status Status, deadline, finish pmf.Tick) TaskState {
+	return TaskState{
+		Task:   &workload.Task{Deadline: deadline},
+		Status: status,
+		Finish: finish,
+	}
+}
+
+func TestTaskUtility(t *testing.T) {
+	cases := []struct {
+		name  string
+		ts    TaskState
+		grace pmf.Tick
+		want  float64
+	}{
+		{"on-time", mkState(StatusCompletedOnTime, 100, 90), 10, 1},
+		{"late-half-grace", mkState(StatusCompletedLate, 100, 105), 10, 0.5},
+		{"late-at-deadline", mkState(StatusCompletedLate, 100, 100), 10, 1},
+		{"late-beyond-grace", mkState(StatusCompletedLate, 100, 115), 10, 0},
+		{"late-zero-grace", mkState(StatusCompletedLate, 100, 101), 0, 0},
+		{"dropped", mkState(StatusDroppedProactive, 100, 0), 10, 0},
+		{"failed", mkState(StatusFailed, 100, 50), 10, 0},
+	}
+	for _, c := range cases {
+		if got := taskUtility(&c.ts, c.grace); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: utility = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestUtilityScoreAveragesMeasuredWindow(t *testing.T) {
+	states := []TaskState{
+		mkState(StatusCompletedOnTime, 100, 90),  // excluded (boundary)
+		mkState(StatusCompletedOnTime, 100, 90),  // 1.0
+		mkState(StatusCompletedLate, 100, 105),   // 0.5
+		mkState(StatusDroppedProactive, 100, 0),  // 0.0
+		mkState(StatusCompletedOnTime, 100, 200), // excluded (boundary)
+	}
+	got := UtilityScore(states, 10, 1)
+	want := 100 * (1 + 0.5 + 0) / 3
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+}
+
+func TestUtilityScoreDegenerate(t *testing.T) {
+	if got := UtilityScore(nil, 10, 0); got != 0 {
+		t.Fatalf("empty score = %v", got)
+	}
+	// Exclusion larger than the trace measures everything.
+	states := []TaskState{mkState(StatusCompletedOnTime, 100, 90)}
+	if got := UtilityScore(states, 10, 5); math.Abs(got-100) > 1e-12 {
+		t.Fatalf("degenerate exclusion score = %v", got)
+	}
+}
+
+func TestUtilityScoreAtLeastRobustness(t *testing.T) {
+	// Realized utility with any grace dominates the strict on-time rate.
+	m := testMatrix(t, 1, pmf.Delta(10))
+	n := 40
+	arr := make([]pmf.Tick, n)
+	dl := make([]pmf.Tick, n)
+	ex := make([]pmf.Tick, n)
+	for i := range arr {
+		arr[i] = pmf.Tick(i)
+		dl[i] = arr[i] + 60
+		ex[i] = 10
+	}
+	e := New(m, makeTrace(arr, dl, ex), fifoMapper{}, nil, cfgNoExclusion())
+	res := e.Run()
+	util := UtilityScore(e.TaskStates(), 50, 0)
+	if util < res.RobustnessPct-1e-9 {
+		t.Fatalf("utility %v < robustness %v", util, res.RobustnessPct)
+	}
+}

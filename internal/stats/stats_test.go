@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must yield same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := NewRNG(5)
+	c1 := g.Split()
+	c2 := g.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams collide on %d/100 draws", same)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := g.UniformRange(1, 20)
+		if v < 1 || v >= 20 {
+			t.Fatalf("UniformRange out of bounds: %v", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := NewRNG(8)
+	const n = 200_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.Exponential(50)
+	}
+	mean := sum / n
+	if math.Abs(mean-50) > 1 {
+		t.Fatalf("exponential mean = %v, want ≈50", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Exponential(0)
+}
+
+func TestGammaMoments(t *testing.T) {
+	g := NewRNG(9)
+	cases := []struct{ shape, scale float64 }{
+		{0.5, 10}, {1, 5}, {2, 3}, {7.5, 2}, {50, 0.5},
+	}
+	const n = 100_000
+	for _, c := range cases {
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := g.Gamma(c.shape, c.scale)
+			if v <= 0 {
+				t.Fatalf("gamma(%v,%v) produced non-positive sample %v", c.shape, c.scale, v)
+			}
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		wantMean := c.shape * c.scale
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean+0.05 {
+			t.Errorf("gamma(%v,%v) mean = %v, want ≈%v", c.shape, c.scale, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.10*wantVar+0.1 {
+			t.Errorf("gamma(%v,%v) var = %v, want ≈%v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaWithMean(t *testing.T) {
+	g := NewRNG(10)
+	const n = 100_000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += g.GammaWithMean(120, 15)
+	}
+	mean := sum / n
+	if math.Abs(mean-120) > 2 {
+		t.Fatalf("GammaWithMean mean = %v, want ≈120", mean)
+	}
+}
+
+func TestGammaPanicsOnBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewRNG(1).Gamma(0, 1) },
+		func() { NewRNG(1).Gamma(1, 0) },
+		func() { NewRNG(1).Gamma(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	// Sample stddev with n−1: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("StdDev = %v, want %v", s.StdDev, want)
+	}
+	wantCI := tCritical95(7) * want / math.Sqrt(8)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestSummarizeDegenerate(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 || s.CI95 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{3.5}); s.N != 1 || s.Mean != 3.5 || s.CI95 != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeConstantSeries(t *testing.T) {
+	s := Summarize([]float64{4, 4, 4, 4})
+	if s.StdDev != 0 || s.CI95 != 0 {
+		t.Fatalf("constant series: %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 42.1234, CI95: 1.567}
+	if got, want := s.String(), "42.12 ± 1.57"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTCritical95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{1, 12.706}, {29, 2.045}, {30, 2.042}, {120, 1.980}, {1000, 1.960}, {0, 0}}
+	for _, c := range cases {
+		if got := tCritical95(c.df); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("t(%d) = %v, want %v", c.df, got, c.want)
+		}
+	}
+	// Interpolated region must be monotone decreasing.
+	prev := tCritical95(30)
+	for df := 31; df <= 120; df++ {
+		cur := tCritical95(df)
+		if cur > prev+1e-12 {
+			t.Fatalf("t not monotone at df=%d: %v > %v", df, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSummarizeCIShrinksWithN(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		g := NewRNG(seed)
+		small := make([]float64, 5)
+		big := make([]float64, 50)
+		for i := range big {
+			v := g.NormFloat64()
+			big[i] = v
+			if i < 5 {
+				small[i] = v
+			}
+		}
+		// Not a strict law for arbitrary draws, but holds overwhelmingly;
+		// use a generous factor to keep the property deterministic enough.
+		return Summarize(big).CI95 < Summarize(small).CI95*3
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("MeanOf(nil) != 0")
+	}
+	if got := MeanOf([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("MeanOf = %v", got)
+	}
+}

@@ -1,0 +1,212 @@
+// Package taskdrop is a Go reproduction of "Autonomous Task Dropping
+// Mechanism to Achieve Robustness in Heterogeneous Computing Systems"
+// (Mokhtari, Denninnart, Amini Salehi; IPDPS Workshops 2020,
+// arXiv:2005.11050).
+//
+// It provides, end to end:
+//
+//   - a probabilistic execution-time (PET) model over discrete PMFs and the
+//     completion-time calculus of the paper (Eq. 1–3);
+//   - the autonomous proactive task-dropping heuristic (η, β), the optimal
+//     subset-enumeration dropper, and the threshold baseline of prior work;
+//   - a deterministic discrete-event simulator of the paper's batch-mode
+//     resource allocation system (bounded machine queues, reactive drops,
+//     mapping events);
+//   - the mapping heuristics of the evaluation (MinMin, MSD, PAM, FCFS,
+//     SJF, EDF and several classic extras);
+//   - workload profiles (SPECint-like inconsistent HC system, video
+//     transcoding, homogeneous cluster) and Poisson trace generation;
+//   - an experiment harness regenerating every figure of §V.
+//
+// # Quick start
+//
+//	sys := taskdrop.SPECSystem()
+//	trace := sys.Workload(20000, taskdrop.StandardWindow, taskdrop.DefaultGammaSlack, 1)
+//	res, err := sys.Simulate(trace, "PAM", taskdrop.HeuristicDropper())
+//	if err != nil { ... }
+//	fmt.Printf("robustness: %.1f%%\n", res.RobustnessPct)
+//
+// The deeper APIs live in the internal packages and are re-exported here
+// through type aliases, so the whole system is scriptable from this single
+// import.
+package taskdrop
+
+import (
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// Aliases of the core model types, so callers need only this package.
+type (
+	// Tick is one point of the discrete time grid (1 ms).
+	Tick = pmf.Tick
+	// PMF is a discrete probability mass function over Ticks.
+	PMF = pmf.PMF
+	// Impulse is one (time, probability) mass point of a PMF.
+	Impulse = pmf.Impulse
+	// Profile declares an HC system (task types × machine types, means,
+	// machine counts, prices).
+	Profile = pet.Profile
+	// Matrix is a built PET matrix.
+	Matrix = pet.Matrix
+	// TaskType indexes PET rows; MachineType indexes PET columns.
+	TaskType = pet.TaskType
+	// MachineType indexes PET columns.
+	MachineType = pet.MachineType
+	// WorkloadConfig parameterizes trace generation.
+	WorkloadConfig = workload.Config
+	// Trace is a generated arrival sequence.
+	Trace = workload.Trace
+	// Task is one arriving task of a trace.
+	Task = workload.Task
+	// Result summarizes one simulated trial.
+	Result = sim.Result
+	// SimConfig tunes the simulation engine.
+	SimConfig = sim.Config
+	// Mapper assigns batch tasks to machine queues.
+	Mapper = sim.Mapper
+	// MappingEvent is a Mapper's window onto the system at one event.
+	MappingEvent = sim.MappingEvent
+	// Machine is one simulated machine with its bounded queue.
+	Machine = sim.Machine
+	// MachineSpec describes a physical machine (type, name, price).
+	MachineSpec = pet.MachineSpec
+	// TaskState is the simulator's record of one task.
+	TaskState = sim.TaskState
+	// QueueTask is the calculus' view of one queue entry.
+	QueueTask = core.QueueTask
+	// DropPolicy decides proactive drops per machine queue.
+	DropPolicy = core.Policy
+	// DropContext carries the state a DropPolicy consults.
+	DropContext = core.Context
+	// Calculus evaluates completion-time PMFs and chances of success.
+	Calculus = core.Calculus
+)
+
+// Workload and tuning constants of the paper's evaluation.
+const (
+	// StandardWindow is the arrival window of the standard workloads.
+	StandardWindow = workload.StandardWindow
+	// DefaultGammaSlack is the deadline slack coefficient γ.
+	DefaultGammaSlack = workload.DefaultGammaSlack
+	// DefaultEta is the tuned effective depth η = 2 (§V-C).
+	DefaultEta = core.DefaultEta
+	// DefaultBeta is the tuned robustness improvement factor β = 1 (§V-D).
+	DefaultBeta = core.DefaultBeta
+)
+
+// System bundles a built PET matrix with engine configuration; it is the
+// top-level handle of the public API.
+type System struct {
+	// Matrix is the built PET matrix.
+	Matrix *Matrix
+	// Config is the engine configuration used by Simulate.
+	Config SimConfig
+}
+
+// NewSystem builds a System from a profile. The seed drives PET sampling,
+// making the system fully reproducible.
+func NewSystem(p Profile, seed int64) *System {
+	return &System{
+		Matrix: pet.Build(p, seed, pet.DefaultBuildOptions()),
+		Config: sim.DefaultConfig(),
+	}
+}
+
+// SPECSystem returns the paper's primary evaluation system: twelve
+// SPECint-like task types on eight inconsistently heterogeneous machines.
+func SPECSystem() *System {
+	return NewSystem(pet.SPECProfile(pet.DefaultProfileSeed), pet.DefaultProfileSeed)
+}
+
+// VideoSystem returns the §V-H validation system: four video transcoding
+// task types on four AWS VM types (two machines each).
+func VideoSystem() *System {
+	return NewSystem(pet.VideoProfile(), pet.DefaultProfileSeed)
+}
+
+// HomogeneousSystem returns the §V-E control system: eight identical
+// machines.
+func HomogeneousSystem() *System {
+	return NewSystem(pet.HomogeneousProfile(), pet.DefaultProfileSeed)
+}
+
+// Workload generates a Poisson arrival trace of totalTasks over window
+// ticks with deadline slack γ. The same (system, seed) pair always yields
+// the same trace, including pre-drawn realized execution times.
+func (s *System) Workload(totalTasks int, window Tick, gamma float64, seed int64) *Trace {
+	return workload.Generate(s.Matrix, workload.Config{
+		TotalTasks: totalTasks,
+		Window:     window,
+		GammaSlack: gamma,
+	}, seed)
+}
+
+// Simulate runs one trial with a mapping heuristic chosen by name (see
+// MapperNames) and the given dropping policy (nil = reactive only).
+func (s *System) Simulate(tr *Trace, mapperName string, dropper DropPolicy) (*Result, error) {
+	m, err := mapping.New(mapperName)
+	if err != nil {
+		return nil, err
+	}
+	return s.SimulateWith(tr, m, dropper), nil
+}
+
+// SimulateWith runs one trial with an explicit Mapper implementation —
+// the extension point for custom scheduling research.
+func (s *System) SimulateWith(tr *Trace, m Mapper, dropper DropPolicy) *Result {
+	return sim.New(s.Matrix, tr, m, dropper, s.Config).Run()
+}
+
+// HeuristicDropper returns the paper's autonomous proactive dropping
+// heuristic with the tuned parameters η=2, β=1.
+func HeuristicDropper() DropPolicy { return core.NewHeuristic() }
+
+// HeuristicDropperWith returns the heuristic with explicit β ≥ 1 and
+// η ≥ 1.
+func HeuristicDropperWith(beta float64, eta int) DropPolicy {
+	return core.Heuristic{Beta: beta, Eta: eta}
+}
+
+// OptimalDropper returns the optimal subset-enumeration dropper (§IV-D).
+func OptimalDropper() DropPolicy { return core.Optimal{} }
+
+// ThresholdDropper returns the prior-work baseline: prune tasks whose
+// chance of success falls below base, adapted to load when adaptive.
+func ThresholdDropper(base float64, adaptive bool) DropPolicy {
+	return core.Threshold{Base: base, Adaptive: adaptive}
+}
+
+// ReactiveDropper returns the no-proactive-dropping baseline.
+func ReactiveDropper() DropPolicy { return core.ReactiveOnly{} }
+
+// DropperByName constructs a dropping policy from a name: ReactDrop,
+// Heuristic, Optimal, Threshold.
+func DropperByName(name string) (DropPolicy, error) { return core.PolicyByName(name) }
+
+// MapperByName constructs a mapping heuristic from a name (see
+// MapperNames).
+func MapperByName(name string) (Mapper, error) { return mapping.New(name) }
+
+// MapperNames lists the built-in mapping heuristics.
+func MapperNames() []string { return mapping.Names() }
+
+// SPECProfile, VideoProfile and HomogeneousProfile re-export the raw
+// profile constructors for callers who want to modify them before
+// NewSystem.
+func SPECProfile(seed int64) Profile { return pet.SPECProfile(seed) }
+
+// VideoProfile returns the video transcoding profile.
+func VideoProfile() Profile { return pet.VideoProfile() }
+
+// HomogeneousProfile returns the homogeneous cluster profile.
+func HomogeneousProfile() Profile { return pet.HomogeneousProfile() }
+
+// NewCalculus exposes the completion-time calculus over a system's PET for
+// callers building custom mappers or droppers. The calculus is not safe
+// for concurrent use.
+func NewCalculus(m *Matrix) *Calculus { return core.NewCalculus(m) }
