@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -47,7 +50,9 @@ func main() {
 	if !*quiet {
 		opt.Progress = os.Stderr
 	}
-	runner := expt.NewRunner(opt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := expt.NewRunnerContext(ctx, opt)
 
 	var figs []expt.Figure
 	if *figIDs == "all" {
@@ -70,6 +75,9 @@ func main() {
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", fig.ID, fig.Title)
 		tables, err := fig.Run(runner)
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted")
+		}
 		if err != nil {
 			log.Fatalf("%s: %v", fig.ID, err)
 		}

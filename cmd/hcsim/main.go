@@ -1,25 +1,28 @@
-// Command hcsim runs a single simulated trial of the heterogeneous
-// computing system and prints its metrics. It is the quickest way to poke
-// at one (profile, mapper, dropper, workload) combination:
+// Command hcsim runs one scenario of the heterogeneous computing system —
+// a (profile, mapper, dropper, workload) combination over one or more
+// seeded trials — and prints its metrics. It is the quickest way to poke
+// at a combination:
 //
 //	hcsim -profile spec -mapper PAM -dropper heuristic -tasks 30000
+//	hcsim -dropper "heuristic:beta=1.5,eta=3" -trials 10
+//	hcsim -dropper "threshold:base=0.3,adaptive" -mapper kpb:percent=30
 //
+// Components are named by the unified registry specs of the taskdrop
+// package (see taskdrop.NewMapper, NewDropper, NewProfile), so every
+// parameterized form accepted by the API works on the command line too.
 // For the full paper experiments use cmd/hcexp.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"time"
 
-	"github.com/hpcclab/taskdrop/internal/core"
-	"github.com/hpcclab/taskdrop/internal/mapping"
-	"github.com/hpcclab/taskdrop/internal/pet"
-	"github.com/hpcclab/taskdrop/internal/pmf"
-	"github.com/hpcclab/taskdrop/internal/sim"
-	"github.com/hpcclab/taskdrop/internal/workload"
+	taskdrop "github.com/hpcclab/taskdrop"
 )
 
 func main() {
@@ -27,69 +30,119 @@ func main() {
 	log.SetPrefix("hcsim: ")
 
 	var (
-		profileName = flag.String("profile", "spec", "system profile: spec | video | homog")
-		mapperName  = flag.String("mapper", "PAM", "mapping heuristic (MinMin, MSD, PAM, FCFS, SJF, EDF, ...)")
-		dropperName = flag.String("dropper", "heuristic", "dropping policy: reactdrop | heuristic | optimal | threshold")
-		tasks       = flag.Int("tasks", 30000, "number of arriving tasks (oversubscription level)")
-		window      = flag.Int64("window", int64(workload.StandardWindow), "arrival window in ms")
-		gamma       = flag.Float64("gamma", workload.DefaultGammaSlack, "deadline slack coefficient γ")
-		seed        = flag.Int64("seed", 1, "workload seed")
-		beta        = flag.Float64("beta", core.DefaultBeta, "robustness improvement factor β (heuristic dropper)")
-		eta         = flag.Int("eta", core.DefaultEta, "effective depth η (heuristic dropper)")
+		profileSpec = flag.String("profile", "spec", "system profile spec: spec | video | homog (e.g. spec:seed=7)")
+		mapperSpec  = flag.String("mapper", "PAM", "mapping heuristic spec (MinMin, MSD, PAM, FCFS, SJF, EDF, kpb:percent=30, ...)")
+		dropperSpec = flag.String("dropper", "heuristic", "dropping policy spec: reactdrop | heuristic[:beta=..,eta=..] | optimal | threshold[:base=..,adaptive] | approx[:grace=..]")
+		tasks       = flag.Int("tasks", 30000, "number of arriving tasks per trial (oversubscription level)")
+		window      = flag.Int64("window", int64(taskdrop.StandardWindow), "arrival window in ms")
+		gamma       = flag.Float64("gamma", taskdrop.DefaultGammaSlack, "deadline slack coefficient γ")
+		seed        = flag.Int64("seed", 1, "base workload seed; trial t uses seed+t")
+		trials      = flag.Int("trials", 1, "seeded trials to run (mean ± 95% CI is printed when > 1)")
+		workers     = flag.Int("workers", 0, "parallel trial simulations (0 = GOMAXPROCS)")
 		queueCap    = flag.Int("queue", 6, "machine queue capacity incl. running task")
 		scale       = flag.Float64("scale", 1.0, "shrink factor in (0,1]: scales tasks and window together")
 		verbose     = flag.Bool("v", false, "print the PET summary before running")
-		breakdown   = flag.Bool("breakdown", false, "print per-task-type and per-machine statistics")
+		breakdown   = flag.Bool("breakdown", false, "print per-task-type and per-machine statistics (trial 0)")
+		progress    = flag.Bool("progress", false, "print one line per completed trial")
 		mtbf        = flag.Int64("mtbf", 0, "machine mean time between failures in ms (0 = no failure injection)")
 		repair      = flag.Int64("repair", 0, "mean repair time in ms (default mtbf/10)")
 	)
 	flag.Parse()
 
-	profile, err := pet.ProfileByName(*profileName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	mapper, err := mapping.New(*mapperName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	dropper, err := core.PolicyByName(*dropperName)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if h, ok := dropper.(core.Heuristic); ok {
-		h.Beta, h.Eta = *beta, *eta
-		dropper = h
-	}
-
-	matrix := pet.Build(profile, pet.DefaultProfileSeed, pet.DefaultBuildOptions())
-	if *verbose {
-		printPET(matrix)
-	}
-
-	cfg := workload.Config{TotalTasks: *tasks, Window: pmf.Tick(*window), GammaSlack: *gamma}
+	cfg := taskdrop.WorkloadConfig{TotalTasks: *tasks, Window: taskdrop.Tick(*window), GammaSlack: *gamma}
 	if *scale != 1.0 {
 		cfg = cfg.Scaled(*scale)
 	}
-	trace := workload.Generate(matrix, cfg, *seed)
-
-	simCfg := sim.DefaultConfig()
-	simCfg.QueueCap = *queueCap
+	opts := []taskdrop.ScenarioOption{
+		taskdrop.WithMapper(*mapperSpec),
+		taskdrop.WithDropper(*dropperSpec),
+		taskdrop.WithTasks(cfg.TotalTasks),
+		taskdrop.WithWindow(cfg.Window),
+		taskdrop.WithGamma(cfg.GammaSlack),
+		taskdrop.WithSeed(*seed),
+		taskdrop.WithTrials(*trials),
+		taskdrop.WithWorkers(*workers),
+		taskdrop.WithQueueCap(*queueCap),
+	}
 	if *mtbf > 0 {
 		rep := *repair
 		if rep <= 0 {
 			rep = *mtbf / 10
 		}
-		simCfg.Failures = sim.FailureConfig{MTBF: pmf.Tick(*mtbf), MeanRepair: pmf.Tick(rep), Seed: *seed}
+		opts = append(opts, taskdrop.WithFailures(taskdrop.FailureConfig{
+			MTBF: taskdrop.Tick(*mtbf), MeanRepair: taskdrop.Tick(rep), Seed: *seed,
+		}))
+	}
+	if *progress {
+		opts = append(opts, taskdrop.OnTrialDone(func(trial int, res *taskdrop.Result) {
+			fmt.Fprintf(os.Stderr, "trial %2d  robustness %6.2f %%\n", trial, res.RobustnessPct)
+		}))
+	}
+
+	sc, err := taskdrop.NewScenario(*profileSpec, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		printPET(sc.Matrix())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// With -breakdown, trial 0 runs through an introspectable engine; for a
+	// single-trial scenario that engine run IS the result (no re-simulation).
+	var eng *taskdrop.Engine
+	if *breakdown {
+		if eng, err = sc.Engine(0); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	start := time.Now()
-	engine := sim.New(matrix, trace, mapper, dropper, simCfg)
-	res := engine.Run()
+	var single *taskdrop.Result
+	var summary taskdrop.Summary
+	switch {
+	case eng != nil && *trials == 1 && !*progress:
+		if single, err = eng.RunContext(ctx); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		rr, err := sc.Run(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		single, summary = rr.Trials[0], rr.Summary
+		if eng != nil {
+			if _, err := eng.RunContext(ctx); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	elapsed := time.Since(start)
+	if err := single.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Printf("profile=%s mapper=%s dropper=%s tasks=%d window=%dms gamma=%.2f seed=%d\n",
-		profile.Name, mapper.Name(), dropper.Name(), cfg.TotalTasks, cfg.Window, *gamma, *seed)
+	fmt.Printf("profile=%s mapper=%s dropper=%s tasks=%d window=%dms gamma=%.2f seed=%d trials=%d\n",
+		*profileSpec, *mapperSpec, *dropperSpec, cfg.TotalTasks, cfg.Window, cfg.GammaSlack, *seed, *trials)
+	if *trials > 1 {
+		printSummary(summary)
+	} else {
+		printTrial(single)
+	}
+	fmt.Printf("wall clock            %s\n", elapsed.Round(time.Millisecond))
+
+	if eng != nil {
+		fmt.Println()
+		types, machines := eng.Breakdown()
+		taskdrop.FprintBreakdown(os.Stdout, types, machines)
+	}
+	_ = os.Stdout.Sync()
+}
+
+// printTrial renders the detailed metrics of a single trial.
+func printTrial(res *taskdrop.Result) {
 	fmt.Printf("robustness            %6.2f %% of measured tasks completed on time\n", res.RobustnessPct)
 	fmt.Printf("measured window       %d tasks (of %d total)\n", res.Measured, res.Total)
 	fmt.Printf("completed on time     %d\n", res.MOnTime)
@@ -103,26 +156,25 @@ func main() {
 	if res.Failed > 0 {
 		fmt.Printf("killed by failures    %d\n", res.MFailed)
 	}
-	fmt.Printf("wall clock            %s\n", elapsed.Round(time.Millisecond))
-	if err := res.Validate(); err != nil {
-		log.Fatal(err)
-	}
-	if *breakdown {
-		fmt.Println()
-		types, machines := engine.Breakdown()
-		sim.FprintBreakdown(os.Stdout, types, machines)
-	}
-	_ = os.Stdout.Sync()
 }
 
-func printPET(m *pet.Matrix) {
+// printSummary renders the aggregated mean ± 95% CI metrics.
+func printSummary(s taskdrop.Summary) {
+	fmt.Printf("robustness            %s %% of measured tasks completed on time\n", s.Robustness)
+	fmt.Printf("norm. cost            %s $/1000·%%\n", s.NormCost)
+	fmt.Printf("proactive dropped     %s %% of measured tasks\n", s.ProactivePct)
+	fmt.Printf("reactive dropped      %s %% of measured tasks\n", s.ReactivePct)
+	fmt.Printf("reactive drop share   %s %% of all drops\n", s.ReactiveShare)
+}
+
+func printPET(m *taskdrop.Matrix) {
 	p := m.Profile()
 	fmt.Printf("PET matrix %q: %d task types × %d machine types (mean ms)\n",
 		p.Name, m.NumTaskTypes(), m.NumMachineTypes())
 	for i := 0; i < m.NumTaskTypes(); i++ {
 		fmt.Printf("  %-18s", p.TaskTypeNames[i])
 		for j := 0; j < m.NumMachineTypes(); j++ {
-			fmt.Printf(" %7.1f", m.CellMean(pet.TaskType(i), pet.MachineType(j)))
+			fmt.Printf(" %7.1f", m.CellMean(taskdrop.TaskType(i), taskdrop.MachineType(j)))
 		}
 		fmt.Println()
 	}

@@ -1,4 +1,4 @@
-// Custom heuristic: extending the system through the public API.
+// Custom heuristic: extending the Scenario API with your own components.
 //
 // The dropping mechanism is designed to "cooperate with any mapping
 // heuristic" (§V-B). This example demonstrates both extension points:
@@ -9,13 +9,15 @@
 //   - a custom DropPolicy ("Panic"): drops every pending task whose chance
 //     of success is exactly zero — a conservative, hand-rolled policy.
 //
-// Both plug into the simulator unchanged and are compared against the
-// paper's PAM+Heuristic on identical arrivals.
+// Both plug into scenarios through WithMapperImpl / WithDropperPolicy and
+// are compared against the paper's PAM+Heuristic on identical arrivals
+// (all scenarios share the same base seed).
 //
 //	go run ./examples/customheuristic
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -24,7 +26,8 @@ import (
 )
 
 // maxCoS is the custom mapping heuristic: one phase, globally greedy on
-// the chance of success of the (task, machine) pair.
+// the chance of success of the (task, machine) pair. It is stateless, so
+// it is safe to share across concurrent trials.
 type maxCoS struct{}
 
 func (maxCoS) Name() string { return "MaxCoS" }
@@ -81,30 +84,37 @@ func (panicDropper) Decide(ctx *taskdrop.DropContext) []int {
 func main() {
 	log.SetFlags(0)
 
-	sys := taskdrop.SPECSystem()
-	trace := sys.Workload(3000, 19_500, taskdrop.DefaultGammaSlack, 5)
-	fmt.Printf("workload: %d tasks at %.0f/s on the SPEC system\n\n",
-		trace.Len(), trace.ArrivalRate()*1000)
-
-	type combo struct {
-		label   string
-		mapper  taskdrop.Mapper
-		dropper taskdrop.DropPolicy
+	base := []taskdrop.ScenarioOption{
+		taskdrop.WithTasks(3000),
+		taskdrop.WithWindow(19_500),
+		taskdrop.WithSeed(5),
 	}
-	pam, err := taskdrop.MapperByName("PAM")
-	if err != nil {
-		log.Fatal(err)
-	}
-	combos := []combo{
-		{"PAM+Heuristic (paper)", pam, taskdrop.HeuristicDropper()},
-		{"MaxCoS+Heuristic (custom mapper)", maxCoS{}, taskdrop.HeuristicDropper()},
-		{"PAM+Panic (custom dropper)", pam, panicDropper{}},
-		{"MaxCoS+Panic (both custom)", maxCoS{}, panicDropper{}},
+	combos := []struct {
+		label string
+		opts  []taskdrop.ScenarioOption
+	}{
+		{"PAM+Heuristic (paper)", []taskdrop.ScenarioOption{
+			taskdrop.WithMapper("PAM"), taskdrop.WithDropper("heuristic")}},
+		{"MaxCoS+Heuristic (custom mapper)", []taskdrop.ScenarioOption{
+			taskdrop.WithMapperImpl(maxCoS{}), taskdrop.WithDropper("heuristic")}},
+		{"PAM+Panic (custom dropper)", []taskdrop.ScenarioOption{
+			taskdrop.WithMapper("PAM"), taskdrop.WithDropperPolicy(panicDropper{})}},
+		{"MaxCoS+Panic (both custom)", []taskdrop.ScenarioOption{
+			taskdrop.WithMapperImpl(maxCoS{}), taskdrop.WithDropperPolicy(panicDropper{})}},
 	}
 
-	fmt.Println("tasks completed on time (%):")
+	fmt.Println("3000 tasks on the SPEC system, identical arrivals")
+	fmt.Println("\ntasks completed on time (%):")
 	for _, c := range combos {
-		res := sys.SimulateWith(trace, c.mapper, c.dropper)
+		sc, err := taskdrop.NewScenario("spec", append(append([]taskdrop.ScenarioOption{}, base...), c.opts...)...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := sc.Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rr.Trials[0]
 		fmt.Printf("  %-34s %6.2f   (proactive drops: %d)\n",
 			c.label, res.RobustnessPct, res.MDroppedProactive)
 	}

@@ -8,44 +8,53 @@
 //
 // The example sweeps the classic homogeneous disciplines (FCFS, SJF, EDF)
 // plus PAM, each with and without the proactive dropping heuristic, on
-// identical arrivals, then shows how the gain scales with oversubscription.
+// identical arrivals (paired scenarios), then shows how the gain scales
+// with oversubscription.
 //
 //	go run ./examples/edgecluster
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	taskdrop "github.com/hpcclab/taskdrop"
 )
 
+// robustness runs one homogeneous-cluster scenario and returns the mean
+// on-time percentage.
+func robustness(ctx context.Context, mapper, dropper string, tasks int, seed int64) float64 {
+	sc, err := taskdrop.NewScenario("homog",
+		taskdrop.WithMapper(mapper),
+		taskdrop.WithDropper(dropper),
+		taskdrop.WithTasks(tasks),
+		taskdrop.WithWindow(13_000),
+		taskdrop.WithSeed(seed),
+		taskdrop.WithTrials(2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rr, err := sc.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rr.Summary.Robustness.Mean
+}
+
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	sys := taskdrop.HomogeneousSystem()
-	fmt.Printf("edge site: %d identical nodes, %d task types\n\n",
-		len(sys.Matrix.Machines()), sys.Matrix.NumTaskTypes())
-
-	trace := sys.Workload(3000, 13_000, taskdrop.DefaultGammaSlack, 3)
-	fmt.Printf("incident burst: %d tasks at %.0f/s (heavily oversubscribed)\n\n",
-		trace.Len(), trace.ArrivalRate()*1000)
-
-	fmt.Println("tasks completed on time (%):")
+	fmt.Println("edge site: 8 identical nodes")
+	fmt.Println("incident burst: 3000 tasks at ~230/s (heavily oversubscribed)")
+	fmt.Println()
+	fmt.Println("tasks completed on time (%, mean of 2 paired trials):")
 	fmt.Println("  discipline   +Heuristic   +ReactDrop         gain")
 	for _, mapper := range []string{"FCFS", "EDF", "SJF", "PAM"} {
-		var with, without float64
-		for i, dropper := range []taskdrop.DropPolicy{taskdrop.HeuristicDropper(), taskdrop.ReactiveDropper()} {
-			res, err := sys.Simulate(trace, mapper, dropper)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if i == 0 {
-				with = res.RobustnessPct
-			} else {
-				without = res.RobustnessPct
-			}
-		}
+		with := robustness(ctx, mapper, "heuristic", 3000, 3)
+		without := robustness(ctx, mapper, "reactdrop", 3000, 3)
 		fmt.Printf("  %-10s %12.2f %12.2f %+11.2fpp\n", mapper, with, without, with-without)
 	}
 
@@ -53,16 +62,9 @@ func main() {
 	fmt.Println("\nPAM robustness vs oversubscription (identical node pool):")
 	fmt.Println("  tasks   +Heuristic   +ReactDrop")
 	for _, n := range []int{2000, 3000, 4000} {
-		tr := sys.Workload(n, 13_000, taskdrop.DefaultGammaSlack, 4)
-		a, err := sys.Simulate(tr, "PAM", taskdrop.HeuristicDropper())
-		if err != nil {
-			log.Fatal(err)
-		}
-		b, err := sys.Simulate(tr, "PAM", taskdrop.ReactiveDropper())
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("  %5d %12.2f %12.2f\n", n, a.RobustnessPct, b.RobustnessPct)
+		a := robustness(ctx, "PAM", "heuristic", n, 4)
+		b := robustness(ctx, "PAM", "reactdrop", n, 4)
+		fmt.Printf("  %5d %12.2f %12.2f\n", n, a, b)
 	}
 	fmt.Println("\nthe mechanism needs no heterogeneity: pruning doomed tasks frees")
 	fmt.Println("node time for tasks that can still make their deadlines (§V-E).")

@@ -1,15 +1,17 @@
-// Quickstart: simulate the paper's flagship configuration once.
+// Quickstart: the paper's flagship comparison as two paired scenarios.
 //
 // Builds the SPECint-like inconsistently heterogeneous system (12 task
-// types × 8 machines), generates one oversubscribed workload, and runs it
-// twice on identical arrivals: once with only reactive dropping and once
-// with the paper's autonomous proactive dropping heuristic. The printed
-// delta is the paper's headline result.
+// types × 8 machines) and runs an oversubscribed workload twice — once
+// with only reactive dropping and once with the paper's autonomous
+// proactive dropping heuristic. Both scenarios share a base seed, so
+// every trial sees identical arrivals and the printed delta is the
+// paper's headline result, reported as mean ± 95% CI over trials.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,35 +21,52 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	sys := taskdrop.SPECSystem()
-	fmt.Printf("system: %d task types × %d machines (inconsistent heterogeneity)\n",
-		sys.Matrix.NumTaskTypes(), len(sys.Matrix.Machines()))
-
 	// 4000 tasks over 26 s ≈ 1.9× the system's capacity — oversubscribed,
 	// like the paper's 30k-task level (scaled down 7.5× to finish in
 	// seconds).
-	trace := sys.Workload(4000, 26_000, taskdrop.DefaultGammaSlack, 1)
-	fmt.Printf("workload: %d tasks, %.0f tasks/s, deadline slack γ=%.1f\n\n",
-		trace.Len(), trace.ArrivalRate()*1000, taskdrop.DefaultGammaSlack)
+	scenario := func(dropper string) *taskdrop.Scenario {
+		sc, err := taskdrop.NewScenario("spec",
+			taskdrop.WithMapper("PAM"),
+			taskdrop.WithDropper(dropper),
+			taskdrop.WithTasks(4000),
+			taskdrop.WithWindow(26_000),
+			taskdrop.WithTrials(3),
+			taskdrop.WithSeed(1),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sc
+	}
 
-	baseline, err := sys.Simulate(trace, "PAM", taskdrop.ReactiveDropper())
+	proactive := scenario("heuristic")
+	baseline := scenario("reactdrop")
+
+	m := proactive.Matrix()
+	fmt.Printf("system: %d task types × %d machines (inconsistent heterogeneity)\n",
+		m.NumTaskTypes(), len(m.Machines()))
+	fmt.Printf("workload: %d tasks per trial, 3 paired trials\n\n",
+		proactive.WorkloadConfig().TotalTasks)
+
+	ctx := context.Background()
+	with, err := proactive.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	proactive, err := sys.Simulate(trace, "PAM", taskdrop.HeuristicDropper())
+	without, err := baseline.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("                        PAM+ReactDrop   PAM+Heuristic")
-	fmt.Printf("tasks on time (%%)       %12.2f    %12.2f\n",
-		baseline.RobustnessPct, proactive.RobustnessPct)
-	fmt.Printf("dropped proactively     %12d    %12d\n",
-		baseline.MDroppedProactive, proactive.MDroppedProactive)
-	fmt.Printf("dropped reactively      %12d    %12d\n",
-		baseline.MDroppedReactive, proactive.MDroppedReactive)
-	fmt.Printf("cost per robustness     %12.4f    %12.4f   ($/1000·%%)\n",
-		baseline.CostPerRobustness*1000, proactive.CostPerRobustness*1000)
-	fmt.Printf("\nproactive dropping improved robustness by %.1f percentage points\n",
-		proactive.RobustnessPct-baseline.RobustnessPct)
+	fmt.Println("                          PAM+ReactDrop    PAM+Heuristic")
+	fmt.Printf("tasks on time (%%)       %15s  %15s\n",
+		without.Summary.Robustness, with.Summary.Robustness)
+	fmt.Printf("proactively dropped (%%) %15s  %15s\n",
+		without.Summary.ProactivePct, with.Summary.ProactivePct)
+	fmt.Printf("reactively dropped (%%)  %15s  %15s\n",
+		without.Summary.ReactivePct, with.Summary.ReactivePct)
+	fmt.Printf("cost per robustness     %15s  %15s   ($/1000·%%)\n",
+		without.Summary.NormCost, with.Summary.NormCost)
+	fmt.Printf("\nproactive dropping improved mean robustness by %.1f percentage points\n",
+		with.Summary.Robustness.Mean-without.Summary.Robustness.Mean)
 }

@@ -6,13 +6,14 @@
 // general purpose — two of each). Segments that miss their deadline are
 // worthless: the stream has moved on. The example compares the three
 // heterogeneous mapping heuristics with and without the autonomous
-// proactive dropping heuristic on identical arrivals, and prints the
-// per-task-type breakdown that motivates GPU-aware mapping.
+// proactive dropping heuristic on identical arrivals, consuming the trial
+// results incrementally through Scenario.Stream.
 //
 //	go run ./examples/videotranscoding
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,13 +22,30 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	sys := taskdrop.VideoSystem()
-	profile := sys.Matrix.Profile()
+	// A moderately oversubscribed streaming burst (§V-H: the video traces
+	// have a lower arrival rate than the SPEC workload).
+	scenario := func(mapper, dropper string) *taskdrop.Scenario {
+		sc, err := taskdrop.NewScenario("video",
+			taskdrop.WithMapper(mapper),
+			taskdrop.WithDropper(dropper),
+			taskdrop.WithTasks(3000),
+			taskdrop.WithWindow(20_000),
+			taskdrop.WithSeed(7),
+			taskdrop.WithTrials(2),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return sc
+	}
 
+	m := scenario("PAM", "heuristic").Matrix()
+	profile := m.Profile()
 	fmt.Println("transcoding cluster:")
-	for _, m := range sys.Matrix.Machines() {
-		fmt.Printf("  %-32s $%.3f/h\n", m.Name, m.PriceHour)
+	for _, ms := range m.Machines() {
+		fmt.Printf("  %-32s $%.3f/h\n", ms.Name, ms.PriceHour)
 	}
 	fmt.Println("\nmean execution time (ms) per segment type and VM type:")
 	fmt.Printf("  %-20s", "")
@@ -38,26 +56,29 @@ func main() {
 	for i, tn := range profile.TaskTypeNames {
 		fmt.Printf("  %-20s", tn)
 		for j := range profile.MachineTypeNames {
-			fmt.Printf(" %12.1f", sys.Matrix.CellMean(taskdrop.TaskType(i), taskdrop.MachineType(j)))
+			fmt.Printf(" %12.1f", m.CellMean(taskdrop.TaskType(i), taskdrop.MachineType(j)))
 		}
 		fmt.Println()
 	}
 
-	// A moderately oversubscribed streaming burst (§V-H: the video traces
-	// have a lower arrival rate than the SPEC workload).
-	trace := sys.Workload(3000, 20_000, taskdrop.DefaultGammaSlack, 7)
-	fmt.Printf("\nburst: %d segments at %.0f/s\n\n", trace.Len(), trace.ArrivalRate()*1000)
-
-	fmt.Println("segments transcoded before their deadline (%):")
+	fmt.Println("\nburst: 3000 segments over 20 s, 2 paired trials per combination")
+	fmt.Println("\nsegments transcoded before their deadline (%):")
 	fmt.Println("  mapper    +Heuristic   +ReactDrop")
 	for _, mapper := range []string{"MSD", "MinMin", "PAM"} {
 		var row [2]float64
-		for i, dropper := range []taskdrop.DropPolicy{taskdrop.HeuristicDropper(), taskdrop.ReactiveDropper()} {
-			res, err := sys.Simulate(trace, mapper, dropper)
-			if err != nil {
-				log.Fatal(err)
+		for i, dropper := range []string{"heuristic", "reactdrop"} {
+			// Stream delivers each trial as it completes; aggregate the
+			// on-time percentages ourselves.
+			var sum float64
+			var n int
+			for oc := range scenario(mapper, dropper).Stream(ctx) {
+				if oc.Err != nil {
+					log.Fatal(oc.Err)
+				}
+				sum += oc.Result.RobustnessPct
+				n++
 			}
-			row[i] = res.RobustnessPct
+			row[i] = sum / float64(n)
 		}
 		fmt.Printf("  %-8s %10.2f %12.2f\n", mapper, row[0], row[1])
 	}

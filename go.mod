@@ -1,0 +1,3 @@
+module github.com/hpcclab/taskdrop
+
+go 1.24

@@ -2,28 +2,73 @@ package core
 
 import (
 	"fmt"
-	"strings"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/spec"
 )
 
-// PolicyByName constructs a dropping policy with its default tuning from a
-// (case-insensitive) name: "ReactDrop" (aliases "reactive", "none"),
-// "Heuristic", "Optimal", "Threshold".
-func PolicyByName(name string) (Policy, error) {
-	switch strings.ToLower(name) {
-	case "reactdrop", "reactive", "none":
-		return ReactiveOnly{}, nil
-	case "heuristic":
-		return NewHeuristic(), nil
-	case "optimal":
-		return Optimal{}, nil
-	case "threshold":
-		return NewThreshold(), nil
-	default:
-		return nil, fmt.Errorf("core: unknown dropping policy %q", name)
+// PolicyFromSpec constructs a dropping policy from a parameterized spec
+// string (see package spec for the grammar). Recognized components and
+// their parameters:
+//
+//	reactdrop (aliases: reactive, none)
+//	heuristic:beta=<float ≥1>,eta=<int ≥1>
+//	optimal
+//	threshold:base=<float in [0,1]>,adaptive[=bool]
+//	approx:grace=<ticks ≥0>,beta=<float ≥1>,eta=<int ≥1>
+//
+// Omitted parameters take the paper's tuned defaults. Unknown names,
+// unknown parameters and out-of-range values are errors, so every
+// resolution path (CLI, experiment harness, Scenario API) fails loudly on
+// a mistyped spec.
+func PolicyFromSpec(s string) (Policy, error) {
+	name, params, err := spec.Parse(s)
+	if err != nil {
+		return nil, err
 	}
+	var p Policy
+	switch name {
+	case "reactdrop", "reactive", "none":
+		p = ReactiveOnly{}
+	case "heuristic":
+		h := Heuristic{Beta: params.Float("beta", DefaultBeta), Eta: params.Int("eta", DefaultEta)}
+		if h.Beta < 1 || h.Eta < 1 {
+			return nil, fmt.Errorf("core: heuristic requires beta >= 1 and eta >= 1, got %q", s)
+		}
+		p = h
+	case "optimal":
+		p = Optimal{}
+	case "threshold":
+		t := Threshold{Base: params.Float("base", DefaultThresholdBase), Adaptive: params.Bool("adaptive", true)}
+		if t.Base < 0 || t.Base > 1 {
+			return nil, fmt.Errorf("core: threshold base must be in [0,1], got %q", s)
+		}
+		p = t
+	case "approx":
+		a := ApproxHeuristic{
+			Beta:  params.Float("beta", DefaultBeta),
+			Eta:   params.Int("eta", DefaultEta),
+			Grace: pmf.Tick(params.Int64("grace", 0)),
+		}
+		if a.Beta < 1 || a.Eta < 1 || a.Grace < 0 {
+			return nil, fmt.Errorf("core: approx requires beta >= 1, eta >= 1 and grace >= 0, got %q", s)
+		}
+		p = a
+	default:
+		return nil, fmt.Errorf("core: unknown dropping policy %q", s)
+	}
+	if err := params.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
+
+// PolicyByName constructs a dropping policy from a (case-insensitive)
+// name or parameterized spec; it is the same resolution path as
+// PolicyFromSpec and is kept for callers that predate the spec grammar.
+func PolicyByName(name string) (Policy, error) { return PolicyFromSpec(name) }
 
 // PolicyNames lists the constructible policy names.
 func PolicyNames() []string {
-	return []string{"ReactDrop", "Heuristic", "Optimal", "Threshold"}
+	return []string{"ReactDrop", "Heuristic", "Optimal", "Threshold", "Approx"}
 }

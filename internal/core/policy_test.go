@@ -349,17 +349,62 @@ func TestPolicyByName(t *testing.T) {
 	if _, err := PolicyByName("bogus"); err == nil {
 		t.Error("unknown policy should error")
 	}
-	if len(PolicyNames()) != 4 {
+	if len(PolicyNames()) != 5 {
 		t.Errorf("PolicyNames = %v", PolicyNames())
+	}
+}
+
+func TestPolicyFromSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Policy
+	}{
+		{"heuristic", NewHeuristic()},
+		{"heuristic:beta=1.5,eta=3", Heuristic{Beta: 1.5, Eta: 3}},
+		{"Heuristic:ETA=4", Heuristic{Beta: DefaultBeta, Eta: 4}},
+		{"threshold", NewThreshold()},
+		{"threshold:base=0.3,adaptive", Threshold{Base: 0.3, Adaptive: true}},
+		{"threshold:base=0.3,adaptive=false", Threshold{Base: 0.3}},
+		{"approx:grace=200,beta=2,eta=3", ApproxHeuristic{Beta: 2, Eta: 3, Grace: 200}},
+		{"approx", ApproxHeuristic{Beta: DefaultBeta, Eta: DefaultEta}},
+		{"optimal", Optimal{}},
+		{"none", ReactiveOnly{}},
+	}
+	for _, c := range cases {
+		got, err := PolicyFromSpec(c.spec)
+		if err != nil {
+			t.Errorf("PolicyFromSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("PolicyFromSpec(%q) = %#v, want %#v", c.spec, got, c.want)
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"bogus",
+		"heuristic:bogus=1",       // unknown parameter
+		"heuristic:beta=x",        // malformed value
+		"heuristic:beta=0.5",      // out of range
+		"heuristic:eta=0",         // out of range
+		"threshold:base=1.5",      // out of range
+		"approx:grace=-1",         // out of range
+		"optimal:anything=1",      // parameters on a parameterless policy
+		"heuristic:beta=1,beta=2", // duplicate key
+	} {
+		if _, err := PolicyFromSpec(bad); err == nil {
+			t.Errorf("PolicyFromSpec(%q) should error", bad)
+		}
 	}
 }
 
 func TestPolicyNamesMatch(t *testing.T) {
 	cases := map[string]Policy{
-		"ReactDrop": ReactiveOnly{},
-		"Heuristic": NewHeuristic(),
-		"Optimal":   Optimal{},
-		"Threshold": NewThreshold(),
+		"ReactDrop":       ReactiveOnly{},
+		"Heuristic":       NewHeuristic(),
+		"Optimal":         Optimal{},
+		"Threshold":       NewThreshold(),
+		"ApproxHeuristic": NewApproxHeuristic(0),
 	}
 	for want, p := range cases {
 		if got := p.Name(); got != want {

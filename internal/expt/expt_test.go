@@ -2,10 +2,11 @@ package expt
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
-	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
@@ -18,13 +19,13 @@ func tinyOptions() Options {
 	return o
 }
 
-func tinySpec(o Options, label, mapper string, dropper core.Policy) TrialSpec {
+func tinySpec(o Options, label, mapper, dropper string) TrialSpec {
 	return TrialSpec{
-		Label:       label,
-		ProfileName: "video",
-		MapperName:  mapper,
-		Dropper:     dropper,
-		Workload:    o.StandardWorkload(20000),
+		Label:    label,
+		Profile:  "video",
+		Mapper:   mapper,
+		Dropper:  dropper,
+		Workload: o.StandardWorkload(20000),
 	}
 }
 
@@ -32,8 +33,8 @@ func TestRunnerProducesSummaries(t *testing.T) {
 	o := tinyOptions()
 	r := NewRunner(o)
 	specs := []TrialSpec{
-		tinySpec(o, "PAM+Heuristic", "PAM", core.NewHeuristic()),
-		tinySpec(o, "PAM+ReactDrop", "PAM", core.ReactiveOnly{}),
+		tinySpec(o, "PAM+Heuristic", "PAM", "heuristic"),
+		tinySpec(o, "PAM+ReactDrop", "PAM", "reactdrop"),
 	}
 	sums, err := r.Run(specs)
 	if err != nil {
@@ -66,8 +67,8 @@ func TestRunnerPairsWorkloads(t *testing.T) {
 	o := tinyOptions()
 	r := NewRunner(o)
 	specs := []TrialSpec{
-		tinySpec(o, "a", "MinMin", core.NewHeuristic()),
-		tinySpec(o, "b", "MinMin", core.NewHeuristic()),
+		tinySpec(o, "a", "MinMin", "heuristic"),
+		tinySpec(o, "b", "MinMin", "heuristic"),
 	}
 	sums, err := r.Run(specs)
 	if err != nil {
@@ -83,7 +84,7 @@ func TestRunnerPairsWorkloads(t *testing.T) {
 
 func TestRunnerRunOneDeterministic(t *testing.T) {
 	o := tinyOptions()
-	spec := tinySpec(o, "x", "PAM", core.NewHeuristic())
+	spec := tinySpec(o, "x", "PAM", "heuristic")
 	r1, err := NewRunner(o).RunOne(spec, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -100,17 +101,48 @@ func TestRunnerRunOneDeterministic(t *testing.T) {
 func TestRunnerRejectsUnknownNames(t *testing.T) {
 	o := tinyOptions()
 	r := NewRunner(o)
-	if _, err := r.RunOne(TrialSpec{ProfileName: "nope", MapperName: "PAM",
-		Dropper: core.ReactiveOnly{}, Workload: o.StandardWorkload(20000)}, 0); err == nil {
+	if _, err := r.RunOne(TrialSpec{Profile: "nope", Mapper: "PAM",
+		Dropper: "reactdrop", Workload: o.StandardWorkload(20000)}, 0); err == nil {
 		t.Error("unknown profile must error")
 	}
-	if _, err := r.RunOne(TrialSpec{ProfileName: "video", MapperName: "nope",
-		Dropper: core.ReactiveOnly{}, Workload: o.StandardWorkload(20000)}, 0); err == nil {
+	if _, err := r.RunOne(TrialSpec{Profile: "video", Mapper: "nope",
+		Dropper: "reactdrop", Workload: o.StandardWorkload(20000)}, 0); err == nil {
 		t.Error("unknown mapper must error")
 	}
-	if _, err := r.Run([]TrialSpec{{ProfileName: "video", MapperName: "nope",
-		Dropper: core.ReactiveOnly{}, Workload: o.StandardWorkload(20000)}}); err == nil {
+	if _, err := r.RunOne(TrialSpec{Profile: "video", Mapper: "PAM",
+		Dropper: "heuristic:bogus=1", Workload: o.StandardWorkload(20000)}, 0); err == nil {
+		t.Error("bad dropper spec must error")
+	}
+	if _, err := r.Run([]TrialSpec{{Profile: "video", Mapper: "nope",
+		Dropper: "reactdrop", Workload: o.StandardWorkload(20000)}}); err == nil {
 		t.Error("Run must propagate spec errors")
+	}
+}
+
+func TestRunnerHonorsCancelledContext(t *testing.T) {
+	o := tinyOptions()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunnerContext(ctx, o)
+	if _, err := r.Run([]TrialSpec{tinySpec(o, "x", "PAM", "heuristic")}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled context = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunnerParameterizedDropperSpec(t *testing.T) {
+	// A parameterized spec must resolve through the unified registry and
+	// differ from the default tuning on the same paired trace.
+	o := tinyOptions()
+	r := NewRunner(o)
+	sums, err := r.Run([]TrialSpec{
+		tinySpec(o, "default", "PAM", "heuristic"),
+		tinySpec(o, "lenient", "PAM", "heuristic:beta=4,eta=1"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sums[0].Robustness.N != o.Trials || sums[1].Robustness.N != o.Trials {
+		t.Fatalf("missing trials: %+v", sums)
 	}
 }
 

@@ -3,7 +3,6 @@ package expt
 import (
 	"fmt"
 
-	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/sim"
 )
@@ -32,18 +31,18 @@ func runExtGamma(r *Runner) ([]Table, error) {
 	o := r.Options()
 	level := middleLevel(o.Levels)
 	gammas := []float64{1, 2, 3, 4, 5}
-	droppers := []core.Policy{core.NewHeuristic(), core.ReactiveOnly{}}
+	droppers := []string{"heuristic", "reactdrop"}
 	var specs []TrialSpec
 	for _, g := range gammas {
 		for _, dp := range droppers {
 			wl := o.StandardWorkload(level)
 			wl.GammaSlack = g
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("γ=%.0f %s", g, dp.Name()),
-				ProfileName: "spec",
-				MapperName:  "PAM",
-				Dropper:     dp,
-				Workload:    wl,
+				Label:    fmt.Sprintf("γ=%.0f %s", g, policyLabel(dp)),
+				Profile:  "spec",
+				Mapper:   "PAM",
+				Dropper:  dp,
+				Workload: wl,
 			})
 		}
 	}
@@ -78,12 +77,12 @@ func runExtQueue(r *Runner) ([]Table, error) {
 	var specs []TrialSpec
 	for _, qc := range caps {
 		specs = append(specs, TrialSpec{
-			Label:       fmt.Sprintf("cap=%d", qc),
-			ProfileName: "spec",
-			MapperName:  "PAM",
-			Dropper:     core.NewHeuristic(),
-			Workload:    o.StandardWorkload(level),
-			QueueCap:    qc,
+			Label:    fmt.Sprintf("cap=%d", qc),
+			Profile:  "spec",
+			Mapper:   "PAM",
+			Dropper:  "heuristic",
+			Workload: o.StandardWorkload(level),
+			QueueCap: qc,
 		})
 	}
 	sums, err := r.Run(specs)
@@ -115,9 +114,9 @@ func runExtBudget(r *Runner) ([]Table, error) {
 	for _, b := range budgets {
 		specs = append(specs, TrialSpec{
 			Label:       fmt.Sprintf("budget=%d", b),
-			ProfileName: "spec",
-			MapperName:  "PAM",
-			Dropper:     core.NewHeuristic(),
+			Profile:     "spec",
+			Mapper:      "PAM",
+			Dropper:     "heuristic",
 			Workload:    o.StandardWorkload(level),
 			MaxImpulses: b,
 		})
@@ -156,7 +155,7 @@ func runExtFailures(r *Runner) ([]Table, error) {
 	o := r.Options()
 	level := middleLevel(o.Levels)
 	mtbfs := []pmf.Tick{0, 20000, 10000, 5000}
-	droppers := []core.Policy{core.NewHeuristic(), core.ReactiveOnly{}}
+	droppers := []string{"heuristic", "reactdrop"}
 	var specs []TrialSpec
 	for _, mtbf := range mtbfs {
 		for _, dp := range droppers {
@@ -165,12 +164,12 @@ func runExtFailures(r *Runner) ([]Table, error) {
 				fc = sim.FailureConfig{MTBF: mtbf, MeanRepair: mtbf / 10, Seed: 1000}
 			}
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("mtbf=%d %s", mtbf, dp.Name()),
-				ProfileName: "spec",
-				MapperName:  "PAM",
-				Dropper:     dp,
-				Workload:    o.StandardWorkload(level),
-				Failures:    fc,
+				Label:    fmt.Sprintf("mtbf=%d %s", mtbf, policyLabel(dp)),
+				Profile:  "spec",
+				Mapper:   "PAM",
+				Dropper:  dp,
+				Workload: o.StandardWorkload(level),
+				Failures: fc,
 			})
 		}
 	}
@@ -212,11 +211,11 @@ func runExtApprox(r *Runner) ([]Table, error) {
 		// the SPEC system; γ·100 ms is a stable proxy that avoids
 		// rebuilding the matrix here.
 		grace := pmf.Tick(f * wl.GammaSlack * 100)
-		for _, dp := range []core.Policy{core.NewApproxHeuristic(grace), core.NewHeuristic()} {
+		for _, dp := range []string{fmt.Sprintf("approx:grace=%d", grace), "heuristic"} {
 			specs = append(specs, TrialSpec{
-				Label:         fmt.Sprintf("g=%d %s", grace, dp.Name()),
-				ProfileName:   "spec",
-				MapperName:    "PAM",
+				Label:         fmt.Sprintf("g=%d %s", grace, policyLabel(dp)),
+				Profile:       "spec",
+				Mapper:        "PAM",
 				Dropper:       dp,
 				Workload:      wl,
 				ReactiveGrace: grace,

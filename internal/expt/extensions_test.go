@@ -3,7 +3,6 @@ package expt
 import (
 	"testing"
 
-	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/sim"
 )
 
@@ -33,7 +32,7 @@ func TestExtensionSpecsApplied(t *testing.T) {
 	r := NewRunner(o)
 
 	// Queue capacity.
-	spec := tinySpec(o, "cap", "PAM", core.NewHeuristic())
+	spec := tinySpec(o, "cap", "PAM", "heuristic")
 	spec.QueueCap = 2
 	res, err := r.RunOne(spec, 0)
 	if err != nil {
@@ -44,7 +43,7 @@ func TestExtensionSpecsApplied(t *testing.T) {
 	}
 
 	// Failure injection: aggressive failures must kill at least one task.
-	spec = tinySpec(o, "fail", "PAM", core.NewHeuristic())
+	spec = tinySpec(o, "fail", "PAM", "heuristic")
 	spec.Failures = sim.FailureConfig{MTBF: 30, MeanRepair: 20, Seed: 5}
 	res, err = r.RunOne(spec, 0)
 	if err != nil {
@@ -55,7 +54,7 @@ func TestExtensionSpecsApplied(t *testing.T) {
 	}
 
 	// Reactive grace: utility must be at least robustness.
-	spec = tinySpec(o, "grace", "PAM", core.NewApproxHeuristic(150))
+	spec = tinySpec(o, "grace", "PAM", "approx:grace=150")
 	spec.ReactiveGrace = 150
 	res, err = r.RunOne(spec, 0)
 	if err != nil {
@@ -66,7 +65,7 @@ func TestExtensionSpecsApplied(t *testing.T) {
 	}
 
 	// Compaction budget.
-	spec = tinySpec(o, "budget", "PAM", core.NewHeuristic())
+	spec = tinySpec(o, "budget", "PAM", "heuristic")
 	spec.MaxImpulses = 8
 	if _, err := r.RunOne(spec, 0); err != nil {
 		t.Fatal(err)

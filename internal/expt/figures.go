@@ -46,6 +46,15 @@ func ByID(id string) (Figure, bool) {
 // fmtSummary renders "mean ± ci".
 func fmtSummary(s interface{ String() string }) string { return s.String() }
 
+// policyLabel renders a dropper spec's display name for table labels.
+func policyLabel(spec string) string {
+	p, err := core.PolicyFromSpec(spec)
+	if err != nil {
+		return spec
+	}
+	return p.Name()
+}
+
 // levelLabel renders an oversubscription level as "20k".
 func levelLabel(level int) string {
 	if level%1000 == 0 {
@@ -74,11 +83,11 @@ func runFig5(r *Runner) ([]Table, error) {
 	for _, level := range levels {
 		for _, eta := range etas {
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("η=%d @%s", eta, levelLabel(level)),
-				ProfileName: "spec",
-				MapperName:  "PAM",
-				Dropper:     core.Heuristic{Beta: core.DefaultBeta, Eta: eta},
-				Workload:    o.StandardWorkload(level),
+				Label:    fmt.Sprintf("η=%d @%s", eta, levelLabel(level)),
+				Profile:  "spec",
+				Mapper:   "PAM",
+				Dropper:  fmt.Sprintf("heuristic:beta=%g,eta=%d", core.DefaultBeta, eta),
+				Workload: o.StandardWorkload(level),
 			})
 		}
 	}
@@ -111,11 +120,11 @@ func runFig6(r *Runner) ([]Table, error) {
 	for _, level := range levels {
 		for _, beta := range betas {
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("β=%.1f @%s", beta, levelLabel(level)),
-				ProfileName: "spec",
-				MapperName:  "PAM",
-				Dropper:     core.Heuristic{Beta: beta, Eta: core.DefaultEta},
-				Workload:    o.StandardWorkload(level),
+				Label:    fmt.Sprintf("β=%.1f @%s", beta, levelLabel(level)),
+				Profile:  "spec",
+				Mapper:   "PAM",
+				Dropper:  fmt.Sprintf("heuristic:beta=%g,eta=%d", beta, core.DefaultEta),
+				Workload: o.StandardWorkload(level),
 			})
 		}
 	}
@@ -142,16 +151,16 @@ func runFig6(r *Runner) ([]Table, error) {
 // and 10.
 func mapperDropperGrid(r *Runner, profile string, level int, mappers []string) ([]Table, error) {
 	o := r.Options()
-	droppers := []core.Policy{core.NewHeuristic(), core.ReactiveOnly{}}
+	droppers := []string{"heuristic", "reactdrop"}
 	var specs []TrialSpec
 	for _, mn := range mappers {
 		for _, dp := range droppers {
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("%s+%s", mn, dp.Name()),
-				ProfileName: profile,
-				MapperName:  mn,
-				Dropper:     dp,
-				Workload:    o.StandardWorkload(level),
+				Label:    fmt.Sprintf("%s+%s", mn, policyLabel(dp)),
+				Profile:  profile,
+				Mapper:   mn,
+				Dropper:  dp,
+				Workload: o.StandardWorkload(level),
 			})
 		}
 	}
@@ -198,16 +207,16 @@ func runFig7b(r *Runner) ([]Table, error) {
 func runFig8(r *Runner) ([]Table, error) {
 	o := r.Options()
 	levels := sortedLevels(o.Levels)
-	droppers := []core.Policy{core.Optimal{}, core.NewHeuristic(), core.NewThreshold()}
+	droppers := []string{"optimal", "heuristic", "threshold"}
 	var specs []TrialSpec
 	for _, level := range levels {
 		for _, dp := range droppers {
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("PAM+%s @%s", dp.Name(), levelLabel(level)),
-				ProfileName: "spec",
-				MapperName:  "PAM",
-				Dropper:     dp,
-				Workload:    o.StandardWorkload(level),
+				Label:    fmt.Sprintf("PAM+%s @%s", policyLabel(dp), levelLabel(level)),
+				Profile:  "spec",
+				Mapper:   "PAM",
+				Dropper:  dp,
+				Workload: o.StandardWorkload(level),
 			})
 		}
 	}
@@ -221,7 +230,7 @@ func runFig8(r *Runner) ([]Table, error) {
 		Columns: append([]string{"policy"}, levelLabels(levels)...),
 	}
 	for di, dp := range droppers {
-		row := []string{"PAM+" + dp.Name()}
+		row := []string{"PAM+" + policyLabel(dp)}
 		for li := range levels {
 			row = append(row, fmtSummary(sums[li*len(droppers)+di].Robustness))
 		}
@@ -236,22 +245,21 @@ func runFig9(r *Runner) ([]Table, error) {
 	o := r.Options()
 	levels := sortedLevels(o.Levels)
 	combos := []struct {
-		mapper  string
-		dropper core.Policy
+		mapper, dropper string
 	}{
-		{"PAM", core.NewThreshold()},
-		{"PAM", core.NewHeuristic()},
-		{"MinMin", core.ReactiveOnly{}},
+		{"PAM", "threshold"},
+		{"PAM", "heuristic"},
+		{"MinMin", "reactdrop"},
 	}
 	var specs []TrialSpec
 	for _, level := range levels {
 		for _, cb := range combos {
 			specs = append(specs, TrialSpec{
-				Label:       fmt.Sprintf("%s+%s @%s", cb.mapper, cb.dropper.Name(), levelLabel(level)),
-				ProfileName: "spec",
-				MapperName:  cb.mapper,
-				Dropper:     cb.dropper,
-				Workload:    o.StandardWorkload(level),
+				Label:    fmt.Sprintf("%s+%s @%s", cb.mapper, policyLabel(cb.dropper), levelLabel(level)),
+				Profile:  "spec",
+				Mapper:   cb.mapper,
+				Dropper:  cb.dropper,
+				Workload: o.StandardWorkload(level),
 			})
 		}
 	}
@@ -265,7 +273,7 @@ func runFig9(r *Runner) ([]Table, error) {
 		Columns: append([]string{"combo"}, levelLabels(levels)...),
 	}
 	for ci, cb := range combos {
-		row := []string{fmt.Sprintf("%s+%s", cb.mapper, cb.dropper.Name())}
+		row := []string{fmt.Sprintf("%s+%s", cb.mapper, policyLabel(cb.dropper))}
 		for li := range levels {
 			row = append(row, fmtSummary(sums[li*len(combos)+ci].NormCost))
 		}
@@ -291,11 +299,11 @@ func runDropShare(r *Runner) ([]Table, error) {
 	var specs []TrialSpec
 	for _, level := range levels {
 		specs = append(specs, TrialSpec{
-			Label:       "PAM+Heuristic @" + levelLabel(level),
-			ProfileName: "spec",
-			MapperName:  "PAM",
-			Dropper:     core.NewHeuristic(),
-			Workload:    o.StandardWorkload(level),
+			Label:    "PAM+Heuristic @" + levelLabel(level),
+			Profile:  "spec",
+			Mapper:   "PAM",
+			Dropper:  "heuristic",
+			Workload: o.StandardWorkload(level),
 		})
 	}
 	sums, err := r.Run(specs)

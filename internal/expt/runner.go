@@ -1,12 +1,18 @@
 // Package expt is the experiment harness that regenerates every table and
 // figure of the paper's evaluation (§V): it expands figure definitions
-// into trial specifications, runs the trials across a worker pool with
-// paired workloads (identical traces for every combination being
+// into trial specifications, runs the trials across the shared worker pool
+// with paired workloads (identical traces for every combination being
 // compared), and aggregates robustness, cost and drop-mix metrics into
 // mean ± 95% CI summaries and printable tables.
+//
+// Every component of a TrialSpec is named by a registry spec string
+// (pet.ProfileFromSpec, mapping.FromSpec, core.PolicyFromSpec), so the
+// harness resolves combinations through exactly the same path as the CLI
+// flags and the public Scenario API.
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -17,8 +23,8 @@ import (
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/runner"
 	"github.com/hpcclab/taskdrop/internal/sim"
-	"github.com/hpcclab/taskdrop/internal/stats"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
@@ -27,12 +33,13 @@ import (
 type TrialSpec struct {
 	// Label names the combination in tables, e.g. "PAM+Heuristic".
 	Label string
-	// ProfileName selects the system profile via pet.ProfileByName.
-	ProfileName string
-	// MapperName selects the mapping heuristic via mapping.New.
-	MapperName string
-	// Dropper is the (already tuned) dropping policy.
-	Dropper core.Policy
+	// Profile selects the system profile via pet.ProfileFromSpec.
+	Profile string
+	// Mapper selects the mapping heuristic via mapping.FromSpec.
+	Mapper string
+	// Dropper selects the dropping policy via core.PolicyFromSpec, e.g.
+	// "heuristic:beta=1.5,eta=3".
+	Dropper string
 	// Workload configures trace generation; it should already be scaled.
 	Workload workload.Config
 	// QueueCap overrides the machine queue bound when > 0 (default 6).
@@ -48,23 +55,12 @@ type TrialSpec struct {
 
 // Summary aggregates the per-trial results of one TrialSpec.
 type Summary struct {
-	Spec TrialSpec
-	// Robustness is % of measured tasks completed on time (the paper's
-	// headline metric).
-	Robustness stats.Summary
-	// NormCost is Fig. 9's cost divided by robustness, scaled ×1000 for
-	// readability ($ per 1000 robustness-percent).
-	NormCost stats.Summary
-	// ReactiveShare is the % of drops that were reactive (§V-F).
-	ReactiveShare stats.Summary
-	// Utility is the approximate-computing value metric (% of measured
-	// tasks' maximum utility realized; equals Robustness at zero grace).
-	Utility stats.Summary
-	// ProactivePct / ReactivePct are % of measured tasks dropped each way.
-	ProactivePct stats.Summary
-	ReactivePct  stats.Summary
+	Spec TrialSpec `json:"spec"`
+	// Aggregate carries the mean ± 95% CI metrics (robustness, normalized
+	// cost, drop mix, utility) shared with the public Scenario API.
+	runner.Aggregate
 	// Results holds the raw per-trial results, in trial order.
-	Results []*sim.Result
+	Results []*sim.Result `json:"results"`
 }
 
 // Options tunes how the harness runs the figures.
@@ -128,6 +124,7 @@ func (o Options) StandardWorkload(level int) workload.Config {
 // and traces.
 type Runner struct {
 	opt Options
+	ctx context.Context
 
 	mu       sync.Mutex
 	matrices map[string]*pet.Matrix
@@ -142,9 +139,16 @@ type traceKey struct {
 
 // NewRunner returns a runner with the given options.
 func NewRunner(opt Options) *Runner {
+	return NewRunnerContext(context.Background(), opt)
+}
+
+// NewRunnerContext returns a runner whose Run calls stop early, returning
+// ctx.Err(), when ctx is cancelled.
+func NewRunnerContext(ctx context.Context, opt Options) *Runner {
 	opt.normalize()
 	return &Runner{
 		opt:      opt,
+		ctx:      ctx,
 		matrices: make(map[string]*pet.Matrix),
 		traces:   make(map[traceKey]*workload.Trace),
 	}
@@ -153,19 +157,19 @@ func NewRunner(opt Options) *Runner {
 // Options returns the normalized options.
 func (r *Runner) Options() Options { return r.opt }
 
-// matrix returns the cached PET matrix for a profile name.
-func (r *Runner) matrix(name string) (*pet.Matrix, error) {
+// matrix returns the cached PET matrix for a profile spec.
+func (r *Runner) matrix(profile string) (*pet.Matrix, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if m, ok := r.matrices[name]; ok {
+	if m, ok := r.matrices[profile]; ok {
 		return m, nil
 	}
-	p, err := pet.ProfileByName(name)
+	p, err := pet.ProfileFromSpec(profile)
 	if err != nil {
 		return nil, err
 	}
 	m := pet.Build(p, pet.DefaultProfileSeed, pet.DefaultBuildOptions())
-	r.matrices[name] = m
+	r.matrices[profile] = m
 	return m, nil
 }
 
@@ -188,15 +192,23 @@ func (r *Runner) trace(m *pet.Matrix, profile string, cfg workload.Config, seed 
 
 // RunOne simulates a single trial of spec with the given trial index.
 func (r *Runner) RunOne(spec TrialSpec, trial int) (*sim.Result, error) {
-	m, err := r.matrix(spec.ProfileName)
+	return r.runOne(r.ctx, spec, trial)
+}
+
+func (r *Runner) runOne(ctx context.Context, spec TrialSpec, trial int) (*sim.Result, error) {
+	m, err := r.matrix(spec.Profile)
 	if err != nil {
 		return nil, err
 	}
-	mapper, err := mapping.New(spec.MapperName)
+	mapper, err := mapping.FromSpec(spec.Mapper)
 	if err != nil {
 		return nil, err
 	}
-	tr := r.trace(m, spec.ProfileName, spec.Workload, r.opt.BaseSeed+int64(trial))
+	dropper, err := core.PolicyFromSpec(spec.Dropper)
+	if err != nil {
+		return nil, err
+	}
+	tr := r.trace(m, spec.Profile, spec.Workload, r.opt.BaseSeed+int64(trial))
 	cfg := sim.DefaultConfig()
 	if spec.QueueCap > 0 {
 		cfg.QueueCap = spec.QueueCap
@@ -208,105 +220,51 @@ func (r *Runner) RunOne(spec TrialSpec, trial int) (*sim.Result, error) {
 		// the workload while staying reproducible.
 		cfg.Failures.Seed = spec.Failures.Seed + int64(trial)
 	}
-	eng := sim.New(m, tr, mapper, spec.Dropper, cfg)
+	eng := sim.New(m, tr, mapper, dropper, cfg)
 	if spec.MaxImpulses > 0 {
 		eng.Calc().MaxImpulses = spec.MaxImpulses
 	}
-	return eng.Run(), nil
+	return eng.RunContext(ctx)
 }
 
-// Run simulates every spec × trial across the worker pool and returns one
-// Summary per spec, in spec order.
+// Run simulates every spec × trial across the shared worker pool and
+// returns one Summary per spec, in spec order. When the runner's context
+// is cancelled mid-run it returns promptly with the context error.
 func (r *Runner) Run(specs []TrialSpec) ([]Summary, error) {
-	type job struct{ spec, trial int }
-	type outcome struct {
-		job
-		res *sim.Result
-		err error
-	}
-	jobs := make(chan job)
-	outcomes := make(chan outcome)
-
-	var wg sync.WaitGroup
-	for w := 0; w < r.opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				res, err := r.RunOne(specs[j.spec], j.trial)
-				outcomes <- outcome{job: j, res: res, err: err}
-			}
-		}()
-	}
-	go func() {
-		for s := range specs {
-			for t := 0; t < r.opt.Trials; t++ {
-				jobs <- job{spec: s, trial: t}
-			}
-		}
-		close(jobs)
-	}()
-	go func() {
-		wg.Wait()
-		close(outcomes)
-	}()
-
+	trials := r.opt.Trials
 	perSpec := make([][]*sim.Result, len(specs))
 	for i := range perSpec {
-		perSpec[i] = make([]*sim.Result, r.opt.Trials)
+		perSpec[i] = make([]*sim.Result, trials)
 	}
-	done := make([]int, len(specs))
-	var firstErr error
-	for oc := range outcomes {
-		if oc.err != nil {
-			if firstErr == nil {
-				firstErr = oc.err
-			}
-			continue
+	var (
+		mu   sync.Mutex
+		done = make([]int, len(specs))
+	)
+	err := runner.ForEach(r.ctx, r.opt.Workers, len(specs)*trials, func(ctx context.Context, i int) error {
+		s, t := i/trials, i%trials
+		res, err := r.runOne(ctx, specs[s], t)
+		if err != nil {
+			return fmt.Errorf("%s (trial %d): %w", specs[s].Label, t, err)
 		}
-		perSpec[oc.spec][oc.trial] = oc.res
-		done[oc.spec]++
-		if done[oc.spec] == r.opt.Trials && r.opt.Progress != nil {
-			fmt.Fprintf(r.opt.Progress, "done %-28s (%d trials)\n", specs[oc.spec].Label, r.opt.Trials)
+		mu.Lock()
+		perSpec[s][t] = res
+		done[s]++
+		finished := done[s] == trials
+		mu.Unlock()
+		if finished && r.opt.Progress != nil {
+			fmt.Fprintf(r.opt.Progress, "done %-28s (%d trials)\n", specs[s].Label, trials)
 		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	sums := make([]Summary, len(specs))
 	for i, spec := range specs {
-		sums[i] = summarize(spec, perSpec[i])
+		sums[i] = Summary{Spec: spec, Aggregate: runner.Summarize(perSpec[i]), Results: perSpec[i]}
 	}
 	return sums, nil
-}
-
-// summarize aggregates trial results into a Summary.
-func summarize(spec TrialSpec, results []*sim.Result) Summary {
-	var rob, cost, share, util, pro, rea []float64
-	for _, res := range results {
-		if res == nil {
-			continue
-		}
-		rob = append(rob, res.RobustnessPct)
-		cost = append(cost, res.CostPerRobustness*1000)
-		share = append(share, 100*res.DropReactiveShare())
-		util = append(util, res.UtilityPct)
-		if res.Measured > 0 {
-			pro = append(pro, 100*float64(res.MDroppedProactive)/float64(res.Measured))
-			rea = append(rea, 100*float64(res.MDroppedReactive)/float64(res.Measured))
-		}
-	}
-	return Summary{
-		Spec:          spec,
-		Robustness:    stats.Summarize(rob),
-		NormCost:      stats.Summarize(cost),
-		ReactiveShare: stats.Summarize(share),
-		Utility:       stats.Summarize(util),
-		ProactivePct:  stats.Summarize(pro),
-		ReactivePct:   stats.Summarize(rea),
-		Results:       results,
-	}
 }
 
 // sortedLevels returns a copy of levels in ascending order.

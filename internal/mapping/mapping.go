@@ -13,42 +13,64 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/spec"
 	"github.com/hpcclab/taskdrop/internal/stats"
 )
 
-// New constructs a mapper by (case-insensitive) name. Recognized names:
-// MinMin/MM, MSD, PAM, FCFS, SJF, EDF, MCT, MET, Sufferage, KPB, Random.
-func New(name string) (sim.Mapper, error) {
-	switch strings.ToLower(name) {
-	case "minmin", "mm":
-		return MinMin{}, nil
-	case "msd":
-		return MSD{}, nil
-	case "pam":
-		return PAM{}, nil
-	case "fcfs":
-		return FCFS{}, nil
-	case "sjf":
-		return SJF{}, nil
-	case "edf":
-		return EDF{}, nil
-	case "mct":
-		return MCT{}, nil
-	case "met":
-		return MET{}, nil
-	case "sufferage":
-		return Sufferage{}, nil
-	case "kpb":
-		return KPB{Percent: 25}, nil
-	case "random":
-		return NewRandom(1), nil
-	default:
-		return nil, fmt.Errorf("mapping: unknown heuristic %q", name)
+// FromSpec constructs a mapper from a parameterized spec string (see
+// package spec for the grammar). Recognized components: MinMin/MM, MSD,
+// PAM, FCFS, SJF, EDF, MCT, MET, Sufferage, KPB and Random; the last two
+// take parameters:
+//
+//	kpb:percent=<int in (0,100]>
+//	random:seed=<int64>
+func FromSpec(s string) (sim.Mapper, error) {
+	name, params, err := spec.Parse(s)
+	if err != nil {
+		return nil, err
 	}
+	var m sim.Mapper
+	switch name {
+	case "minmin", "mm":
+		m = MinMin{}
+	case "msd":
+		m = MSD{}
+	case "pam":
+		m = PAM{}
+	case "fcfs":
+		m = FCFS{}
+	case "sjf":
+		m = SJF{}
+	case "edf":
+		m = EDF{}
+	case "mct":
+		m = MCT{}
+	case "met":
+		m = MET{}
+	case "sufferage":
+		m = Sufferage{}
+	case "kpb":
+		k := KPB{Percent: params.Int("percent", 25)}
+		if k.Percent <= 0 || k.Percent > 100 {
+			return nil, fmt.Errorf("mapping: kpb percent must be in (0,100], got %q", s)
+		}
+		m = k
+	case "random":
+		m = NewRandom(params.Int64("seed", 1))
+	default:
+		return nil, fmt.Errorf("mapping: unknown heuristic %q", s)
+	}
+	if err := params.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
+
+// New constructs a mapper by (case-insensitive) name or parameterized
+// spec; it is the same resolution path as FromSpec.
+func New(name string) (sim.Mapper, error) { return FromSpec(name) }
 
 // Names lists the constructible heuristic names.
 func Names() []string {

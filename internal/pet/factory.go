@@ -2,7 +2,8 @@ package pet
 
 import (
 	"fmt"
-	"strings"
+
+	"github.com/hpcclab/taskdrop/internal/spec"
 )
 
 // DefaultProfileSeed seeds the synthesized parts of the named profiles so
@@ -10,21 +11,41 @@ import (
 // everywhere (CLIs, benches, tests).
 const DefaultProfileSeed = 42
 
-// ProfileByName returns a named evaluation profile: "spec" (aliases
-// "specint", "hc"), "video" (alias "transcoding"), or "homog" (aliases
-// "homogeneous", "homo").
-func ProfileByName(name string) (Profile, error) {
-	switch strings.ToLower(name) {
-	case "spec", "specint", "hc":
-		return SPECProfile(DefaultProfileSeed), nil
-	case "video", "transcoding":
-		return VideoProfile(), nil
-	case "homog", "homogeneous", "homo":
-		return HomogeneousProfile(), nil
-	default:
-		return Profile{}, fmt.Errorf("pet: unknown profile %q", name)
+// ProfileFromSpec constructs a named evaluation profile from a
+// parameterized spec string (see package spec for the grammar):
+//
+//	spec:seed=<int64>   (aliases: specint, hc)
+//	video               (alias: transcoding)
+//	homog               (aliases: homogeneous, homo)
+//
+// The seed parameter re-synthesizes the SPEC profile's randomized machine
+// mix; the video and homogeneous profiles are fully determined and take no
+// parameters.
+func ProfileFromSpec(s string) (Profile, error) {
+	name, params, err := spec.Parse(s)
+	if err != nil {
+		return Profile{}, err
 	}
+	var p Profile
+	switch name {
+	case "spec", "specint", "hc":
+		p = SPECProfile(params.Int64("seed", DefaultProfileSeed))
+	case "video", "transcoding":
+		p = VideoProfile()
+	case "homog", "homogeneous", "homo":
+		p = HomogeneousProfile()
+	default:
+		return Profile{}, fmt.Errorf("pet: unknown profile %q", s)
+	}
+	if err := params.Finish(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
 }
+
+// ProfileByName returns a named evaluation profile; it is the same
+// resolution path as ProfileFromSpec.
+func ProfileByName(name string) (Profile, error) { return ProfileFromSpec(name) }
 
 // ProfileNames lists the constructible profile names.
 func ProfileNames() []string { return []string{"spec", "video", "homog"} }

@@ -1,0 +1,128 @@
+// Package runner holds the concurrent-execution and aggregation machinery
+// shared by the public Scenario API and the experiment harness
+// (internal/expt): a cancellable worker pool over an index space, and the
+// mean ± 95% CI aggregation of repeated-trial results that every figure of
+// the paper's evaluation reports.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/stats"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines (workers <= 0 means GOMAXPROCS). It stops scheduling new
+// work on the first error or when ctx is cancelled, waits for in-flight
+// calls to wind down, and returns ctx.Err() if the context was cancelled,
+// else the first fn error, else nil.
+//
+// The ctx passed to fn is cancelled as soon as any call fails or the
+// parent is cancelled, so long-running fn bodies can abort promptly.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-inner.Done():
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if inner.Err() != nil {
+					return
+				}
+				if err := fn(inner, i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// Aggregate is the mean ± 95% CI aggregation of one spec's repeated
+// trials — the form in which the paper reports every experimental result
+// (§V-A).
+type Aggregate struct {
+	// Robustness is % of measured tasks completed on time (the paper's
+	// headline metric).
+	Robustness stats.Summary `json:"robustness"`
+	// NormCost is Fig. 9's cost divided by robustness, scaled ×1000 for
+	// readability ($ per 1000 robustness-percent).
+	NormCost stats.Summary `json:"norm_cost"`
+	// ReactiveShare is the % of drops that were reactive (§V-F).
+	ReactiveShare stats.Summary `json:"reactive_share"`
+	// Utility is the approximate-computing value metric (% of measured
+	// tasks' maximum utility realized; equals Robustness at zero grace).
+	Utility stats.Summary `json:"utility"`
+	// ProactivePct / ReactivePct are % of measured tasks dropped each way.
+	ProactivePct stats.Summary `json:"proactive_pct"`
+	ReactivePct  stats.Summary `json:"reactive_pct"`
+}
+
+// Summarize aggregates per-trial results (nil entries are skipped) into
+// mean ± 95% CI summaries.
+func Summarize(results []*sim.Result) Aggregate {
+	var rob, cost, share, util, pro, rea []float64
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		rob = append(rob, res.RobustnessPct)
+		cost = append(cost, res.CostPerRobustness*1000)
+		share = append(share, 100*res.DropReactiveShare())
+		util = append(util, res.UtilityPct)
+		if res.Measured > 0 {
+			pro = append(pro, 100*float64(res.MDroppedProactive)/float64(res.Measured))
+			rea = append(rea, 100*float64(res.MDroppedReactive)/float64(res.Measured))
+		}
+	}
+	return Aggregate{
+		Robustness:    stats.Summarize(rob),
+		NormCost:      stats.Summarize(cost),
+		ReactiveShare: stats.Summarize(share),
+		Utility:       stats.Summarize(util),
+		ProactivePct:  stats.Summarize(pro),
+		ReactivePct:   stats.Summarize(rea),
+	}
+}

@@ -1,0 +1,99 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/sim"
+)
+
+func TestForEachRunsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 50
+		seen := make([]int32, n)
+		err := ForEach(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&seen[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachStopsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForEach(context.Background(), 2, 1000, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("pool did not stop early: %d calls", n)
+	}
+}
+
+func TestForEachHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 2, 100, func(_ context.Context, _ int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n > 2 {
+		t.Fatalf("cancelled pool ran %d jobs", n)
+	}
+}
+
+func TestForEachCancelPropagatesToJobContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	err := ForEach(ctx, 2, 10, func(inner context.Context, i int) error {
+		cancel()
+		<-inner.Done() // must unblock: the pool cancels the per-job context
+		return inner.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	results := []*sim.Result{
+		{Measured: 100, MOnTime: 60, MDroppedProactive: 20, MDroppedReactive: 10, RobustnessPct: 60, UtilityPct: 60, CostPerRobustness: 0.001},
+		nil, // skipped trials must not poison the aggregation
+		{Measured: 100, MOnTime: 40, MDroppedProactive: 30, MDroppedReactive: 10, RobustnessPct: 40, UtilityPct: 40, CostPerRobustness: 0.002},
+	}
+	agg := Summarize(results)
+	if agg.Robustness.N != 2 || agg.Robustness.Mean != 50 {
+		t.Fatalf("robustness = %+v", agg.Robustness)
+	}
+	if agg.ProactivePct.Mean != 25 {
+		t.Fatalf("proactive = %+v", agg.ProactivePct)
+	}
+	if agg.NormCost.Mean != 1.5 {
+		t.Fatalf("norm cost = %+v", agg.NormCost)
+	}
+}

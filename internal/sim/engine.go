@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/hpcclab/taskdrop/internal/core"
@@ -71,7 +72,6 @@ type Engine struct {
 	nextArrival int
 	totalSlots  int
 	failures    []machineFailureState
-	metrics     metrics
 }
 
 // New builds an engine. A nil dropper defaults to core.ReactiveOnly. The
@@ -116,8 +116,28 @@ func (e *Engine) Now() pmf.Tick { return e.clock }
 // Run executes the trial to completion (system idle, all tasks terminal)
 // and returns the result.
 func (e *Engine) Run() *Result {
+	res, err := e.RunContext(context.Background())
+	if err != nil {
+		// Unreachable: the background context is never cancelled.
+		panic(err)
+	}
+	return res
+}
+
+// RunContext executes the trial like Run but polls ctx between events:
+// when ctx is cancelled mid-run the simulation stops where it is and
+// (nil, ctx.Err()) is returned. The engine is not reusable afterwards.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	e.initFailures()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		// Candidate events, tie-broken in order: completion, arrival,
 		// failure/repair.
 		cm, ct := e.nextCompletion()
@@ -145,7 +165,7 @@ func (e *Engine) Run() *Result {
 				e.handleFailure(fm)
 			}
 		default:
-			return e.finish()
+			return e.finish(), nil
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"testing"
@@ -436,6 +438,47 @@ func TestCandidateCompletionMatchesCalculus(t *testing.T) {
 	New(m, tr, probe, nil, cfgNoExclusion()).Run()
 	if !checked {
 		t.Fatal("probe mapper never ran")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	m := pet.Build(pet.VideoProfile(), 1, pet.BuildOptions{SamplesPerCell: 150, BinsPerPMF: 15})
+	tr := workload.Generate(m, workload.Config{TotalTasks: 300, Window: 3000, GammaSlack: 2}, 11)
+
+	// A pre-cancelled context stops the run before the first event.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := New(m, tr, fifoMapper{}, nil, DefaultConfig()).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("RunContext = %v, %v; want nil, context.Canceled", res, err)
+	}
+
+	// Cancelling mid-run (from a mapper callback) stops between events.
+	ctx, cancel = context.WithCancel(context.Background())
+	events := 0
+	tripwire := funcMapper(func(ev *MappingEvent) {
+		events++
+		if events == 10 {
+			cancel()
+		}
+		fifoMapper{}.Map(ev)
+	})
+	res, err = New(m, tr, tripwire, nil, DefaultConfig()).RunContext(ctx)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("mid-run RunContext = %v, %v; want nil, context.Canceled", res, err)
+	}
+	if events >= 300 {
+		t.Fatalf("engine processed %d mapping events after cancellation", events)
+	}
+
+	// The background context reproduces Run exactly.
+	a := New(m, tr, fifoMapper{}, nil, DefaultConfig()).Run()
+	b, err := New(m, tr, fifoMapper{}, nil, DefaultConfig()).RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("Run and RunContext diverged:\n%+v\n%+v", a, b)
 	}
 }
 

@@ -6,51 +6,48 @@ import (
 	"github.com/hpcclab/taskdrop/internal/pmf"
 )
 
-// metrics is the engine's running bookkeeping (currently all derived at
-// finish time; kept as a struct for future incremental counters).
-type metrics struct{}
-
-// Result summarizes one simulated trial.
+// Result summarizes one simulated trial. The JSON tags serialize runs for
+// downstream tooling (dashboards, notebook analysis, regression tracking).
 type Result struct {
 	// Total is the number of tasks in the trace; Measured excludes the
 	// first and last BoundaryExclusion tasks (§V-A).
-	Total    int
-	Measured int
+	Total    int `json:"total"`
+	Measured int `json:"measured"`
 
 	// Whole-trace terminal counts. Failed counts tasks killed by injected
 	// machine failures (zero unless Config.Failures is enabled).
-	OnTime           int
-	Late             int
-	DroppedReactive  int
-	DroppedProactive int
-	Failed           int
+	OnTime           int `json:"on_time"`
+	Late             int `json:"late"`
+	DroppedReactive  int `json:"dropped_reactive"`
+	DroppedProactive int `json:"dropped_proactive"`
+	Failed           int `json:"failed"`
 
 	// Measured-window terminal counts.
-	MOnTime           int
-	MLate             int
-	MDroppedReactive  int
-	MDroppedProactive int
-	MFailed           int
+	MOnTime           int `json:"m_on_time"`
+	MLate             int `json:"m_late"`
+	MDroppedReactive  int `json:"m_dropped_reactive"`
+	MDroppedProactive int `json:"m_dropped_proactive"`
+	MFailed           int `json:"m_failed"`
 
 	// RobustnessPct is the paper's robustness metric: percentage of
 	// measured tasks completed on time.
-	RobustnessPct float64
+	RobustnessPct float64 `json:"robustness_pct"`
 	// UtilityPct is the approximate-computing value metric: mean realized
 	// utility of measured tasks (%) with grace = Config.ReactiveGrace.
 	// With zero grace it equals RobustnessPct.
-	UtilityPct float64
+	UtilityPct float64 `json:"utility_pct"`
 
 	// TotalCostUSD is the execution cost across machines (busy time ×
 	// hourly price). CostPerRobustness is Fig. 9's normalized cost:
 	// TotalCostUSD divided by RobustnessPct.
-	TotalCostUSD      float64
-	CostPerRobustness float64
+	TotalCostUSD      float64 `json:"total_cost_usd"`
+	CostPerRobustness float64 `json:"cost_per_robustness"`
 
 	// Makespan is the clock at drain time; BusyTicks the summed machine
 	// busy time; UtilizationPct the busy share of machine·time capacity.
-	Makespan       pmf.Tick
-	BusyTicks      pmf.Tick
-	UtilizationPct float64
+	Makespan       pmf.Tick `json:"makespan"`
+	BusyTicks      pmf.Tick `json:"busy_ticks"`
+	UtilizationPct float64  `json:"utilization_pct"`
 }
 
 // DropReactiveShare returns the fraction of all measured drops that were

@@ -1,0 +1,140 @@
+// Package spec parses the parameterized registry spec strings shared by
+// every name-resolved component of the system (mappers, dropping policies,
+// profiles). One grammar serves the CLI flags, the experiment harness and
+// the public Scenario API, so a combination is written the same way
+// everywhere:
+//
+//	name
+//	name:key=value
+//	name:key=value,flag,key2=value2
+//
+// Names and keys are case-insensitive; a bare key is a boolean flag
+// (equivalent to key=true). Registries consume parameters through the
+// typed getters and call Finish, which rejects unknown keys and malformed
+// values — so "heuristic:betta=2" fails loudly instead of silently running
+// the default tuning.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Params holds the parsed key=value parameters of one spec string and
+// tracks which keys the registry consumed.
+type Params struct {
+	spec string
+	vals map[string]string
+	used map[string]bool
+	err  error
+}
+
+// Parse splits a spec string into its lowercased component name and
+// parameters. An empty name or a malformed parameter list is an error.
+func Parse(s string) (string, *Params, error) {
+	p := &Params{spec: s, vals: map[string]string{}, used: map[string]bool{}}
+	name, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
+	name = strings.ToLower(strings.TrimSpace(name))
+	if name == "" {
+		return "", nil, fmt.Errorf("spec: empty component name in %q", s)
+	}
+	if !hasParams {
+		return name, p, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, hasVal := strings.Cut(kv, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		if key == "" {
+			return "", nil, fmt.Errorf("spec: empty parameter key in %q", s)
+		}
+		if _, dup := p.vals[key]; dup {
+			return "", nil, fmt.Errorf("spec: duplicate parameter %q in %q", key, s)
+		}
+		if !hasVal {
+			val = "true" // bare flag
+		}
+		p.vals[key] = strings.TrimSpace(val)
+	}
+	return name, p, nil
+}
+
+// fail records the first conversion error; later getters still return
+// their defaults so registries can build unconditionally and rely on
+// Finish.
+func (p *Params) fail(key, kind string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("spec: parameter %s=%q in %q is not a valid %s", key, p.vals[key], p.spec, kind)
+	}
+}
+
+// Float consumes a float64 parameter, returning def when absent.
+func (p *Params) Float(key string, def float64) float64 {
+	v, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	p.used[key] = true
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		p.fail(key, "number")
+		return def
+	}
+	return f
+}
+
+// Int consumes an int parameter, returning def when absent.
+func (p *Params) Int(key string, def int) int {
+	return int(p.Int64(key, int64(def)))
+}
+
+// Int64 consumes an int64 parameter, returning def when absent.
+func (p *Params) Int64(key string, def int64) int64 {
+	v, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	p.used[key] = true
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		p.fail(key, "integer")
+		return def
+	}
+	return n
+}
+
+// Bool consumes a boolean parameter, returning def when absent. A bare
+// key parses as true.
+func (p *Params) Bool(key string, def bool) bool {
+	v, ok := p.vals[key]
+	if !ok {
+		return def
+	}
+	p.used[key] = true
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		p.fail(key, "boolean")
+		return def
+	}
+	return b
+}
+
+// Finish reports the first conversion error, or an error naming any
+// parameter the registry did not consume.
+func (p *Params) Finish() error {
+	if p.err != nil {
+		return p.err
+	}
+	var unknown []string
+	for k := range p.vals {
+		if !p.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("spec: unknown parameter(s) %s in %q", strings.Join(unknown, ", "), p.spec)
+	}
+	return nil
+}

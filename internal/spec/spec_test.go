@@ -1,0 +1,93 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseNameOnly(t *testing.T) {
+	name, p, err := Parse("  PAM  ")
+	if err != nil || name != "pam" {
+		t.Fatalf("Parse = %q, %v", name, err)
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseParameters(t *testing.T) {
+	name, p, err := Parse("Heuristic:Beta=1.5, eta=3 ,Adaptive")
+	if err != nil || name != "heuristic" {
+		t.Fatalf("Parse = %q, %v", name, err)
+	}
+	if got := p.Float("beta", 0); got != 1.5 {
+		t.Errorf("beta = %v", got)
+	}
+	if got := p.Int("eta", 0); got != 3 {
+		t.Errorf("eta = %v", got)
+	}
+	if !p.Bool("adaptive", false) {
+		t.Error("bare flag should be true")
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	_, p, err := Parse("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Float("f", 2.5) != 2.5 || p.Int("i", 7) != 7 || p.Int64("l", -1) != -1 || !p.Bool("b", true) {
+		t.Error("absent keys must return defaults")
+	}
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", ":x=1", "a:=1", "a:x=1,x=2"} {
+		if _, _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should error", bad)
+		}
+	}
+}
+
+func TestFinishRejectsUnknownKeys(t *testing.T) {
+	_, p, err := Parse("a:known=1,mystery=2,extra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Int("known", 0)
+	err = p.Finish()
+	if err == nil {
+		t.Fatal("unknown keys must fail Finish")
+	}
+	if !strings.Contains(err.Error(), "extra, mystery") {
+		t.Fatalf("error should list unknown keys sorted: %v", err)
+	}
+}
+
+func TestFinishReportsBadValues(t *testing.T) {
+	_, p, _ := Parse("a:f=zzz")
+	if got := p.Float("f", 3); got != 3 {
+		t.Errorf("bad value should fall back to default, got %v", got)
+	}
+	if err := p.Finish(); err == nil {
+		t.Error("bad float must fail Finish")
+	}
+
+	_, p, _ = Parse("a:i=1.5")
+	p.Int("i", 0)
+	if err := p.Finish(); err == nil {
+		t.Error("non-integer must fail Finish")
+	}
+
+	_, p, _ = Parse("a:b=maybe")
+	p.Bool("b", false)
+	if err := p.Finish(); err == nil {
+		t.Error("bad bool must fail Finish")
+	}
+}

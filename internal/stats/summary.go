@@ -9,10 +9,10 @@ import (
 // form in which every experimental result in the paper is reported ("the
 // mean and 95% confidence interval are reported", §V-A).
 type Summary struct {
-	N      int     // number of observations
-	Mean   float64 // sample mean
-	StdDev float64 // sample standard deviation (n−1 denominator)
-	CI95   float64 // half-width of the 95% confidence interval
+	N      int     `json:"n"`       // number of observations
+	Mean   float64 `json:"mean"`    // sample mean
+	StdDev float64 `json:"std_dev"` // sample standard deviation (n−1 denominator)
+	CI95   float64 `json:"ci95"`    // half-width of the 95% confidence interval
 }
 
 // Summarize computes a Summary over the observations. With fewer than two

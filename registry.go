@@ -1,0 +1,64 @@
+package taskdrop
+
+import (
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+)
+
+// Unified registries. Every named component of the system — mapping
+// heuristics, dropping policies and system profiles — resolves through one
+// spec grammar shared by the CLI binaries, the experiment harness and the
+// Scenario API:
+//
+//	name
+//	name:key=value,flag,key2=value2
+//
+// Names and keys are case-insensitive; a bare key is a boolean flag.
+// Unknown names, unknown parameters and out-of-range values are errors.
+
+// NewMapper resolves a mapper spec. Recognized components: MinMin (alias
+// MM), MSD, PAM, FCFS, SJF, EDF, MCT, MET, Sufferage, KPB and Random;
+// parameterized forms:
+//
+//	kpb:percent=<int in (0,100]>
+//	random:seed=<int64>
+func NewMapper(spec string) (Mapper, error) { return mapping.FromSpec(spec) }
+
+// NewDropper resolves a dropping-policy spec. Recognized components:
+//
+//	reactdrop (aliases: reactive, none)
+//	heuristic:beta=<float ≥1>,eta=<int ≥1>
+//	optimal
+//	threshold:base=<float in [0,1]>,adaptive[=bool]
+//	approx:grace=<ticks ≥0>,beta=<float ≥1>,eta=<int ≥1>
+//
+// Omitted parameters take the paper's tuned defaults (β=1, η=2, θ=0.25,
+// adaptive threshold).
+func NewDropper(spec string) (DropPolicy, error) { return core.PolicyFromSpec(spec) }
+
+// NewProfile resolves a system-profile spec: "spec" (aliases specint, hc;
+// parameterized as spec:seed=<int64>), "video" (alias transcoding), or
+// "homog" (aliases homogeneous, homo).
+func NewProfile(spec string) (Profile, error) { return pet.ProfileFromSpec(spec) }
+
+// MapperNames lists the built-in mapping heuristics.
+func MapperNames() []string { return mapping.Names() }
+
+// DropperNames lists the built-in dropping policies.
+func DropperNames() []string { return core.PolicyNames() }
+
+// ProfileNames lists the built-in system profiles.
+func ProfileNames() []string { return pet.ProfileNames() }
+
+// MapperByName constructs a mapping heuristic from a name or spec.
+//
+// Deprecated: use NewMapper; both resolve through the same registry.
+func MapperByName(name string) (Mapper, error) { return NewMapper(name) }
+
+// DropperByName constructs a dropping policy from a name or spec — since
+// the registries are parameterized, "threshold:base=0.3,adaptive" works
+// here too.
+//
+// Deprecated: use NewDropper; both resolve through the same registry.
+func DropperByName(name string) (DropPolicy, error) { return NewDropper(name) }

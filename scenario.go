@@ -1,0 +1,376 @@
+package taskdrop
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/runner"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// Scenario is a fully specified, repeatable experiment: one system
+// profile, one mapper, one dropping policy and one workload shape,
+// simulated for a number of seeded trials. Build it with NewScenario and
+// execute it with Run (blocking, aggregated) or Stream (incremental).
+//
+// Trials are paired by construction: trial t always uses seed Seed+t for
+// trace generation, so two scenarios differing only in policy see
+// identical arrivals — the comparison discipline of the paper's
+// evaluation (§V-A). Aggregation is in trial order, which makes a
+// scenario's RunResult fully deterministic regardless of WithWorkers.
+type Scenario struct {
+	profileSpec string
+	profile     Profile
+
+	mapperSpec    string
+	mapperSpecSet bool
+	mapperImpl    Mapper
+	mapperImplSet bool
+
+	dropperSpec    string
+	dropperSpecSet bool
+	dropperImpl    DropPolicy
+	dropperImplSet bool
+	dropper        DropPolicy
+
+	trials   int
+	seed     int64
+	tasks    int
+	window   Tick
+	gamma    float64
+	queueCap int
+	grace    Tick
+	failures FailureConfig
+	workers  int
+	onTrial  func(trial int, res *Result)
+
+	buildOnce sync.Once
+	matrix    *Matrix
+}
+
+// ScenarioOption configures a Scenario under construction; all validation
+// happens in NewScenario.
+type ScenarioOption func(*Scenario)
+
+// WithMapper selects the mapping heuristic by registry spec, e.g. "PAM",
+// "MinMin" or "kpb:percent=30" (see NewMapper for the grammar).
+func WithMapper(spec string) ScenarioOption {
+	return func(s *Scenario) { s.mapperSpec = spec; s.mapperSpecSet = true }
+}
+
+// WithMapperImpl plugs in a custom Mapper implementation. With more than
+// one worker the same value is shared across concurrent trials, so custom
+// mappers must be stateless or safe for concurrent use; built-in mappers
+// selected by spec are constructed fresh per trial and have no such
+// requirement.
+func WithMapperImpl(m Mapper) ScenarioOption {
+	return func(s *Scenario) { s.mapperImpl = m; s.mapperImplSet = true }
+}
+
+// WithDropper selects the dropping policy by registry spec, e.g.
+// "heuristic:beta=1.5,eta=3" or "threshold:base=0.3,adaptive" (see
+// NewDropper for the grammar). The default is "reactdrop" — no proactive
+// dropping.
+func WithDropper(spec string) ScenarioOption {
+	return func(s *Scenario) { s.dropperSpec = spec; s.dropperSpecSet = true }
+}
+
+// WithDropperPolicy plugs in a custom DropPolicy implementation. Like
+// WithMapperImpl, the value is shared across concurrent trials and must be
+// safe for concurrent use (the built-in policies are stateless values).
+func WithDropperPolicy(p DropPolicy) ScenarioOption {
+	return func(s *Scenario) { s.dropperImpl = p; s.dropperImplSet = true }
+}
+
+// WithTrials sets the number of seeded trials (default 1; the paper
+// reports 30).
+func WithTrials(n int) ScenarioOption {
+	return func(s *Scenario) { s.trials = n }
+}
+
+// WithSeed sets the base seed; trial t generates its trace with seed+t
+// (default 1).
+func WithSeed(seed int64) ScenarioOption {
+	return func(s *Scenario) { s.seed = seed }
+}
+
+// WithTasks sets the number of arriving tasks per trial — the paper's
+// oversubscription level (default 30000).
+func WithTasks(n int) ScenarioOption {
+	return func(s *Scenario) { s.tasks = n }
+}
+
+// WithWindow sets the arrival window in ticks (default StandardWindow).
+func WithWindow(w Tick) ScenarioOption {
+	return func(s *Scenario) { s.window = w }
+}
+
+// WithGamma sets the deadline slack coefficient γ (default
+// DefaultGammaSlack).
+func WithGamma(gamma float64) ScenarioOption {
+	return func(s *Scenario) { s.gamma = gamma }
+}
+
+// WithQueueCap sets the machine queue bound, including the running task
+// (default 6, the paper's setting).
+func WithQueueCap(n int) ScenarioOption {
+	return func(s *Scenario) { s.queueCap = n }
+}
+
+// WithFailures enables machine failure injection. The config's Seed is
+// offset by the trial index so failure schedules vary with the workload
+// while staying reproducible.
+func WithFailures(fc FailureConfig) ScenarioOption {
+	return func(s *Scenario) { s.failures = fc }
+}
+
+// WithGrace sets the reactive-dropping grace window of the
+// approximate-computing extension; pair it with the "approx" dropper so
+// policy and engine assume the same leeway.
+func WithGrace(g Tick) ScenarioOption {
+	return func(s *Scenario) { s.grace = g }
+}
+
+// WithWorkers bounds trial parallelism (default 0 = GOMAXPROCS).
+func WithWorkers(n int) ScenarioOption {
+	return func(s *Scenario) { s.workers = n }
+}
+
+// OnTrialDone registers a progress hook invoked once per completed trial,
+// possibly concurrently from several workers. The hook must not mutate
+// the Result.
+func OnTrialDone(fn func(trial int, res *Result)) ScenarioOption {
+	return func(s *Scenario) { s.onTrial = fn }
+}
+
+// NewScenario builds a Scenario from a profile spec ("spec", "video",
+// "homog", or parameterized like "spec:seed=7" — see NewProfile) and
+// options, validating every registry spec and numeric range up front.
+// Defaults reproduce the paper's primary configuration: PAM mapping, no
+// proactive dropping, 30000 tasks over StandardWindow with γ =
+// DefaultGammaSlack, queue capacity 6, one trial.
+func NewScenario(profile string, opts ...ScenarioOption) (*Scenario, error) {
+	s := &Scenario{
+		profileSpec: profile,
+		mapperSpec:  "PAM",
+		dropperSpec: "reactdrop",
+		trials:      1,
+		seed:        1,
+		tasks:       30000,
+		window:      StandardWindow,
+		gamma:       DefaultGammaSlack,
+		queueCap:    6,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validate resolves every registry spec and checks numeric ranges, so a
+// malformed scenario fails at construction instead of mid-run.
+func (s *Scenario) validate() error {
+	p, err := pet.ProfileFromSpec(s.profileSpec)
+	if err != nil {
+		return err
+	}
+	s.profile = p
+	if s.mapperSpecSet && s.mapperImplSet {
+		return fmt.Errorf("taskdrop: scenario sets both WithMapper and WithMapperImpl")
+	}
+	if s.mapperImplSet && s.mapperImpl == nil {
+		return fmt.Errorf("taskdrop: WithMapperImpl(nil); use a WithMapper spec instead")
+	}
+	if s.mapperImpl == nil {
+		if _, err := mapping.FromSpec(s.mapperSpec); err != nil {
+			return err
+		}
+	}
+	if s.dropperSpecSet && s.dropperImplSet {
+		return fmt.Errorf("taskdrop: scenario sets both WithDropper and WithDropperPolicy")
+	}
+	if s.dropperImplSet {
+		if s.dropperImpl == nil {
+			return fmt.Errorf("taskdrop: WithDropperPolicy(nil); use the default \"reactdrop\" spec instead")
+		}
+		s.dropper = s.dropperImpl
+	} else {
+		d, err := core.PolicyFromSpec(s.dropperSpec)
+		if err != nil {
+			return err
+		}
+		s.dropper = d
+	}
+	switch {
+	case s.trials < 1:
+		return fmt.Errorf("taskdrop: WithTrials(%d), want >= 1", s.trials)
+	case s.tasks < 1:
+		return fmt.Errorf("taskdrop: WithTasks(%d), want >= 1", s.tasks)
+	case s.window < 1:
+		return fmt.Errorf("taskdrop: WithWindow(%d), want >= 1", s.window)
+	case s.gamma < 0:
+		return fmt.Errorf("taskdrop: WithGamma(%v), want >= 0", s.gamma)
+	case s.queueCap < 1:
+		return fmt.Errorf("taskdrop: WithQueueCap(%d), want >= 1", s.queueCap)
+	case s.grace < 0:
+		return fmt.Errorf("taskdrop: WithGrace(%d), want >= 0", s.grace)
+	case s.workers < 0:
+		return fmt.Errorf("taskdrop: WithWorkers(%d), want >= 0", s.workers)
+	}
+	return nil
+}
+
+// matrixCache shares built PET matrices across scenarios, keyed by the
+// normalized profile spec. A profile spec fully determines its matrix
+// (the build seed is the fixed DefaultProfileSeed), so the cache is
+// semantically transparent; it spares repeated PMF synthesis when many
+// scenarios name the same system. Matrices are read-only during
+// simulation, so sharing across engines is safe.
+var matrixCache sync.Map // normalized profile spec -> *Matrix
+
+// Matrix returns the scenario's built PET matrix (built once per profile
+// spec across all scenarios; safe for concurrent use).
+func (s *Scenario) Matrix() *Matrix {
+	s.buildOnce.Do(func() {
+		key := strings.ToLower(strings.TrimSpace(s.profileSpec))
+		if m, ok := matrixCache.Load(key); ok {
+			s.matrix = m.(*Matrix)
+			return
+		}
+		m := pet.Build(s.profile, pet.DefaultProfileSeed, pet.DefaultBuildOptions())
+		matrixCache.Store(key, m)
+		s.matrix = m
+	})
+	return s.matrix
+}
+
+// WorkloadConfig returns the per-trial workload shape.
+func (s *Scenario) WorkloadConfig() WorkloadConfig {
+	return workload.Config{TotalTasks: s.tasks, Window: s.window, GammaSlack: s.gamma}
+}
+
+// newMapper returns the mapper for one trial: custom implementations are
+// shared, spec-selected mappers are constructed fresh so stateful built-ins
+// (e.g. Random) never race across workers.
+func (s *Scenario) newMapper() (Mapper, error) {
+	if s.mapperImpl != nil {
+		return s.mapperImpl, nil
+	}
+	return mapping.FromSpec(s.mapperSpec)
+}
+
+// simConfig assembles the engine configuration for one trial.
+func (s *Scenario) simConfig(trial int) SimConfig {
+	cfg := sim.DefaultConfig()
+	cfg.QueueCap = s.queueCap
+	cfg.ReactiveGrace = s.grace
+	if s.failures.Enabled() {
+		cfg.Failures = s.failures
+		cfg.Failures.Seed = s.failures.Seed + int64(trial)
+	}
+	return cfg
+}
+
+// Engine builds the simulation engine for one trial of the scenario, for
+// callers that need post-run introspection (per-task states, per-type and
+// per-machine breakdowns) beyond what Result carries.
+func (s *Scenario) Engine(trial int) (*Engine, error) {
+	if trial < 0 || trial >= s.trials {
+		return nil, fmt.Errorf("taskdrop: trial %d out of range [0,%d)", trial, s.trials)
+	}
+	mapper, err := s.newMapper()
+	if err != nil {
+		return nil, err
+	}
+	m := s.Matrix()
+	tr := workload.Generate(m, s.WorkloadConfig(), s.seed+int64(trial))
+	return sim.New(m, tr, mapper, s.dropper, s.simConfig(trial)), nil
+}
+
+// runTrial executes one seeded trial.
+func (s *Scenario) runTrial(ctx context.Context, trial int) (*Result, error) {
+	eng, err := s.Engine(trial)
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.RunContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if s.onTrial != nil {
+		s.onTrial(trial, res)
+	}
+	return res, nil
+}
+
+// RunResult is the outcome of Scenario.Run: the raw per-trial results in
+// trial order plus their mean ± 95% CI aggregation.
+type RunResult struct {
+	Trials  []*Result `json:"trials"`
+	Summary Summary   `json:"summary"`
+}
+
+// Run executes every trial across the worker pool and blocks until all
+// finish. When ctx is cancelled mid-run the in-flight simulations stop
+// between events and (nil, ctx.Err()) is returned promptly. The result is
+// identical for any WithWorkers value.
+func (s *Scenario) Run(ctx context.Context) (*RunResult, error) {
+	results := make([]*Result, s.trials)
+	s.Matrix() // build once, outside the pool
+	err := runner.ForEach(ctx, s.workers, s.trials, func(ctx context.Context, t int) error {
+		res, err := s.runTrial(ctx, t)
+		if err != nil {
+			return err
+		}
+		results[t] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Trials: results, Summary: runner.Summarize(results)}, nil
+}
+
+// TrialOutcome is one element of a Scenario.Stream: a completed trial, or
+// (as the final element, with Trial = -1) the error that ended the stream
+// early.
+type TrialOutcome struct {
+	Trial  int     `json:"trial"`
+	Result *Result `json:"result,omitempty"`
+	Err    error   `json:"-"`
+}
+
+// Stream executes the scenario like Run but delivers each trial's result
+// as soon as it completes (in completion order, not trial order). The
+// channel is buffered for the whole run — the producer never blocks on a
+// slow consumer — and is closed once all trials finish or the run stops
+// early; a run that stops early sends a final TrialOutcome carrying the
+// error (ctx.Err() on cancellation) before closing.
+func (s *Scenario) Stream(ctx context.Context) <-chan TrialOutcome {
+	out := make(chan TrialOutcome, s.trials+1)
+	go func() {
+		defer close(out)
+		s.Matrix()
+		err := runner.ForEach(ctx, s.workers, s.trials, func(ctx context.Context, t int) error {
+			res, err := s.runTrial(ctx, t)
+			if err != nil {
+				return err
+			}
+			out <- TrialOutcome{Trial: t, Result: res}
+			return nil
+		})
+		if err != nil {
+			out <- TrialOutcome{Trial: -1, Err: err}
+		}
+	}()
+	return out
+}

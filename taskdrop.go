@@ -16,15 +16,45 @@
 //     SJF, EDF and several classic extras);
 //   - workload profiles (SPECint-like inconsistent HC system, video
 //     transcoding, homogeneous cluster) and Poisson trace generation;
-//   - an experiment harness regenerating every figure of §V.
+//   - a concurrent, cancellable Scenario API for repeated-trial
+//     experiments, and a harness regenerating every figure of §V.
 //
 // # Quick start
+//
+// The unit of experimentation is a Scenario: one (profile, mapper,
+// dropper, workload) combination run for N seeded trials across a worker
+// pool, reported as mean ± 95% CI — the paper evaluates everything this
+// way (§V-A):
+//
+//	sc, err := taskdrop.NewScenario("spec",
+//		taskdrop.WithMapper("PAM"),
+//		taskdrop.WithDropper("heuristic:beta=1,eta=2"),
+//		taskdrop.WithTasks(30000),
+//		taskdrop.WithTrials(30),
+//	)
+//	if err != nil { ... }
+//	rr, err := sc.Run(context.Background())
+//	if err != nil { ... }
+//	fmt.Printf("robustness: %s %%\n", rr.Summary.Robustness)
+//
+// Trials are paired: two scenarios differing only in policy see identical
+// arrivals, so their difference is the policy's effect. Run is
+// deterministic for a fixed seed regardless of WithWorkers, and stops
+// promptly when its context is cancelled. Stream delivers per-trial
+// results incrementally; OnTrialDone hooks progress reporting.
+//
+// Mappers, dropping policies and profiles are resolved through unified
+// string registries with a shared parameterized spec grammar
+// ("threshold:base=0.3,adaptive" — see NewMapper, NewDropper, NewProfile),
+// so CLI flags, experiment figure definitions and API calls all name
+// combinations the same way. Custom Mapper and DropPolicy implementations
+// plug in through WithMapperImpl and WithDropperPolicy.
+//
+// For one-off single trials the legacy System facade remains:
 //
 //	sys := taskdrop.SPECSystem()
 //	trace := sys.Workload(20000, taskdrop.StandardWindow, taskdrop.DefaultGammaSlack, 1)
 //	res, err := sys.Simulate(trace, "PAM", taskdrop.HeuristicDropper())
-//	if err != nil { ... }
-//	fmt.Printf("robustness: %.1f%%\n", res.RobustnessPct)
 //
 // The deeper APIs live in the internal packages and are re-exported here
 // through type aliases, so the whole system is scriptable from this single
@@ -32,11 +62,15 @@
 package taskdrop
 
 import (
+	"io"
+
 	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/runner"
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/stats"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
@@ -65,8 +99,20 @@ type (
 	Task = workload.Task
 	// Result summarizes one simulated trial.
 	Result = sim.Result
+	// Summary is the mean ± 95% CI aggregation of a scenario's trials.
+	Summary = runner.Aggregate
+	// StatSummary is one mean ± 95% CI statistic within a Summary.
+	StatSummary = stats.Summary
 	// SimConfig tunes the simulation engine.
 	SimConfig = sim.Config
+	// FailureConfig enables machine failure injection (see WithFailures).
+	FailureConfig = sim.FailureConfig
+	// Engine is the single-trial simulation engine (see Scenario.Engine).
+	Engine = sim.Engine
+	// TypeBreakdown is Engine.Breakdown's per-task-type statistics.
+	TypeBreakdown = sim.TypeBreakdown
+	// MachineBreakdown is Engine.Breakdown's per-machine statistics.
+	MachineBreakdown = sim.MachineBreakdown
 	// Mapper assigns batch tasks to machine queues.
 	Mapper = sim.Mapper
 	// MappingEvent is a Mapper's window onto the system at one event.
@@ -99,8 +145,9 @@ const (
 	DefaultBeta = core.DefaultBeta
 )
 
-// System bundles a built PET matrix with engine configuration; it is the
-// top-level handle of the public API.
+// System bundles a built PET matrix with engine configuration — the
+// legacy single-trial facade, kept as a thin shim over the same internals
+// the Scenario API uses. New code should prefer NewScenario.
 type System struct {
 	// Matrix is the built PET matrix.
 	Matrix *Matrix
@@ -146,10 +193,11 @@ func (s *System) Workload(totalTasks int, window Tick, gamma float64, seed int64
 	}, seed)
 }
 
-// Simulate runs one trial with a mapping heuristic chosen by name (see
-// MapperNames) and the given dropping policy (nil = reactive only).
-func (s *System) Simulate(tr *Trace, mapperName string, dropper DropPolicy) (*Result, error) {
-	m, err := mapping.New(mapperName)
+// Simulate runs one trial with a mapping heuristic chosen by registry
+// spec (see NewMapper) and the given dropping policy (nil = reactive
+// only). For repeated-trial experiments prefer NewScenario.
+func (s *System) Simulate(tr *Trace, mapperSpec string, dropper DropPolicy) (*Result, error) {
+	m, err := mapping.FromSpec(mapperSpec)
 	if err != nil {
 		return nil, err
 	}
@@ -184,17 +232,6 @@ func ThresholdDropper(base float64, adaptive bool) DropPolicy {
 // ReactiveDropper returns the no-proactive-dropping baseline.
 func ReactiveDropper() DropPolicy { return core.ReactiveOnly{} }
 
-// DropperByName constructs a dropping policy from a name: ReactDrop,
-// Heuristic, Optimal, Threshold.
-func DropperByName(name string) (DropPolicy, error) { return core.PolicyByName(name) }
-
-// MapperByName constructs a mapping heuristic from a name (see
-// MapperNames).
-func MapperByName(name string) (Mapper, error) { return mapping.New(name) }
-
-// MapperNames lists the built-in mapping heuristics.
-func MapperNames() []string { return mapping.Names() }
-
 // SPECProfile, VideoProfile and HomogeneousProfile re-export the raw
 // profile constructors for callers who want to modify them before
 // NewSystem.
@@ -210,3 +247,9 @@ func HomogeneousProfile() Profile { return pet.HomogeneousProfile() }
 // callers building custom mappers or droppers. The calculus is not safe
 // for concurrent use.
 func NewCalculus(m *Matrix) *Calculus { return core.NewCalculus(m) }
+
+// FprintBreakdown renders Engine.Breakdown's per-type and per-machine
+// statistics as aligned text.
+func FprintBreakdown(w io.Writer, types []TypeBreakdown, machines []MachineBreakdown) {
+	sim.FprintBreakdown(w, types, machines)
+}
