@@ -1,0 +1,105 @@
+// Command hcload replays a workload trace against a running hcserve
+// instance and closes the loop between the paper's offline evaluation and
+// the online admission controller: it generates the exact trace the
+// offline simulator would run — same (profile, tasks, window, gamma, seed)
+// — streams it to POST /v1/decide at a configurable arrival-rate
+// multiplier, drains the server, and reports the achieved robustness next
+// to client-observed decision latencies.
+//
+//	hcload -addr http://localhost:8080 -profile spec -tasks 30000 -seed 1 -speed 0
+//
+// Because the server's decision loop is deterministic, replaying the same
+// (profile, trace, seed) yields the same decisions and the same final
+// robustness as `hcsim -profile spec -mapper ... -dropper ...` with
+// matching settings (boundary exclusion included).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/service"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hcload: ")
+
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the hcserve instance")
+		profileSpec = flag.String("profile", "spec", "system profile spec; must match the server's")
+		tasks       = flag.Int("tasks", 30000, "number of arriving tasks (oversubscription level)")
+		window      = flag.Int64("window", int64(workload.StandardWindow), "arrival window in ms")
+		gamma       = flag.Float64("gamma", workload.DefaultGammaSlack, "deadline slack coefficient γ")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		scale       = flag.Float64("scale", 1.0, "shrink factor in (0,1]: scales tasks and window together")
+		batch       = flag.Int("batch", 16, "tasks per decide request")
+		speed       = flag.Float64("speed", 0, "arrival-rate multiplier vs the trace clock (1 = real time, 0 = as fast as possible)")
+		noDrain     = flag.Bool("no-drain", false, "skip POST /v1/drain (leave the server running)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	if err := workload.CheckScale(*scale); err != nil {
+		log.Fatalf("-scale: %v", err)
+	}
+	cfg := workload.Config{TotalTasks: *tasks, Window: pmf.Tick(*window), GammaSlack: *gamma}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	if *scale != 1.0 {
+		cfg = cfg.Scaled(*scale)
+	}
+	// The trace must be bit-identical to the server's view of the system:
+	// both sides resolve the profile spec through the deterministic cached
+	// PET build, so (profile, seed) alone pins the workload.
+	m, err := pet.CachedMatrix(*profileSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := workload.Generate(m, cfg, *seed)
+	rate := tr.ArrivalRate() * 1000
+	fmt.Printf("replaying %d tasks over %.1f s (%.0f tasks/s", tr.Len(), float64(cfg.Window)/1000, rate)
+	if *speed > 0 {
+		fmt.Printf(", %.0fx speed → %.0f req-tasks/s", *speed, rate**speed)
+	} else {
+		fmt.Printf(", unpaced")
+	}
+	fmt.Printf(") against %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	client := &http.Client{Timeout: *timeout}
+	rep, err := service.Replay(ctx, client, *addr, tr, service.ReplayConfig{
+		BatchSize: *batch,
+		Speed:     *speed,
+		Drain:     !*noDrain,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("decisions             %d in %s (%.0f tasks/s achieved)\n",
+		rep.Tasks, rep.Elapsed.Round(time.Millisecond), float64(rep.Tasks)/rep.Elapsed.Seconds())
+	fmt.Printf("  mapped              %d\n", rep.Mapped)
+	fmt.Printf("  deferred            %d\n", rep.Deferred)
+	fmt.Printf("  dropped at arrival  %d\n", rep.Dropped)
+	fmt.Printf("decide latency        p50 %s   p99 %s\n",
+		rep.LatencyP50.Round(time.Microsecond), rep.LatencyP99.Round(time.Microsecond))
+	if rep.Final != nil {
+		fmt.Printf("achieved robustness   %6.2f %% of measured tasks completed on time\n", rep.Final.RobustnessPct)
+		fmt.Printf("  on time / late      %d / %d\n", rep.Final.MOnTime, rep.Final.MLate)
+		fmt.Printf("  dropped react/proact %d / %d\n", rep.Final.MDroppedReactive, rep.Final.MDroppedProactive)
+		fmt.Printf("  total cost          $%.4f\n", rep.Final.TotalCostUSD)
+	}
+}

@@ -1,0 +1,108 @@
+// Command hcserve hosts the task-dropping mechanism as a long-running
+// online admission controller: an HTTP server that keeps live per-machine
+// queue state and answers map/drop/defer for every arriving task through
+// the same (mapper, dropper, profile) registry specs as the offline
+// tools.
+//
+//	hcserve -addr :8080 -profile spec -mapper PAM -dropper "heuristic:beta=1.5,eta=3"
+//
+// Endpoints:
+//
+//	POST /v1/decide   {"tasks":[{"type":3,"arrival":120,"deadline":890,...}]}
+//	POST /v1/drain    graceful drain; returns the final trial Result
+//	GET  /healthz     liveness + served configuration
+//	GET  /metrics     Prometheus text (decisions/s, drop rate, queue depths,
+//	                  decision-latency histogram)
+//
+// On SIGTERM/SIGINT the server stops accepting work, drains the virtual
+// system, and prints the final robustness accounting before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hcserve: ")
+
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		profileSpec   = flag.String("profile", "spec", "system profile spec: spec | video | homog (e.g. spec:seed=7)")
+		mapperSpec    = flag.String("mapper", "PAM", "mapping heuristic spec (MinMin, MSD, PAM, FCFS, SJF, EDF, kpb:percent=30, ...)")
+		dropperSpec   = flag.String("dropper", "heuristic", "dropping policy spec: reactdrop | heuristic[:beta=..,eta=..] | optimal | threshold[:base=..,adaptive] | approx[:grace=..]")
+		queueCap      = flag.Int("queue", 6, "machine queue capacity incl. running task")
+		grace         = flag.Int64("grace", 0, "reactive-drop grace window in ms (approximate-computing extension)")
+		dropOnArrival = flag.Bool("drop-on-arrival", false, "engage the proactive dropper on arrival events too (strict Fig. 4)")
+		boundary      = flag.Int("boundary", 0, "exclude first/last N tasks from the drain result's measured metrics")
+		backlog       = flag.Int("backlog", 256, "decide requests buffered behind the decision loop")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	ctrl, err := service.New(service.Config{
+		Profile:           *profileSpec,
+		Mapper:            *mapperSpec,
+		Dropper:           *dropperSpec,
+		QueueCap:          *queueCap,
+		Grace:             pmf.Tick(*grace),
+		DropOnArrival:     *dropOnArrival,
+		BoundaryExclusion: *boundary,
+		Backlog:           *backlog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ctrl.Matrix()
+	log.Printf("serving profile=%s mapper=%s dropper=%s: %d machines, %d task types",
+		*profileSpec, *mapperSpec, *dropperSpec, len(m.Machines()), m.NumTaskTypes())
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(ctrl)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("signal received; draining")
+	case err := <-errCh:
+		log.Fatal(err)
+	}
+
+	// Graceful drain: stop accepting connections, then run the virtual
+	// system to completion and report what the run achieved.
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	// If a client already drained via POST /v1/drain, this returns the
+	// stored result immediately; the only failure mode left is the
+	// drain-timeout budget expiring.
+	res, err := ctrl.Drain(shCtx)
+	if err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	mm := ctrl.Metrics()
+	fmt.Printf("drained: %d tasks decided (%.1f/s mean), drop rate %.2f %%\n",
+		res.Total, mm.DecisionsPerSecond(), 100*mm.DropRate())
+	fmt.Printf("robustness            %6.2f %% of measured tasks completed on time\n", res.RobustnessPct)
+	fmt.Printf("completed on time     %d\n", res.MOnTime)
+	fmt.Printf("completed late        %d\n", res.MLate)
+	fmt.Printf("dropped reactively    %d\n", res.MDroppedReactive)
+	fmt.Printf("dropped proactively   %d\n", res.MDroppedProactive)
+	fmt.Printf("total cost            $%.4f\n", res.TotalCostUSD)
+	fmt.Printf("virtual makespan      %.1f s\n", float64(res.Makespan)/1000)
+}

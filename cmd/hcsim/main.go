@@ -23,6 +23,7 @@ import (
 	"time"
 
 	taskdrop "github.com/hpcclab/taskdrop"
+	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
 func main() {
@@ -49,6 +50,9 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := workload.CheckScale(*scale); err != nil {
+		log.Fatalf("-scale: %v", err)
+	}
 	cfg := taskdrop.WorkloadConfig{TotalTasks: *tasks, Window: taskdrop.Tick(*window), GammaSlack: *gamma}
 	if *scale != 1.0 {
 		cfg = cfg.Scaled(*scale)

@@ -9,8 +9,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -22,89 +24,109 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("petgen: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
+// run is the testable body of the command: it parses args, builds or loads
+// a matrix, and writes every report to stdout. Usage and flag-parse
+// diagnostics go to stderr so piped report output stays clean.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("petgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		profileName = flag.String("profile", "spec", "system profile: spec | video | homog")
-		seed        = flag.Int64("seed", pet.DefaultProfileSeed, "build seed")
-		samples     = flag.Int("samples", 500, "Gamma samples per PET cell")
-		bins        = flag.Int("bins", 25, "histogram bins per PMF")
-		stats       = flag.Bool("stats", false, "print per-cell stddev and quantiles")
-		dump        = flag.String("dump", "", "write the full PET impulse list to this CSV file")
-		save        = flag.String("save", "", "write the matrix as JSON to this file")
-		load        = flag.String("load", "", "load the matrix from a JSON file instead of building it")
+		profileName = fs.String("profile", "spec", "system profile: spec | video | homog")
+		seed        = fs.Int64("seed", pet.DefaultProfileSeed, "build seed")
+		samples     = fs.Int("samples", 500, "Gamma samples per PET cell")
+		bins        = fs.Int("bins", 25, "histogram bins per PMF")
+		stats       = fs.Bool("stats", false, "print per-cell stddev and quantiles")
+		dump        = fs.String("dump", "", "write the full PET impulse list to this CSV file")
+		save        = fs.String("save", "", "write the matrix as JSON to this file")
+		load        = fs.String("load", "", "load the matrix from a JSON file instead of building it")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // usage already printed; -h is a success
+		}
+		// The flag package already printed the specific diagnostic.
+		return errors.New("invalid arguments")
+	}
 
 	var m *pet.Matrix
 	if *load != "" {
 		data, err := os.ReadFile(*load)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		m, err = pet.UnmarshalMatrix(data)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 	} else {
 		profile, err := pet.ProfileByName(*profileName)
 		if err != nil {
-			log.Fatal(err)
+			return err
+		}
+		if *samples < 1 || *bins < 1 {
+			return fmt.Errorf("-samples and -bins must be >= 1")
 		}
 		m = pet.Build(profile, *seed, pet.BuildOptions{SamplesPerCell: *samples, BinsPerPMF: *bins})
 	}
 	profile := m.Profile()
 
-	fmt.Printf("PET matrix %q — %d task types × %d machine types, %d machines\n\n",
+	fmt.Fprintf(stdout, "PET matrix %q — %d task types × %d machine types, %d machines\n\n",
 		profile.Name, m.NumTaskTypes(), m.NumMachineTypes(), len(m.Machines()))
 
-	fmt.Println("machines:")
+	fmt.Fprintln(stdout, "machines:")
 	for _, spec := range m.Machines() {
-		fmt.Printf("  [%d] %-40s $%.3f/h\n", spec.Index, spec.Name, spec.PriceHour)
+		fmt.Fprintf(stdout, "  [%d] %-40s $%.3f/h\n", spec.Index, spec.Name, spec.PriceHour)
 	}
 
-	fmt.Println("\nmean execution time (ms):")
-	fmt.Printf("  %-20s", "task type \\ machine")
+	fmt.Fprintln(stdout, "\nmean execution time (ms):")
+	fmt.Fprintf(stdout, "  %-20s", "task type \\ machine")
 	for j := range profile.MachineTypeNames {
-		fmt.Printf(" %8s", fmt.Sprintf("mt%d", j))
+		fmt.Fprintf(stdout, " %8s", fmt.Sprintf("mt%d", j))
 	}
-	fmt.Printf(" %9s\n", "avg_i")
+	fmt.Fprintf(stdout, " %9s\n", "avg_i")
 	for i := 0; i < m.NumTaskTypes(); i++ {
-		fmt.Printf("  %-20.20s", profile.TaskTypeNames[i])
+		fmt.Fprintf(stdout, "  %-20.20s", profile.TaskTypeNames[i])
 		for j := 0; j < m.NumMachineTypes(); j++ {
-			fmt.Printf(" %8.1f", m.CellMean(pet.TaskType(i), pet.MachineType(j)))
+			fmt.Fprintf(stdout, " %8.1f", m.CellMean(pet.TaskType(i), pet.MachineType(j)))
 		}
-		fmt.Printf(" %9.1f\n", m.TypeMean(pet.TaskType(i)))
+		fmt.Fprintf(stdout, " %9.1f\n", m.TypeMean(pet.TaskType(i)))
 	}
-	fmt.Printf("\n  avg_all = %.1f ms\n", m.MeanAll())
+	fmt.Fprintf(stdout, "\n  avg_all = %.1f ms\n", m.MeanAll())
 
 	if *stats {
-		fmt.Println("\nper-cell spread (stddev ms | p50 | p95):")
+		fmt.Fprintln(stdout, "\nper-cell spread (stddev ms | p50 | p95):")
 		for i := 0; i < m.NumTaskTypes(); i++ {
-			fmt.Printf("  %-20.20s", profile.TaskTypeNames[i])
+			fmt.Fprintf(stdout, "  %-20.20s", profile.TaskTypeNames[i])
 			for j := 0; j < m.NumMachineTypes(); j++ {
 				cell := m.ExecPMF(pet.TaskType(i), pet.MachineType(j))
-				fmt.Printf(" %6.1f|%d|%d", cell.StdDev(), cell.Quantile(0.5), cell.Quantile(0.95))
+				fmt.Fprintf(stdout, " %6.1f|%d|%d", cell.StdDev(), cell.Quantile(0.5), cell.Quantile(0.95))
 			}
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
 
 	if *dump != "" {
 		if err := dumpCSV(*dump, m); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nwrote impulse dump to %s\n", *dump)
+		fmt.Fprintf(stdout, "\nwrote impulse dump to %s\n", *dump)
 	}
 	if *save != "" {
 		data, err := json.MarshalIndent(m, "", " ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*save, data, 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nwrote matrix JSON to %s\n", *save)
+		fmt.Fprintf(stdout, "\nwrote matrix JSON to %s\n", *save)
 	}
+	return nil
 }
 
 // dumpCSV writes every impulse of every PET cell as

@@ -2,6 +2,8 @@ package pet
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"github.com/hpcclab/taskdrop/internal/spec"
 )
@@ -49,3 +51,31 @@ func ProfileByName(name string) (Profile, error) { return ProfileFromSpec(name) 
 
 // ProfileNames lists the constructible profile names.
 func ProfileNames() []string { return []string{"spec", "video", "homog"} }
+
+// matrixCache shares built PET matrices across every consumer that names a
+// system by profile spec (the Scenario API, the admission service, the
+// load generator), keyed by the normalized spec. A profile spec fully
+// determines its matrix — the build seed is the fixed DefaultProfileSeed —
+// so the cache is semantically transparent; it spares repeated PMF
+// synthesis, and guarantees a server and a client resolving the same spec
+// in different processes still agree bit-for-bit (Build is deterministic).
+// Matrices are read-only after Build, so sharing across engines is safe.
+var matrixCache sync.Map // normalized profile spec -> *Matrix
+
+// CachedMatrix resolves a profile spec and returns its built PET matrix,
+// building at most once per spec per process. Safe for concurrent use.
+func CachedMatrix(profileSpec string) (*Matrix, error) {
+	key := strings.ToLower(strings.TrimSpace(profileSpec))
+	if m, ok := matrixCache.Load(key); ok {
+		return m.(*Matrix), nil
+	}
+	p, err := ProfileFromSpec(profileSpec)
+	if err != nil {
+		return nil, err
+	}
+	m := Build(p, DefaultProfileSeed, DefaultBuildOptions())
+	// Two racing builders produce identical matrices; keep the first stored
+	// so every caller shares one instance.
+	actual, _ := matrixCache.LoadOrStore(key, m)
+	return actual.(*Matrix), nil
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// benchTasks pre-generates an oversubscribed arrival sequence long enough
+// for b.N decisions by tiling a base trace along the time axis, so the
+// system stays under continuous load however many iterations run.
+func benchTasks(b *testing.B, n int) []workload.Task {
+	b.Helper()
+	m, err := pet.CachedMatrix("video")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := workload.Config{TotalTasks: 2000, Window: workload.StandardWindow / 15, GammaSlack: workload.DefaultGammaSlack}
+	base := workload.Generate(m, cfg, 1)
+	span := base.Tasks[len(base.Tasks)-1].Arrival + 1
+	out := make([]workload.Task, n)
+	for i := range out {
+		t := base.Tasks[i%len(base.Tasks)]
+		shift := pmf.Tick(i/len(base.Tasks)) * span
+		t.ID = i
+		t.Arrival += shift
+		t.Deadline += shift
+		out[i] = t
+	}
+	return out
+}
+
+// BenchmarkEngineFeed measures the incremental PMF-update hot path with no
+// service overhead: one open-engine Feed per op (advance virtual clock,
+// reactive/proactive dropping, PAM mapping over tail-completion PMFs
+// chained through the shared convolution workspace).
+func BenchmarkEngineFeed(b *testing.B) {
+	m, err := pet.CachedMatrix("video")
+	if err != nil {
+		b.Fatal(err)
+	}
+	mapper, _ := mapping.FromSpec("PAM")
+	dropper, _ := core.PolicyFromSpec("heuristic")
+	tasks := benchTasks(b, b.N)
+	eng := sim.NewOpen(m, mapper, dropper, sim.Config{QueueCap: 6})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Feed(&tasks[i])
+	}
+}
+
+// BenchmarkControllerDecide measures the full decision path — request
+// validation, event-loop round trip, decision assembly — one task per
+// request.
+func BenchmarkControllerDecide(b *testing.B) {
+	benchDecide(b, 1)
+}
+
+// BenchmarkControllerDecideBatch16 amortizes the loop round trip over a
+// 16-task batch (the load generator's default shape). ns/op is per task.
+func BenchmarkControllerDecideBatch16(b *testing.B) {
+	benchDecide(b, 16)
+}
+
+func benchDecide(b *testing.B, batch int) {
+	c, err := New(Config{Profile: "video", Mapper: "PAM", Dropper: "heuristic"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	tasks := benchTasks(b, b.N+batch)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		req := DecideRequest{Tasks: make([]TaskSpec, batch)}
+		for j := 0; j < batch; j++ {
+			t := &tasks[i+j]
+			req.Tasks[j] = TaskSpec{
+				Type: int(t.Type), Arrival: t.Arrival,
+				Deadline: t.Deadline, ExecByType: t.ExecByType,
+			}
+		}
+		if _, err := c.Decide(ctx, &req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

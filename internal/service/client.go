@@ -1,0 +1,182 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// ReplayConfig tunes a trace replay against a running admission server.
+type ReplayConfig struct {
+	// BatchSize is the number of tasks per decide request (default 16).
+	BatchSize int
+	// Speed is the arrival-rate multiplier relative to the trace's own
+	// clock (ticks are milliseconds): 1 replays in real time, 50 replays
+	// fifty times faster, and <= 0 replays as fast as the server answers.
+	Speed float64
+	// Drain issues POST /v1/drain after the last task and collects the
+	// final Result (default on through cmd/hcload).
+	Drain bool
+}
+
+// ReplayReport is the client-side account of one replayed trace.
+type ReplayReport struct {
+	Requests int `json:"requests"`
+	Tasks    int `json:"tasks"`
+	Mapped   int `json:"mapped"`
+	Deferred int `json:"deferred"`
+	Dropped  int `json:"dropped"`
+	// Decisions is the full decision sequence, in arrival order.
+	Decisions []Decision `json:"decisions"`
+	// LatencyP50/P99 are client-observed decide-request latencies.
+	LatencyP50 time.Duration `json:"latency_p50_ns"`
+	LatencyP99 time.Duration `json:"latency_p99_ns"`
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	// Final is the server's drain Result (nil unless ReplayConfig.Drain).
+	Final *sim.Result `json:"final,omitempty"`
+}
+
+// Robustness returns the achieved on-time completion ratio (%) reported by
+// the server's drain, or -1 when the replay did not drain.
+func (r *ReplayReport) Robustness() float64 {
+	if r.Final == nil {
+		return -1
+	}
+	return r.Final.RobustnessPct
+}
+
+// Replay feeds a workload trace through a server's /v1/decide endpoint in
+// arrival order, pacing by the trace's arrival gaps scaled by cfg.Speed,
+// and reports decisions, latency percentiles and (when draining) the
+// server's final Result. The same (trace, batch size) always produces the
+// same request sequence, so replays are reproducible end to end.
+func Replay(ctx context.Context, client *http.Client, baseURL string, tr *workload.Trace, cfg ReplayConfig) (*ReplayReport, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 16
+	}
+	rep := &ReplayReport{Tasks: tr.Len()}
+	lats := make([]time.Duration, 0, (tr.Len()+cfg.BatchSize-1)/cfg.BatchSize)
+	start := time.Now()
+
+	for lo := 0; lo < len(tr.Tasks); lo += cfg.BatchSize {
+		hi := lo + cfg.BatchSize
+		if hi > len(tr.Tasks) {
+			hi = len(tr.Tasks)
+		}
+		req := DecideRequest{Tasks: make([]TaskSpec, hi-lo)}
+		for i, t := range tr.Tasks[lo:hi] {
+			req.Tasks[i] = TaskSpec{
+				ID:         fmt.Sprintf("t%d", t.ID),
+				Type:       int(t.Type),
+				Arrival:    t.Arrival,
+				Deadline:   t.Deadline,
+				ExecByType: t.ExecByType,
+			}
+		}
+		if cfg.Speed > 0 {
+			// Pace so the batch's first arrival lands on the scaled clock.
+			due := start.Add(time.Duration(float64(tr.Tasks[lo].Arrival-tr.Tasks[0].Arrival) / cfg.Speed * float64(time.Millisecond)))
+			if wait := time.Until(due); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		}
+		t0 := time.Now()
+		var resp DecideResponse
+		if err := postJSON(ctx, client, baseURL+"/v1/decide", &req, &resp); err != nil {
+			return nil, err
+		}
+		lats = append(lats, time.Since(t0))
+		rep.Requests++
+		for _, d := range resp.Decisions {
+			switch d.Action {
+			case ActionMap:
+				rep.Mapped++
+			case ActionDefer:
+				rep.Deferred++
+			case ActionDrop:
+				rep.Dropped++
+			}
+		}
+		rep.Decisions = append(rep.Decisions, resp.Decisions...)
+	}
+
+	// Elapsed covers decision traffic only, so achieved tasks/s stays
+	// comparable to the decide benchmarks; the drain below runs the whole
+	// virtual system to completion and is not decision throughput.
+	rep.Elapsed = time.Since(start)
+	if cfg.Drain {
+		var dr DrainResponse
+		if err := postJSON(ctx, client, baseURL+"/v1/drain", nil, &dr); err != nil {
+			return nil, err
+		}
+		rep.Final = dr.Result
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.LatencyP50 = percentile(lats, 0.50)
+	rep.LatencyP99 = percentile(lats, 0.99)
+	return rep, nil
+}
+
+// percentile reads the q-quantile from an ascending latency slice using
+// the nearest-rank definition, which never understates the tail: the p99
+// of two samples is the slower one, not the faster.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// postJSON posts body (nil for an empty body) and decodes the response
+// into out, surfacing the server's error string on non-2xx statuses.
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("service: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("service: %s: HTTP %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

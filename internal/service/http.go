@@ -1,0 +1,120 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// maxDecideBody bounds a decide request body (a 10k-task batch is ~1 MB).
+const maxDecideBody = 16 << 20
+
+// NewHandler wires the controller's HTTP surface:
+//
+//	POST /v1/decide  — batch admission decisions
+//	POST /v1/drain   — graceful drain; returns the final Result
+//	GET  /healthz    — liveness + served (profile, mapper, dropper)
+//	GET  /metrics    — Prometheus text exposition
+func NewHandler(c *Controller) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		var req DecideRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDecideBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			c.metrics.rejected.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad decide body: %w", err))
+			return
+		}
+		resp, err := c.Decide(r.Context(), &req)
+		if err != nil {
+			httpError(w, decideStatus(err), err)
+			return
+		}
+		c.metrics.ObserveLatency(time.Since(start))
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
+		res, err := c.Drain(r.Context())
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &DrainResponse{Result: res})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := StatusResponse{
+			Status:   "ok",
+			Profile:  c.cfg.Profile,
+			Mapper:   c.cfg.Mapper,
+			Dropper:  c.cfg.Dropper,
+			Machines: len(c.matrix.Machines()),
+		}
+		if c.Draining() {
+			st.Status = "draining"
+		}
+		writeJSON(w, http.StatusOK, &st)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.metrics.WritePrometheus(w)
+		// Engine gauges come from the decision loop; skip them once drained
+		// (counters above still tell the whole story).
+		if snap, err := c.Stats(r.Context()); err == nil {
+			writeEngineGauges(w, c, snap)
+		} else if res, ok := c.FinalResult(); ok {
+			fmt.Fprintf(w, "# HELP taskdrop_final_robustness_pct Robustness of the drained run.\n")
+			fmt.Fprintf(w, "# TYPE taskdrop_final_robustness_pct gauge\n")
+			fmt.Fprintf(w, "taskdrop_final_robustness_pct %g\n", res.RobustnessPct)
+		}
+	})
+	return mux
+}
+
+// writeEngineGauges renders the live queue-state gauges.
+func writeEngineGauges(w http.ResponseWriter, c *Controller, snap Snapshot) {
+	machines := c.matrix.Machines()
+	fmt.Fprintf(w, "# HELP taskdrop_virtual_clock_ticks The server's virtual clock.\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_virtual_clock_ticks gauge\n")
+	fmt.Fprintf(w, "taskdrop_virtual_clock_ticks %d\n", snap.Now)
+	fmt.Fprintf(w, "# HELP taskdrop_queue_depth Tasks queued per machine (incl. running).\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_queue_depth gauge\n")
+	for i, d := range snap.QueueDepths {
+		fmt.Fprintf(w, "taskdrop_queue_depth{machine=\"%d\",name=%q} %d\n", i, machines[i].Name, d)
+	}
+	fmt.Fprintf(w, "# HELP taskdrop_tasks Live task census by state.\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_tasks gauge\n")
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"batch\"} %d\n", snap.Live.Batch)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"queued\"} %d\n", snap.Live.Queued)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"running\"} %d\n", snap.Live.Running)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"on_time\"} %d\n", snap.Live.OnTime)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"late\"} %d\n", snap.Live.Late)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"dropped_reactive\"} %d\n", snap.Live.DroppedReactive)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"dropped_proactive\"} %d\n", snap.Live.DroppedProactive)
+	fmt.Fprintf(w, "taskdrop_tasks{state=\"failed\"} %d\n", snap.Live.Failed)
+}
+
+// decideStatus maps controller errors onto HTTP statuses.
+func decideStatus(err error) int {
+	if errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

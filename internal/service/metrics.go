@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the decision-latency
+// histogram — decision work is convolution-bound and typically lands in
+// the tens-of-microseconds to low-milliseconds range.
+var latencyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 1,
+}
+
+// Metrics aggregates the service's operational counters. Counters are
+// atomics: the decision loop is the single writer for decision counters,
+// but HTTP handler goroutines record latencies and scrapes read everything
+// concurrently.
+type Metrics struct {
+	start time.Time
+
+	requests  atomic.Int64 // decide requests processed
+	tasks     atomic.Int64 // tasks decided
+	mapped    atomic.Int64
+	deferred  atomic.Int64
+	dropped   atomic.Int64 // drop decisions at admission (reactive at arrival)
+	rejected  atomic.Int64 // malformed specs rejected before reaching the loop
+	histogram []atomic.Int64
+	latSumNS  atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), histogram: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+// countDecision tallies one admission decision.
+func (m *Metrics) countDecision(a Action) {
+	m.tasks.Add(1)
+	switch a {
+	case ActionMap:
+		m.mapped.Add(1)
+	case ActionDefer:
+		m.deferred.Add(1)
+	case ActionDrop:
+		m.dropped.Add(1)
+	}
+}
+
+// ObserveLatency records one end-to-end decision latency (request receipt
+// to decision, including queueing behind the single-writer loop).
+func (m *Metrics) ObserveLatency(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if s <= latencyBuckets[i] {
+			break
+		}
+	}
+	m.histogram[i].Add(1)
+	m.latSumNS.Add(int64(d))
+}
+
+// DropRate returns the fraction of decided tasks rejected at admission.
+func (m *Metrics) DropRate() float64 {
+	t := m.tasks.Load()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.dropped.Load()) / float64(t)
+}
+
+// DecisionsPerSecond returns the mean decision throughput since start.
+func (m *Metrics) DecisionsPerSecond() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.tasks.Load()) / el
+}
+
+// WritePrometheus renders the metrics in Prometheus text exposition
+// format. Engine gauges (queue depths, live task census) are appended by
+// the controller, which owns that state.
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP taskdrop_decide_requests_total Decide requests processed.\n")
+	p("# TYPE taskdrop_decide_requests_total counter\n")
+	p("taskdrop_decide_requests_total %d\n", m.requests.Load())
+	p("# HELP taskdrop_decisions_total Admission decisions by action.\n")
+	p("# TYPE taskdrop_decisions_total counter\n")
+	p("taskdrop_decisions_total{action=\"map\"} %d\n", m.mapped.Load())
+	p("taskdrop_decisions_total{action=\"defer\"} %d\n", m.deferred.Load())
+	p("taskdrop_decisions_total{action=\"drop\"} %d\n", m.dropped.Load())
+	p("# HELP taskdrop_rejected_requests_total Requests rejected before decision (validation).\n")
+	p("# TYPE taskdrop_rejected_requests_total counter\n")
+	p("taskdrop_rejected_requests_total %d\n", m.rejected.Load())
+	p("# HELP taskdrop_drop_rate Fraction of decided tasks dropped at admission.\n")
+	p("# TYPE taskdrop_drop_rate gauge\n")
+	p("taskdrop_drop_rate %g\n", m.DropRate())
+	p("# HELP taskdrop_decisions_per_second Mean decision throughput since start.\n")
+	p("# TYPE taskdrop_decisions_per_second gauge\n")
+	p("taskdrop_decisions_per_second %g\n", m.DecisionsPerSecond())
+	p("# HELP taskdrop_decision_latency_seconds Decision latency (receipt to decision).\n")
+	p("# TYPE taskdrop_decision_latency_seconds histogram\n")
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += m.histogram[i].Load()
+		p("taskdrop_decision_latency_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.histogram[len(latencyBuckets)].Load()
+	p("taskdrop_decision_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("taskdrop_decision_latency_seconds_sum %g\n", float64(m.latSumNS.Load())/1e9)
+	p("taskdrop_decision_latency_seconds_count %d\n", cum)
+}

@@ -1,0 +1,417 @@
+// Package service hosts the paper's dropper + mapper as a long-running
+// online admission controller — the serving layer over the same machinery
+// the offline simulator uses.
+//
+// # Concurrency model: single-writer event loop
+//
+// All mutable state (the open simulation engine, its machine queues, the
+// completion-time calculus with its convolution workspace) is owned by ONE
+// goroutine; HTTP handlers submit closures over a channel and wait for the
+// reply. This choice, rather than sharding or locking, is deliberate:
+//
+//   - the calculus reuses a pmf.Workspace whose dense scratch array is
+//     inherently single-threaded — sharing it under a lock would serialize
+//     anyway, and per-request workspaces would defeat its purpose;
+//   - queue state is tiny (machines × queue-cap entries), so the loop's
+//     critical path is microseconds of convolution, not contention;
+//   - serializing decisions in request order makes the decision sequence a
+//     pure function of the request sequence — the determinism guarantee
+//     ("same spec, same trace, same seed ⇒ same decisions") that lets the
+//     online controller be validated against the offline simulator.
+//
+// Scaling beyond one loop is a matter of running one Controller per
+// machine-group shard behind a task-type router; the single-writer core
+// stays the unit of determinism.
+//
+// # Memory model
+//
+// The controller retains one small task record per decision so the drain
+// Result can account for the full run exactly like an offline trial
+// (including per-task utility and boundary exclusion). Live gauges are
+// O(1) — the engine maintains its lifecycle census incrementally — but
+// memory grows linearly with tasks served (~100 B/task). For multi-day
+// deployments, drain and restart per epoch (or shard by epoch) to bound
+// the history a single controller accounts for.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// ErrDraining is returned for work submitted after Drain has begun.
+var ErrDraining = errors.New("service: controller is draining")
+
+// Config assembles an admission controller. Profile, Mapper and Dropper
+// are registry specs — the same grammar as the CLI flags and the Scenario
+// API (see internal/spec).
+type Config struct {
+	// Profile is the system profile spec (e.g. "spec", "video", "spec:seed=7").
+	Profile string
+	// Mapper is the mapping heuristic spec (default "PAM").
+	Mapper string
+	// Dropper is the dropping policy spec (default "heuristic").
+	Dropper string
+	// QueueCap bounds each machine queue, including the running task
+	// (default 6, the paper's setting).
+	QueueCap int
+	// Grace is the reactive-dropping grace window (approximate-computing
+	// extension; default 0 = the paper's model).
+	Grace pmf.Tick
+	// DropOnArrival engages the proactive dropper on arrival events too
+	// (see sim.Config.DropOnArrival).
+	DropOnArrival bool
+	// BoundaryExclusion excludes the first and last N tasks from the final
+	// drain Result's measured metrics. The service default is 0 (account
+	// for everything served); set 100 to mirror the paper's offline runs.
+	BoundaryExclusion int
+	// Backlog bounds decide requests queued behind the decision loop
+	// before submitters block (default 256).
+	Backlog int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Profile == "" {
+		c.Profile = "spec"
+	}
+	if c.Mapper == "" {
+		c.Mapper = "PAM"
+	}
+	if c.Dropper == "" {
+		c.Dropper = "heuristic"
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 6
+	}
+	if c.Backlog == 0 {
+		c.Backlog = 256
+	}
+	return c
+}
+
+// Controller is the online admission service: it keeps live per-machine
+// queue state inside an open simulation engine, incrementally maintains
+// completion-time PMFs through the engine's calculus (reusing its
+// convolution workspace and tail-PMF caches), and decides map/defer/drop
+// for every arriving task.
+type Controller struct {
+	cfg     Config
+	matrix  *pet.Matrix
+	metrics *Metrics
+
+	cmds     chan func()
+	loopDone chan struct{}
+
+	mu       sync.Mutex // guards draining flag and final result
+	draining bool
+	final    *sim.Result
+
+	// Loop-owned state: touched only by the goroutine running loop().
+	eng     *sim.Engine
+	seq     int
+	stopped bool
+}
+
+// New resolves the specs, obtains the (cached) PET matrix, builds the open
+// engine and starts the decision loop.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	matrix, err := pet.CachedMatrix(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	mapper, err := mapping.FromSpec(cfg.Mapper)
+	if err != nil {
+		return nil, err
+	}
+	dropper, err := core.PolicyFromSpec(cfg.Dropper)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.QueueCap < 1 {
+		return nil, fmt.Errorf("service: queue cap %d, want >= 1", cfg.QueueCap)
+	}
+	if cfg.Grace < 0 {
+		return nil, fmt.Errorf("service: grace %d, want >= 0", cfg.Grace)
+	}
+	if cfg.BoundaryExclusion < 0 {
+		return nil, fmt.Errorf("service: boundary exclusion %d, want >= 0", cfg.BoundaryExclusion)
+	}
+	if cfg.Backlog < 1 {
+		return nil, fmt.Errorf("service: backlog %d, want >= 1", cfg.Backlog)
+	}
+	simCfg := sim.Config{
+		QueueCap:          cfg.QueueCap,
+		BoundaryExclusion: cfg.BoundaryExclusion,
+		DropOnArrival:     cfg.DropOnArrival,
+		ReactiveGrace:     cfg.Grace,
+	}
+	c := &Controller{
+		cfg:      cfg,
+		matrix:   matrix,
+		metrics:  newMetrics(),
+		cmds:     make(chan func(), cfg.Backlog),
+		loopDone: make(chan struct{}),
+		eng:      sim.NewOpen(matrix, mapper, dropper, simCfg),
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Config returns the resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Matrix returns the served system's PET matrix.
+func (c *Controller) Matrix() *pet.Matrix { return c.matrix }
+
+// Metrics returns the controller's operational counters.
+func (c *Controller) Metrics() *Metrics { return c.metrics }
+
+// loop is the single writer: it executes submitted closures in arrival
+// order until the drain command flips stopped.
+func (c *Controller) loop() {
+	defer close(c.loopDone)
+	for fn := range c.cmds {
+		fn()
+		if c.stopped {
+			return
+		}
+	}
+}
+
+// do runs fn on the decision loop and waits for it to finish.
+func (c *Controller) do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	wrapped := func() { defer close(done); fn() }
+	select {
+	case c.cmds <- wrapped:
+	case <-c.loopDone:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-c.loopDone:
+		// The loop exited with wrapped still queued; it will never run.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrDraining
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Decide processes one batch of arriving tasks through the admission
+// pipeline (reactive drop of expired tasks, proactive dropping policy,
+// mapping heuristic) and returns one decision per task, in order.
+// Decisions are serialized: for a fixed request sequence the decision
+// sequence is deterministic.
+//
+// A request whose ctx is cancelled while still queued is skipped — an
+// errored Decide leaves no state behind, so clients may safely retry.
+// Only a cancellation racing the processing itself can commit a batch
+// the client never saw; resubmitting after such a race double-feeds.
+func (c *Controller) Decide(ctx context.Context, req *DecideRequest) (*DecideResponse, error) {
+	if req == nil || len(req.Tasks) == 0 {
+		return nil, fmt.Errorf("service: empty decide request")
+	}
+	nt, nm := c.matrix.NumTaskTypes(), c.matrix.NumMachineTypes()
+	for i := range req.Tasks {
+		if err := req.Tasks[i].Validate(nt, nm); err != nil {
+			c.metrics.rejected.Add(1)
+			return nil, err
+		}
+	}
+	c.mu.Lock()
+	draining := c.draining
+	c.mu.Unlock()
+	if draining {
+		return nil, ErrDraining
+	}
+	var resp *DecideResponse
+	err := c.do(ctx, func() {
+		if c.stopped || ctx.Err() != nil {
+			// Drained, or the submitter already gave up: leave the engine
+			// untouched so the failed request has no effect.
+			return
+		}
+		resp = c.decideLocked(req)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resp == nil {
+		// The closure skipped: either the submitter's ctx was cancelled as
+		// it ran (a client problem, not a server state) or the controller
+		// drained underneath it.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, ErrDraining
+	}
+	return resp, nil
+}
+
+// decideLocked runs on the decision loop.
+func (c *Controller) decideLocked(req *DecideRequest) *DecideResponse {
+	c.metrics.requests.Add(1)
+	machines := c.matrix.Machines()
+	out := &DecideResponse{Decisions: make([]Decision, len(req.Tasks))}
+	for i := range req.Tasks {
+		spec := &req.Tasks[i]
+		ts := c.eng.Feed(c.makeTask(spec))
+		d := Decision{ID: spec.ID, Seq: c.seq, Machine: -1}
+		c.seq++
+		switch st := ts.Status; {
+		case st == sim.StatusQueued || st == sim.StatusRunning:
+			d.Action = ActionMap
+			d.Machine = ts.Machine
+			d.MachineName = machines[ts.Machine].Name
+		case st == sim.StatusBatch:
+			d.Action = ActionDefer
+		default:
+			d.Action = ActionDrop
+		}
+		c.metrics.countDecision(d.Action)
+		out.Decisions[i] = d
+	}
+	out.Now = c.eng.Now()
+	return out
+}
+
+// makeTask converts a wire spec into an engine task, filling missing
+// realized execution times with the PET cell means (rounded to ticks) so
+// generic clients need not carry a trace.
+func (c *Controller) makeTask(spec *TaskSpec) *workload.Task {
+	exec := spec.ExecByType
+	if len(exec) == 0 {
+		nm := c.matrix.NumMachineTypes()
+		exec = make([]pmf.Tick, nm)
+		for j := 0; j < nm; j++ {
+			e := pmf.Tick(c.matrix.CellMean(pet.TaskType(spec.Type), pet.MachineType(j)) + 0.5)
+			if e < 1 {
+				e = 1
+			}
+			exec[j] = e
+		}
+	}
+	return &workload.Task{
+		ID:         c.seq,
+		Type:       pet.TaskType(spec.Type),
+		Arrival:    spec.Arrival,
+		Deadline:   spec.Deadline,
+		ExecByType: exec,
+	}
+}
+
+// Snapshot is a point-in-time view of the controller's live state.
+type Snapshot struct {
+	Now         pmf.Tick `json:"now"`
+	Live        sim.Live `json:"live"`
+	QueueDepths []int    `json:"queue_depths"`
+}
+
+// Stats snapshots the engine state through the decision loop. Once
+// draining it fails fast with ErrDraining rather than queueing behind the
+// (potentially long) drain command — a metrics scrape must not stall on
+// shutdown.
+func (c *Controller) Stats(ctx context.Context) (Snapshot, error) {
+	if c.Draining() {
+		return Snapshot{}, ErrDraining
+	}
+	var snap Snapshot
+	ok := false
+	err := c.do(ctx, func() {
+		if c.stopped {
+			return
+		}
+		snap = Snapshot{Now: c.eng.Now(), Live: c.eng.LiveCounts(), QueueDepths: c.eng.QueueDepths()}
+		ok = true
+	})
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if !ok {
+		return Snapshot{}, ErrDraining
+	}
+	return snap, nil
+}
+
+// Drain gracefully shuts the controller down: new Decide calls are
+// rejected immediately, the virtual system runs its queued work to
+// completion, and the final trial Result (robustness, drops, cost) is
+// returned. Draining is committed the moment Drain is first called:
+// whatever happens to ctx afterwards, the drain command is enqueued (in
+// the background if need be) and runs to completion, so a caller whose
+// ctx expires still finds the result later through FinalResult or another
+// Drain call — and concurrent waiters can rely on the loop terminating.
+func (c *Controller) Drain(ctx context.Context) (*sim.Result, error) {
+	c.mu.Lock()
+	first := !c.draining
+	c.draining = true
+	c.mu.Unlock()
+
+	if first {
+		// The send is unbounded-blocking by design: the loop is consuming
+		// the queue, so it always eventually accepts, and only this command
+		// can stop it. The goroutine decouples that wait from ctx.
+		drainCmd := func() {
+			res := c.eng.Drain()
+			c.mu.Lock()
+			c.final = res
+			c.mu.Unlock()
+			c.stopped = true
+		}
+		go func() { c.cmds <- drainCmd }()
+	}
+
+	// drainCmd stores the result before the loop exits, so once loopDone
+	// closes the result is ready.
+	select {
+	case <-c.loopDone:
+		if final, ok := c.FinalResult(); ok {
+			return final, nil
+		}
+		return nil, ErrDraining
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been initiated.
+func (c *Controller) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// FinalResult returns the drain result once available.
+func (c *Controller) FinalResult() (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.final, c.final != nil
+}
+
+// Close drains the controller with a timeout, for callers that only need
+// teardown.
+func (c *Controller) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_, err := c.Drain(ctx)
+	return err
+}

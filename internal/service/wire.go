@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+)
+
+// Wire types of the admission service's HTTP API. JSON tags follow the
+// snake_case convention of sim.Result / runner.Aggregate so server
+// responses, offline trial dumps and experiment CSVs share one vocabulary.
+
+// TaskSpec is one arriving task in a decide request. Times are absolute
+// ticks (1 ms) on the client's trace clock; the server's virtual clock
+// follows the arrival ticks it is fed, which is what makes a replayed
+// trace reproduce the offline simulation exactly.
+type TaskSpec struct {
+	// ID is an optional client-chosen label echoed back in the decision.
+	ID string `json:"id,omitempty"`
+	// Type is the task's PET row.
+	Type int `json:"type"`
+	// Arrival is the task's arrival tick. Arrivals must be non-decreasing
+	// across requests; an arrival behind the server clock is treated as
+	// arriving now.
+	Arrival pmf.Tick `json:"arrival"`
+	// Deadline is the task's absolute hard deadline tick.
+	Deadline pmf.Tick `json:"deadline"`
+	// ExecByType optionally carries the realized execution time per machine
+	// type (as pre-drawn in a workload trace). When omitted the server
+	// falls back to the PET cell means, which keeps the run deterministic
+	// but loses execution-time variance.
+	ExecByType []pmf.Tick `json:"exec_by_type,omitempty"`
+}
+
+// DecideRequest is the body of POST /v1/decide: a batch of tasks arriving
+// in order.
+type DecideRequest struct {
+	Tasks []TaskSpec `json:"tasks"`
+}
+
+// Action is the admission outcome for one arriving task.
+type Action string
+
+// The three admission outcomes.
+const (
+	// ActionMap: admitted and assigned to a machine queue.
+	ActionMap Action = "map"
+	// ActionDefer: not admitted now (every queue slot is full); the server
+	// keeps the task in its batch and maps or drops it at a later event.
+	ActionDefer Action = "defer"
+	// ActionDrop: rejected — the task's deadline (plus grace) had already
+	// passed at arrival, so per Eq. 1 it can deliver no value.
+	ActionDrop Action = "drop"
+)
+
+// Decision is the admission outcome of one task.
+type Decision struct {
+	ID string `json:"id,omitempty"`
+	// Seq is the server-assigned arrival sequence number (0-based).
+	Seq    int    `json:"seq"`
+	Action Action `json:"action"`
+	// Machine is the admitted machine's index, or -1 when not mapped.
+	Machine     int    `json:"machine"`
+	MachineName string `json:"machine_name,omitempty"`
+}
+
+// DecideResponse is the body returned by POST /v1/decide.
+type DecideResponse struct {
+	// Now is the server's virtual clock after processing the batch.
+	Now       pmf.Tick   `json:"now"`
+	Decisions []Decision `json:"decisions"`
+}
+
+// DrainResponse is the body returned by POST /v1/drain: the final trial
+// accounting after every queued task has executed or been dropped.
+type DrainResponse struct {
+	Result *sim.Result `json:"result"`
+}
+
+// StatusResponse is the body returned by GET /healthz.
+type StatusResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Profile  string `json:"profile"`
+	Mapper   string `json:"mapper"`
+	Dropper  string `json:"dropper"`
+	Machines int    `json:"machines"`
+}
+
+// Validate checks one task spec against the served system.
+func (t *TaskSpec) Validate(numTaskTypes, numMachineTypes int) error {
+	if t.Type < 0 || t.Type >= numTaskTypes {
+		return fmt.Errorf("service: task type %d out of range [0,%d)", t.Type, numTaskTypes)
+	}
+	if t.Arrival < 0 {
+		return fmt.Errorf("service: negative arrival %d", t.Arrival)
+	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("service: negative deadline %d", t.Deadline)
+	}
+	if len(t.ExecByType) != 0 && len(t.ExecByType) != numMachineTypes {
+		return fmt.Errorf("service: exec_by_type has %d entries, want %d (or none)",
+			len(t.ExecByType), numMachineTypes)
+	}
+	for _, x := range t.ExecByType {
+		if x < 1 {
+			return fmt.Errorf("service: exec_by_type entry %d, want >= 1", x)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+)
+
+// TestWireRoundTrip encodes every wire type, decodes it back, and requires
+// equality — the service's JSON contract.
+func TestWireRoundTrip(t *testing.T) {
+	roundTrip := func(t *testing.T, in, out any) {
+		t.Helper()
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v\njson: %s", in, out, data)
+		}
+	}
+
+	req := &DecideRequest{Tasks: []TaskSpec{
+		{ID: "a", Type: 2, Arrival: 10, Deadline: 450, ExecByType: []pmf.Tick{30, 70}},
+		{Type: 0, Arrival: 11, Deadline: 99},
+	}}
+	roundTrip(t, req, &DecideRequest{})
+
+	resp := &DecideResponse{Now: 42, Decisions: []Decision{
+		{ID: "a", Seq: 0, Action: ActionMap, Machine: 3, MachineName: "fast#0"},
+		{Seq: 1, Action: ActionDefer, Machine: -1},
+		{Seq: 2, Action: ActionDrop, Machine: -1},
+	}}
+	roundTrip(t, resp, &DecideResponse{})
+
+	dr := &DrainResponse{Result: &sim.Result{Total: 9, Measured: 9, OnTime: 5, Late: 1,
+		DroppedReactive: 1, DroppedProactive: 2, MOnTime: 5, MLate: 1, MDroppedReactive: 1,
+		MDroppedProactive: 2, RobustnessPct: 55.5, Makespan: 1234}}
+	roundTrip(t, dr, &DrainResponse{})
+
+	st := &StatusResponse{Status: "ok", Profile: "spec", Mapper: "PAM", Dropper: "heuristic", Machines: 8}
+	roundTrip(t, st, &StatusResponse{})
+}
+
+// TestWireTagsAreSnakeCase keeps the wire vocabulary consistent with
+// sim.Result / runner.Aggregate: every JSON key is lower snake_case.
+func TestWireTagsAreSnakeCase(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(TaskSpec{}),
+		reflect.TypeOf(DecideRequest{}),
+		reflect.TypeOf(Decision{}),
+		reflect.TypeOf(DecideResponse{}),
+		reflect.TypeOf(DrainResponse{}),
+		reflect.TypeOf(StatusResponse{}),
+		reflect.TypeOf(Snapshot{}),
+		reflect.TypeOf(ReplayReport{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "" {
+				t.Errorf("%s.%s has no json tag", typ.Name(), f.Name)
+				continue
+			}
+			if tag != strings.ToLower(tag) || strings.Contains(tag, "-") {
+				t.Errorf("%s.%s json tag %q is not snake_case", typ.Name(), f.Name, tag)
+			}
+		}
+	}
+}
+
+// TestTaskSpecValidate exercises the request validation boundary.
+func TestTaskSpecValidate(t *testing.T) {
+	good := TaskSpec{Type: 1, Arrival: 5, Deadline: 50, ExecByType: []pmf.Tick{3, 4}}
+	if err := good.Validate(2, 2); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []TaskSpec{
+		{Type: -1, Arrival: 1, Deadline: 2},
+		{Type: 2, Arrival: 1, Deadline: 2},
+		{Type: 0, Arrival: -1, Deadline: 2},
+		{Type: 0, Arrival: 1, Deadline: -2},
+		{Type: 0, Arrival: 1, Deadline: 2, ExecByType: []pmf.Tick{1}},
+		{Type: 0, Arrival: 1, Deadline: 2, ExecByType: []pmf.Tick{0, 1}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(2, 2); err == nil {
+			t.Errorf("case %d: invalid spec %+v accepted", i, c)
+		}
+	}
+}

@@ -55,8 +55,7 @@ func (e *Engine) Breakdown() ([]TypeBreakdown, []MachineBreakdown) {
 			CostUSD:   float64(m.busy) / 3.6e6 * m.Spec.PriceHour,
 		}
 	}
-	for i := range e.tasks {
-		ts := &e.tasks[i]
+	for _, ts := range e.tasks {
 		tb := &types[ts.Task.Type]
 		tb.Total++
 		switch ts.Status {

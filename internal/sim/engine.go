@@ -65,20 +65,65 @@ type Engine struct {
 	calc    *core.Calculus
 	cfg     Config
 
-	clock       pmf.Tick
-	machines    []*Machine
-	batch       []*TaskState
-	tasks       []TaskState
+	clock    pmf.Tick
+	machines []*Machine
+	batch    []*TaskState
+	// tasks holds one heap-allocated state per arrived (or, in trace mode,
+	// pre-loaded) task; pointer elements keep batch/queue references stable
+	// when an open engine appends new arrivals.
+	tasks       []*TaskState
 	nextArrival int
 	totalSlots  int
 	failures    []machineFailureState
+	// open marks an incrementally-fed engine (see NewOpen/Feed).
+	open bool
+	// live is the incremental lifecycle census of arrived tasks, kept in
+	// sync by arrive/transition so LiveCounts is O(1) — the admission
+	// service reads it on every metrics scrape without stalling the
+	// decision loop.
+	live Live
+}
+
+// arrive registers a task entering the system in the batch queue.
+func (e *Engine) arrive(ts *TaskState) {
+	ts.Status = StatusBatch
+	e.live.Arrived++
+	e.live.Batch++
+}
+
+// transition moves an arrived task to a new lifecycle state, keeping the
+// live census in sync. Every post-arrival status change must go through
+// here (TestLiveCountsStayConsistent cross-checks against a full recount).
+func (e *Engine) transition(ts *TaskState, to Status) {
+	e.live.add(ts.Status, -1)
+	ts.Status = to
+	e.live.add(to, 1)
 }
 
 // New builds an engine. A nil dropper defaults to core.ReactiveOnly. The
 // calculus' compaction budget can be adjusted through Calc() before Run.
 func New(m *pet.Matrix, tr *workload.Trace, mapper Mapper, dropper core.Policy, cfg Config) *Engine {
-	if m == nil || tr == nil || mapper == nil {
-		panic("sim: nil PET matrix, trace, or mapper")
+	if tr == nil {
+		panic("sim: nil trace")
+	}
+	e := newEngine(m, mapper, dropper, cfg)
+	e.trace = tr
+	// One backing array for the fixed-length trace; per-task allocation is
+	// only needed when an open engine grows its task list.
+	states := make([]TaskState, len(tr.Tasks))
+	e.tasks = make([]*TaskState, len(tr.Tasks))
+	for i := range tr.Tasks {
+		states[i] = TaskState{Task: &tr.Tasks[i], Machine: -1}
+		e.tasks[i] = &states[i]
+	}
+	return e
+}
+
+// newEngine builds the trace-independent engine core shared by New and
+// NewOpen.
+func newEngine(m *pet.Matrix, mapper Mapper, dropper core.Policy, cfg Config) *Engine {
+	if m == nil || mapper == nil {
+		panic("sim: nil PET matrix or mapper")
 	}
 	if cfg.QueueCap < 1 {
 		panic(fmt.Sprintf("sim: queue capacity %d, want >= 1", cfg.QueueCap))
@@ -88,7 +133,6 @@ func New(m *pet.Matrix, tr *workload.Trace, mapper Mapper, dropper core.Policy, 
 	}
 	e := &Engine{
 		pet:     m,
-		trace:   tr,
 		mapper:  mapper,
 		dropper: dropper,
 		calc:    core.NewCalculus(m),
@@ -100,10 +144,6 @@ func New(m *pet.Matrix, tr *workload.Trace, mapper Mapper, dropper core.Policy, 
 		e.machines[i] = &Machine{Spec: s, completeAt: noCompletion}
 	}
 	e.totalSlots = len(specs) * cfg.QueueCap
-	e.tasks = make([]TaskState, len(tr.Tasks))
-	for i := range tr.Tasks {
-		e.tasks[i] = TaskState{Task: &tr.Tasks[i], Machine: -1}
-	}
 	return e
 }
 
@@ -204,9 +244,9 @@ func (e *Engine) advance(t pmf.Tick) {
 }
 
 func (e *Engine) handleArrival() {
-	ts := &e.tasks[e.nextArrival]
+	ts := e.tasks[e.nextArrival]
 	e.nextArrival++
-	ts.Status = StatusBatch
+	e.arrive(ts)
 	e.batch = append(e.batch, ts)
 	e.mappingEvent(false)
 }
@@ -215,9 +255,9 @@ func (e *Engine) handleCompletion(m *Machine) {
 	ts := m.queue[0]
 	ts.Finish = e.clock
 	if ts.Finish < ts.Task.Deadline {
-		ts.Status = StatusCompletedOnTime
+		e.transition(ts, StatusCompletedOnTime)
 	} else {
-		ts.Status = StatusCompletedLate
+		e.transition(ts, StatusCompletedLate)
 	}
 	m.busy += ts.Finish - ts.Start
 	m.running = false
@@ -248,7 +288,7 @@ func (e *Engine) reactiveDrops() bool {
 	kept := e.batch[:0]
 	for _, ts := range e.batch {
 		if cutoff(ts) <= e.clock {
-			ts.Status = StatusDroppedReactive
+			e.transition(ts, StatusDroppedReactive)
 			dropped = true
 		} else {
 			kept = append(kept, ts)
@@ -260,7 +300,7 @@ func (e *Engine) reactiveDrops() bool {
 	for _, m := range e.machines {
 		for i := m.firstPending(); i < len(m.queue); {
 			if cutoff(m.queue[i]) <= e.clock {
-				m.removeAt(i).Status = StatusDroppedReactive
+				e.transition(m.removeAt(i), StatusDroppedReactive)
 				dropped = true
 			} else {
 				i++
@@ -296,7 +336,7 @@ func (e *Engine) proactiveDrops() {
 				panic(fmt.Sprintf("sim: dropper %q returned invalid index %d (queue %d, first pending %d)",
 					e.dropper.Name(), i, len(m.queue), fp))
 			}
-			m.removeAt(i).Status = StatusDroppedProactive
+			e.transition(m.removeAt(i), StatusDroppedProactive)
 		}
 	}
 }
@@ -314,11 +354,11 @@ func (e *Engine) startIdle() {
 			if ts.Task.Deadline+e.cfg.ReactiveGrace <= e.clock {
 				// Cannot begin while it still has value: reactive drop at
 				// start time (Eq. 1 semantics, grace-extended).
-				m.removeAt(0).Status = StatusDroppedReactive
+				e.transition(m.removeAt(0), StatusDroppedReactive)
 				continue
 			}
 			exec := ts.Task.ExecByType[m.Type()]
-			ts.Status = StatusRunning
+			e.transition(ts, StatusRunning)
 			ts.Start = e.clock
 			m.running = true
 			m.completeAt = e.clock + exec
@@ -333,7 +373,7 @@ func (e *Engine) startIdle() {
 // it is accounted as reactively dropped.
 func (e *Engine) finish() *Result {
 	for _, ts := range e.batch {
-		ts.Status = StatusDroppedReactive
+		e.transition(ts, StatusDroppedReactive)
 	}
 	e.batch = nil
 	for _, m := range e.machines {

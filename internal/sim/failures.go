@@ -33,9 +33,11 @@ type machineFailureState struct {
 	repairAt pmf.Tick
 }
 
-// initFailures seeds per-machine failure processes.
+// initFailures seeds per-machine failure processes. It is idempotent: an
+// open engine initializes failures at construction, and the drain path
+// (RunContext) must not re-seed them mid-run.
 func (e *Engine) initFailures() {
-	if !e.cfg.Failures.Enabled() {
+	if !e.cfg.Failures.Enabled() || e.failures != nil {
 		return
 	}
 	root := stats.NewRNG(e.cfg.Failures.Seed)
@@ -81,7 +83,7 @@ func (e *Engine) handleFailure(i int) {
 	fs := &e.failures[i]
 	if m.running {
 		ts := m.queue[0]
-		ts.Status = StatusFailed
+		e.transition(ts, StatusFailed)
 		ts.Finish = e.clock
 		m.busy += e.clock - ts.Start // the wasted time is still billed
 		m.running = false

@@ -90,7 +90,7 @@ func (ev *MappingEvent) Assign(ts *TaskState, m *Machine) {
 	if !removed {
 		panic(fmt.Sprintf("sim: mapper %q assigned task %d not present in batch", ev.e.mapper.Name(), ts.Task.ID))
 	}
-	ts.Status = StatusQueued
+	ev.e.transition(ts, StatusQueued)
 	ts.Machine = m.Spec.Index
 	m.push(ts)
 }

@@ -83,8 +83,7 @@ func (e *Engine) buildResult() *Result {
 		// Degenerate small traces: measure everything rather than nothing.
 		lo, hi = 0, len(e.tasks)
 	}
-	for i := range e.tasks {
-		ts := &e.tasks[i]
+	for i, ts := range e.tasks {
 		measured := i >= lo && i < hi
 		if measured {
 			r.Measured++
@@ -121,7 +120,7 @@ func (e *Engine) buildResult() *Result {
 	}
 	if r.Measured > 0 {
 		r.RobustnessPct = 100 * float64(r.MOnTime) / float64(r.Measured)
-		r.UtilityPct = UtilityScore(e.tasks, e.cfg.ReactiveGrace, e.cfg.BoundaryExclusion)
+		r.UtilityPct = utilityScore(e.tasks, e.cfg.ReactiveGrace, e.cfg.BoundaryExclusion)
 	}
 	var busy pmf.Tick
 	var cost float64
@@ -143,6 +142,12 @@ func (e *Engine) buildResult() *Result {
 	return r
 }
 
-// TaskStates exposes the per-task records after Run, for tests and trace
-// analysis tools.
-func (e *Engine) TaskStates() []TaskState { return e.tasks }
+// TaskStates exposes a snapshot of the per-task records (in arrival order)
+// after Run, for tests and trace analysis tools.
+func (e *Engine) TaskStates() []TaskState {
+	out := make([]TaskState, len(e.tasks))
+	for i, ts := range e.tasks {
+		out[i] = *ts
+	}
+	return out
+}

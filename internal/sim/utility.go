@@ -12,6 +12,16 @@ import "github.com/hpcclab/taskdrop/internal/pmf"
 // robustness metric. The result is the mean utility of the measured tasks
 // as a percentage.
 func UtilityScore(states []TaskState, grace pmf.Tick, boundaryExclusion int) float64 {
+	ptrs := make([]*TaskState, len(states))
+	for i := range states {
+		ptrs[i] = &states[i]
+	}
+	return utilityScore(ptrs, grace, boundaryExclusion)
+}
+
+// utilityScore is UtilityScore over the engine's own pointer slice,
+// avoiding the snapshot copy on the drain path.
+func utilityScore(states []*TaskState, grace pmf.Tick, boundaryExclusion int) float64 {
 	lo := boundaryExclusion
 	hi := len(states) - boundaryExclusion
 	if hi <= lo {
@@ -22,7 +32,7 @@ func UtilityScore(states []TaskState, grace pmf.Tick, boundaryExclusion int) flo
 	}
 	sum := 0.0
 	for i := lo; i < hi; i++ {
-		sum += taskUtility(&states[i], grace)
+		sum += taskUtility(states[i], grace)
 	}
 	return 100 * sum / float64(hi-lo)
 }

@@ -76,12 +76,21 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// CheckScale validates a Scaled shrink factor, for callers (the CLI
+// flags) that surface configuration errors instead of panicking.
+func CheckScale(f float64) error {
+	if f <= 0 || f > 1 {
+		return fmt.Errorf("workload: scale factor %v out of range (0,1]; raise TotalTasks to increase load", f)
+	}
+	return nil
+}
+
 // Scaled returns the configuration shrunk by factor f in (0, 1]: task count
 // and window scale together, preserving the arrival intensity (and hence
 // the oversubscription level) while shortening the trial.
 func (c Config) Scaled(f float64) Config {
-	if f <= 0 || f > 1 {
-		panic("workload: scale factor must be in (0,1]")
+	if err := CheckScale(f); err != nil {
+		panic(err)
 	}
 	out := c
 	out.TotalTasks = int(float64(c.TotalTasks)*f + 0.5)

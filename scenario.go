@@ -3,7 +3,6 @@ package taskdrop
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 
 	"github.com/hpcclab/taskdrop/internal/core"
@@ -26,7 +25,6 @@ import (
 // scenario's RunResult fully deterministic regardless of WithWorkers.
 type Scenario struct {
 	profileSpec string
-	profile     Profile
 
 	mapperSpec    string
 	mapperSpecSet bool
@@ -179,11 +177,9 @@ func NewScenario(profile string, opts ...ScenarioOption) (*Scenario, error) {
 // validate resolves every registry spec and checks numeric ranges, so a
 // malformed scenario fails at construction instead of mid-run.
 func (s *Scenario) validate() error {
-	p, err := pet.ProfileFromSpec(s.profileSpec)
-	if err != nil {
+	if _, err := pet.ProfileFromSpec(s.profileSpec); err != nil {
 		return err
 	}
-	s.profile = p
 	if s.mapperSpecSet && s.mapperImplSet {
 		return fmt.Errorf("taskdrop: scenario sets both WithMapper and WithMapperImpl")
 	}
@@ -229,25 +225,16 @@ func (s *Scenario) validate() error {
 	return nil
 }
 
-// matrixCache shares built PET matrices across scenarios, keyed by the
-// normalized profile spec. A profile spec fully determines its matrix
-// (the build seed is the fixed DefaultProfileSeed), so the cache is
-// semantically transparent; it spares repeated PMF synthesis when many
-// scenarios name the same system. Matrices are read-only during
-// simulation, so sharing across engines is safe.
-var matrixCache sync.Map // normalized profile spec -> *Matrix
-
-// Matrix returns the scenario's built PET matrix (built once per profile
-// spec across all scenarios; safe for concurrent use).
+// Matrix returns the scenario's built PET matrix, resolved through the
+// process-wide cache in internal/pet (built once per profile spec across
+// all scenarios and services; safe for concurrent use).
 func (s *Scenario) Matrix() *Matrix {
 	s.buildOnce.Do(func() {
-		key := strings.ToLower(strings.TrimSpace(s.profileSpec))
-		if m, ok := matrixCache.Load(key); ok {
-			s.matrix = m.(*Matrix)
-			return
+		m, err := pet.CachedMatrix(s.profileSpec)
+		if err != nil {
+			// Unreachable: validate() resolved the same spec at construction.
+			panic(err)
 		}
-		m := pet.Build(s.profile, pet.DefaultProfileSeed, pet.DefaultBuildOptions())
-		matrixCache.Store(key, m)
 		s.matrix = m
 	})
 	return s.matrix
