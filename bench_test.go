@@ -8,6 +8,7 @@
 package taskdrop_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -20,13 +21,13 @@ import (
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
-// benchRunner builds a harness runner at bench scale.
-func benchRunner() *expt.Runner {
+// benchOptions returns harness options at bench scale.
+func benchOptions() expt.Options {
 	o := expt.DefaultOptions()
 	o.Trials = 1
 	o.Scale = 0.02
 	o.Progress = io.Discard
-	return expt.NewRunner(o)
+	return o
 }
 
 // benchFigure runs one paper figure end to end per iteration.
@@ -37,8 +38,7 @@ func benchFigure(b *testing.B, id string) {
 		b.Fatalf("unknown figure %q", id)
 	}
 	for i := 0; i < b.N; i++ {
-		r := benchRunner()
-		tabs, err := fig.Run(r)
+		tabs, err := fig.Run(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,15 +1,20 @@
-// Command hcexp regenerates the tables and figures of the paper's
-// evaluation section (§V). Each figure is reproduced as an aligned text
-// table (mean ± 95% CI over trials) and, optionally, CSV files.
+// Command hcexp runs declarative experiment sweeps: the named figures of
+// the paper's evaluation section (§V) and arbitrary user-declared grids.
+// Each result is an aligned text table (mean ± 95% CI over trials) and,
+// optionally, CSV files.
 //
-//	hcexp                          # run everything at the configured scale
+//	hcexp                          # run every figure at the configured scale
 //	hcexp -fig fig8                # a single figure
 //	hcexp -trials 30 -scale 1.0    # paper-faithful (slow)
 //	hcexp -csv results/            # also write one CSV per table
 //
-// Workloads are paired: every combination inside a figure sees identical
+//	# a custom grid with paired-difference statistics vs a baseline:
+//	hcexp -sweep "profile=spec;dropper=reactdrop,heuristic:beta=1.5;tasks=20000,30000,40000;baseline=reactdrop"
+//
+// Workloads are paired: every combination inside a sweep sees identical
 // task traces, so differences between rows are differences between
-// policies, not between workloads.
+// policies, not between workloads — and with a baseline= directive they
+// are reported as paired mean differences with paired 95% CIs.
 package main
 
 import (
@@ -32,13 +37,14 @@ func main() {
 	log.SetPrefix("hcexp: ")
 
 	var (
-		figIDs  = flag.String("fig", "all", "comma-separated figure ids (fig5,fig6,fig7a,fig7b,fig8,fig9,fig10,drops) or 'all'")
-		trials  = flag.Int("trials", 10, "trials per configuration (paper: 30)")
-		scale   = flag.Float64("scale", 0.1, "workload scale in (0,1]; 1.0 = paper scale (20k/30k/40k tasks)")
-		seed    = flag.Int64("seed", 7, "base seed; trial t uses seed+t")
-		workers = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
-		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files")
-		quiet   = flag.Bool("q", false, "suppress progress lines")
+		figIDs   = flag.String("fig", "all", "comma-separated figure ids (fig5,fig6,fig7a,fig7b,fig8,fig9,fig10,drops) or 'all'")
+		sweepDef = flag.String("sweep", "", `declarative sweep grammar, e.g. "profile=spec;dropper=reactdrop,heuristic:beta=1.5;tasks=20000,30000;baseline=reactdrop"`)
+		trials   = flag.Int("trials", 10, "trials per configuration (paper: 30)")
+		scale    = flag.Float64("scale", 0.1, "workload scale in (0,1]; 1.0 = paper scale (20k/30k/40k tasks)")
+		seed     = flag.Int64("seed", 7, "base seed; trial t uses seed+t")
+		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files")
+		quiet    = flag.Bool("q", false, "suppress progress lines")
 	)
 	flag.Parse()
 
@@ -52,7 +58,15 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	runner := expt.NewRunnerContext(ctx, opt)
+
+	fmt.Printf("# taskdrop experiment suite — trials=%d scale=%.2f seed=%d\n",
+		opt.Trials, opt.Scale, opt.BaseSeed)
+	fmt.Printf("# started %s\n\n", time.Now().Format(time.RFC3339))
+
+	if *sweepDef != "" {
+		runSweep(ctx, opt, *sweepDef, *csvDir)
+		return
+	}
 
 	var figs []expt.Figure
 	if *figIDs == "all" {
@@ -67,29 +81,43 @@ func main() {
 		}
 	}
 
-	fmt.Printf("# taskdrop experiment suite — trials=%d scale=%.2f seed=%d\n",
-		opt.Trials, opt.Scale, opt.BaseSeed)
-	fmt.Printf("# started %s\n\n", time.Now().Format(time.RFC3339))
-
 	for _, fig := range figs {
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", fig.ID, fig.Title)
-		tables, err := fig.Run(runner)
+		tables, err := fig.Run(ctx, opt)
 		if errors.Is(err, context.Canceled) {
 			log.Fatal("interrupted")
 		}
 		if err != nil {
 			log.Fatalf("%s: %v", fig.ID, err)
 		}
-		for i := range tables {
-			tables[i].Fprint(os.Stdout)
-			if *csvDir != "" {
-				if err := writeCSV(*csvDir, &tables[i]); err != nil {
-					log.Fatalf("%s: %v", fig.ID, err)
-				}
+		printTables(tables, *csvDir)
+		fmt.Printf("  (%s)\n\n", time.Since(start).Round(time.Second))
+	}
+}
+
+// runSweep executes one user-declared grid and prints its flat table.
+func runSweep(ctx context.Context, opt expt.Options, grammar, csvDir string) {
+	start := time.Now()
+	tab, err := expt.RunSweep(ctx, opt, grammar)
+	if errors.Is(err, context.Canceled) {
+		log.Fatal("interrupted")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	printTables([]expt.Table{*tab}, csvDir)
+	fmt.Printf("  (%s)\n", time.Since(start).Round(time.Second))
+}
+
+func printTables(tables []expt.Table, csvDir string) {
+	for i := range tables {
+		tables[i].Fprint(os.Stdout)
+		if csvDir != "" {
+			if err := writeCSV(csvDir, &tables[i]); err != nil {
+				log.Fatalf("%s: %v", tables[i].ID, err)
 			}
 		}
-		fmt.Printf("  (%s)\n\n", time.Since(start).Round(time.Second))
 	}
 }
 

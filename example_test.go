@@ -39,6 +39,41 @@ func ExampleNewScenario() {
 	// proactive dropping helps: true
 }
 
+// ExampleNewSweep declares the paper's headline comparison as a grid:
+// dropping policy × oversubscription level, every cell paired on
+// identical traces, with the no-proactive-dropping baseline designated so
+// each policy cell carries a paired-difference CI — the statistically
+// tight way to report "how much does dropping help".
+func ExampleNewSweep() {
+	sw, err := taskdrop.NewSweep(
+		taskdrop.Profiles("video"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers("heuristic:beta=1,eta=2", "reactdrop"),
+		taskdrop.Tasks(400, 600),
+		taskdrop.Each(taskdrop.WithWindow(3000)),
+		taskdrop.SweepTrials(3),
+		taskdrop.SweepSeed(42),
+		taskdrop.Baseline("reactdrop"),
+	)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", len(res.Cells))
+	for _, level := range []string{"400", "600"} {
+		cell, _ := res.Cell("Heuristic", level)
+		d := cell.VsBaseline.Robustness
+		fmt.Printf("@%s tasks: dropping helps (paired Δ > 0): %v\n", level, d.Mean > 0)
+	}
+	// Output:
+	// cells: 4
+	// @400 tasks: dropping helps (paired Δ > 0): true
+	// @600 tasks: dropping helps (paired Δ > 0): true
+}
+
 // Example demonstrates the minimal end-to-end flow: build a system,
 // generate an oversubscribed workload, and compare robustness with and
 // without the autonomous proactive dropping heuristic on identical

@@ -40,6 +40,13 @@ func ExpectedUtility(cp pmf.PMF, deadline pmf.Tick, grace pmf.Tick) float64 {
 	return u
 }
 
+// FollowEngineGrace, as ApproxHeuristic.Grace, makes the policy adopt the
+// engine's reactive grace window (Context.Grace) at every decision — so
+// policy and engine always assume the same leeway without the caller
+// keeping two knobs in sync. It is the default of the "approx" spec when
+// no explicit grace parameter is given.
+const FollowEngineGrace pmf.Tick = -1
+
 // ApproxHeuristic is the proactive dropping heuristic driven by expected
 // utility instead of the chance of success: with a non-zero grace window a
 // slightly-late task retains value, so the policy drops less aggressively
@@ -48,8 +55,9 @@ func ExpectedUtility(cp pmf.PMF, deadline pmf.Tick, grace pmf.Tick) float64 {
 // dropped" in the forecast once it can no longer earn any value. With
 // Grace = 0 its decisions are identical to Heuristic.
 //
-// Pair it with sim.Config.ReactiveGrace so the engine gives tasks the same
-// leeway the policy assumes.
+// Grace = FollowEngineGrace (the spec default) tracks the engine's
+// sim.Config.ReactiveGrace automatically; an explicit Grace ≥ 0 overrides
+// it, in which case pair it with the engine's grace yourself.
 type ApproxHeuristic struct {
 	Beta  float64  // robustness improvement factor (β), ≥ 1
 	Eta   int      // effective depth (η), ≥ 1
@@ -67,12 +75,16 @@ func (ApproxHeuristic) Name() string { return "ApproxHeuristic" }
 
 // Decide implements Policy.
 func (a ApproxHeuristic) Decide(ctx *Context) []int {
-	if a.Beta < 1 || a.Eta < 1 || a.Grace < 0 {
-		panic(fmt.Sprintf("core: invalid approx heuristic parameters β=%v η=%d g=%d", a.Beta, a.Eta, a.Grace))
+	grace := a.Grace
+	if grace == FollowEngineGrace {
+		grace = ctx.Grace
+	}
+	if a.Beta < 1 || a.Eta < 1 || grace < 0 {
+		panic(fmt.Sprintf("core: invalid approx heuristic parameters β=%v η=%d g=%d", a.Beta, a.Eta, grace))
 	}
 	value := func(cp pmf.PMF, qt QueueTask) float64 {
-		return ExpectedUtility(cp, qt.Deadline, a.Grace)
+		return ExpectedUtility(cp, qt.Deadline, grace)
 	}
-	graced := func(qt QueueTask) pmf.Tick { return qt.Deadline + a.Grace }
+	graced := func(qt QueueTask) pmf.Tick { return qt.Deadline + grace }
 	return heuristicWalk(ctx, a.Beta, a.Eta, value, graced)
 }

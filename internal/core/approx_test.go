@@ -102,6 +102,24 @@ func TestApproxHeuristicSparesSlightlyLateTasks(t *testing.T) {
 	}
 }
 
+func TestApproxHeuristicFollowsEngineGrace(t *testing.T) {
+	// With Grace = FollowEngineGrace the policy must behave exactly like an
+	// explicit-grace policy given the same window through Context.Grace.
+	r := rand.New(rand.NewSource(63))
+	follower := ApproxHeuristic{Beta: DefaultBeta, Eta: DefaultEta, Grace: FollowEngineGrace}
+	for i := 0; i < 200; i++ {
+		m, q, now := randomQueueCase(r)
+		c := NewCalculus(m)
+		grace := pmf.Tick(r.Intn(300))
+		ctx := &Context{Calc: c, Machine: 0, Now: now, Queue: q, Grace: grace}
+		got := follower.Decide(ctx)
+		want := NewApproxHeuristic(grace).Decide(ctx)
+		if !reflect.DeepEqual(normalizeNil(got), normalizeNil(want)) {
+			t.Fatalf("case %d (grace %d): follower %v != explicit %v", i, grace, got, want)
+		}
+	}
+}
+
 func TestApproxHeuristicPanicsOnBadParams(t *testing.T) {
 	m := testMatrix(t, [][]pmf.PMF{{delta(10)}, {delta(10)}})
 	ctx := &Context{Calc: NewCalculus(m), Machine: 0, Now: 0,
@@ -109,7 +127,7 @@ func TestApproxHeuristicPanicsOnBadParams(t *testing.T) {
 	for _, a := range []ApproxHeuristic{
 		{Beta: 0.5, Eta: 2, Grace: 10},
 		{Beta: 1, Eta: 0, Grace: 10},
-		{Beta: 1, Eta: 2, Grace: -1},
+		{Beta: 1, Eta: 2, Grace: -2},
 	} {
 		func() {
 			defer func() {

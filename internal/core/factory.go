@@ -17,7 +17,9 @@ import (
 //	threshold:base=<float in [0,1]>,adaptive[=bool]
 //	approx:grace=<ticks ≥0>,beta=<float ≥1>,eta=<int ≥1>
 //
-// Omitted parameters take the paper's tuned defaults. Unknown names,
+// An omitted approx grace (or the explicit sentinel grace=-1) yields
+// FollowEngineGrace: the policy adopts the engine's reactive grace window.
+// Other omitted parameters take the paper's tuned defaults. Unknown names,
 // unknown parameters and out-of-range values are errors, so every
 // resolution path (CLI, experiment harness, Scenario API) fails loudly on
 // a mistyped spec.
@@ -48,10 +50,10 @@ func PolicyFromSpec(s string) (Policy, error) {
 		a := ApproxHeuristic{
 			Beta:  params.Float("beta", DefaultBeta),
 			Eta:   params.Int("eta", DefaultEta),
-			Grace: pmf.Tick(params.Int64("grace", 0)),
+			Grace: pmf.Tick(params.Int64("grace", int64(FollowEngineGrace))),
 		}
-		if a.Beta < 1 || a.Eta < 1 || a.Grace < 0 {
-			return nil, fmt.Errorf("core: approx requires beta >= 1, eta >= 1 and grace >= 0, got %q", s)
+		if a.Beta < 1 || a.Eta < 1 || (a.Grace < 0 && a.Grace != FollowEngineGrace) {
+			return nil, fmt.Errorf("core: approx requires beta >= 1, eta >= 1 and grace >= 0 (or -1 to follow the engine grace), got %q", s)
 		}
 		p = a
 	default:

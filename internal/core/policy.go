@@ -18,6 +18,11 @@ type Context struct {
 	// baseline consults it (its published form adapts a predetermined
 	// threshold to system load); the paper's autonomous policies ignore it.
 	BatchPressure float64
+	// Grace is the engine's reactive grace window (sim.Config.ReactiveGrace):
+	// how long past its deadline a waiting task is still kept. Policies that
+	// value late completions (ApproxHeuristic with FollowEngineGrace)
+	// consult it so their forecasts match the engine's leeway.
+	Grace pmf.Tick
 }
 
 // Policy decides, for one machine queue, which pending tasks to

@@ -366,7 +366,8 @@ func TestPolicyFromSpec(t *testing.T) {
 		{"threshold:base=0.3,adaptive", Threshold{Base: 0.3, Adaptive: true}},
 		{"threshold:base=0.3,adaptive=false", Threshold{Base: 0.3}},
 		{"approx:grace=200,beta=2,eta=3", ApproxHeuristic{Beta: 2, Eta: 3, Grace: 200}},
-		{"approx", ApproxHeuristic{Beta: DefaultBeta, Eta: DefaultEta}},
+		{"approx", ApproxHeuristic{Beta: DefaultBeta, Eta: DefaultEta, Grace: FollowEngineGrace}},
+		{"approx:grace=-1", ApproxHeuristic{Beta: DefaultBeta, Eta: DefaultEta, Grace: FollowEngineGrace}},
 		{"optimal", Optimal{}},
 		{"none", ReactiveOnly{}},
 	}
@@ -388,7 +389,7 @@ func TestPolicyFromSpec(t *testing.T) {
 		"heuristic:beta=0.5",      // out of range
 		"heuristic:eta=0",         // out of range
 		"threshold:base=1.5",      // out of range
-		"approx:grace=-1",         // out of range
+		"approx:grace=-2",         // out of range (−1 is the follow-engine sentinel)
 		"optimal:anything=1",      // parameters on a parameterless policy
 		"heuristic:beta=1,beta=2", // duplicate key
 	} {

@@ -1,173 +1,22 @@
 package expt
 
 import (
-	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
-	"github.com/hpcclab/taskdrop/internal/workload"
+	taskdrop "github.com/hpcclab/taskdrop"
 )
 
-// tinyOptions keeps harness tests fast: three trials at 1% scale.
+// tinyOptions keeps harness tests fast: one trial at 1% scale.
 func tinyOptions() Options {
 	o := DefaultOptions()
-	o.Trials = 3
+	o.Trials = 1
 	o.Scale = 0.01
 	o.Workers = 2
 	return o
-}
-
-func tinySpec(o Options, label, mapper, dropper string) TrialSpec {
-	return TrialSpec{
-		Label:    label,
-		Profile:  "video",
-		Mapper:   mapper,
-		Dropper:  dropper,
-		Workload: o.StandardWorkload(20000),
-	}
-}
-
-func TestRunnerProducesSummaries(t *testing.T) {
-	o := tinyOptions()
-	r := NewRunner(o)
-	specs := []TrialSpec{
-		tinySpec(o, "PAM+Heuristic", "PAM", "heuristic"),
-		tinySpec(o, "PAM+ReactDrop", "PAM", "reactdrop"),
-	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(sums) != 2 {
-		t.Fatalf("got %d summaries", len(sums))
-	}
-	for i, s := range sums {
-		if s.Robustness.N != o.Trials {
-			t.Fatalf("summary %d has %d observations, want %d", i, s.Robustness.N, o.Trials)
-		}
-		if s.Robustness.Mean < 0 || s.Robustness.Mean > 100 {
-			t.Fatalf("summary %d robustness = %v", i, s.Robustness.Mean)
-		}
-		if len(s.Results) != o.Trials {
-			t.Fatalf("summary %d has %d results", i, len(s.Results))
-		}
-		for _, res := range s.Results {
-			if err := res.Validate(); err != nil {
-				t.Fatal(err)
-			}
-		}
-	}
-}
-
-func TestRunnerPairsWorkloads(t *testing.T) {
-	// Two specs with the same workload must see identical traces: with an
-	// identical policy the results must match exactly, trial by trial.
-	o := tinyOptions()
-	r := NewRunner(o)
-	specs := []TrialSpec{
-		tinySpec(o, "a", "MinMin", "heuristic"),
-		tinySpec(o, "b", "MinMin", "heuristic"),
-	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for tr := 0; tr < o.Trials; tr++ {
-		ra, rb := sums[0].Results[tr], sums[1].Results[tr]
-		if *ra != *rb {
-			t.Fatalf("trial %d diverged across identical specs:\n%+v\n%+v", tr, ra, rb)
-		}
-	}
-}
-
-func TestRunnerRunOneDeterministic(t *testing.T) {
-	o := tinyOptions()
-	spec := tinySpec(o, "x", "PAM", "heuristic")
-	r1, err := NewRunner(o).RunOne(spec, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r2, err := NewRunner(o).RunOne(spec, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if *r1 != *r2 {
-		t.Fatalf("RunOne not deterministic:\n%+v\n%+v", r1, r2)
-	}
-}
-
-func TestRunnerRejectsUnknownNames(t *testing.T) {
-	o := tinyOptions()
-	r := NewRunner(o)
-	if _, err := r.RunOne(TrialSpec{Profile: "nope", Mapper: "PAM",
-		Dropper: "reactdrop", Workload: o.StandardWorkload(20000)}, 0); err == nil {
-		t.Error("unknown profile must error")
-	}
-	if _, err := r.RunOne(TrialSpec{Profile: "video", Mapper: "nope",
-		Dropper: "reactdrop", Workload: o.StandardWorkload(20000)}, 0); err == nil {
-		t.Error("unknown mapper must error")
-	}
-	if _, err := r.RunOne(TrialSpec{Profile: "video", Mapper: "PAM",
-		Dropper: "heuristic:bogus=1", Workload: o.StandardWorkload(20000)}, 0); err == nil {
-		t.Error("bad dropper spec must error")
-	}
-	if _, err := r.Run([]TrialSpec{{Profile: "video", Mapper: "nope",
-		Dropper: "reactdrop", Workload: o.StandardWorkload(20000)}}); err == nil {
-		t.Error("Run must propagate spec errors")
-	}
-}
-
-func TestRunnerHonorsCancelledContext(t *testing.T) {
-	o := tinyOptions()
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	r := NewRunnerContext(ctx, o)
-	if _, err := r.Run([]TrialSpec{tinySpec(o, "x", "PAM", "heuristic")}); !errors.Is(err, context.Canceled) {
-		t.Fatalf("Run with cancelled context = %v, want context.Canceled", err)
-	}
-}
-
-func TestRunnerParameterizedDropperSpec(t *testing.T) {
-	// A parameterized spec must resolve through the unified registry and
-	// differ from the default tuning on the same paired trace.
-	o := tinyOptions()
-	r := NewRunner(o)
-	sums, err := r.Run([]TrialSpec{
-		tinySpec(o, "default", "PAM", "heuristic"),
-		tinySpec(o, "lenient", "PAM", "heuristic:beta=4,eta=1"),
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sums[0].Robustness.N != o.Trials || sums[1].Robustness.N != o.Trials {
-		t.Fatalf("missing trials: %+v", sums)
-	}
-}
-
-func TestOptionsNormalize(t *testing.T) {
-	var o Options
-	o.normalize()
-	if o.Trials != 1 || o.Scale != 1 || o.Workers < 1 || len(o.Levels) != 3 {
-		t.Fatalf("normalized = %+v", o)
-	}
-}
-
-func TestStandardWorkloadScaling(t *testing.T) {
-	o := DefaultOptions()
-	o.Scale = 0.1
-	cfg := o.StandardWorkload(20000)
-	if cfg.TotalTasks != 2000 {
-		t.Fatalf("tasks = %d", cfg.TotalTasks)
-	}
-	if cfg.Window != workload.StandardWindow/10 {
-		t.Fatalf("window = %d", cfg.Window)
-	}
-	full := DefaultOptions().StandardWorkload(20000)
-	if full.TotalTasks != 20000 || full.Window != workload.StandardWindow {
-		t.Fatalf("full = %+v", full)
-	}
 }
 
 func TestFigureRegistry(t *testing.T) {
@@ -181,12 +30,113 @@ func TestFigureRegistry(t *testing.T) {
 			t.Errorf("figure %d = %q, want %q", i, paper[i].ID, id)
 		}
 		f, ok := ByID(id)
-		if !ok || f.ID != id || f.Run == nil || f.Title == "" {
+		if !ok || f.ID != id || f.Title == "" {
 			t.Errorf("ByID(%q) broken", id)
 		}
 	}
 	if _, ok := ByID("fig99"); ok {
 		t.Error("ByID must reject unknown ids")
+	}
+}
+
+func TestFiguresAreDeclarative(t *testing.T) {
+	// Every figure must be a pure declaration: sweep items plus pivots.
+	// There is no per-figure runner to forget about — the harness runs
+	// everything through one generic path.
+	o := tinyOptions()
+	for _, f := range All() {
+		if f.Items == nil || f.Pivots == nil {
+			t.Fatalf("%s is not declarative: Items/Pivots missing", f.ID)
+		}
+		items := f.Items(o)
+		if len(items) == 0 {
+			t.Fatalf("%s declares no sweep items", f.ID)
+		}
+		// The declaration must expand into a valid sweep without running.
+		if _, err := taskdrop.NewSweep(append(items, o.sweepItems()...)...); err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+		if len(f.Pivots(o)) == 0 {
+			t.Fatalf("%s declares no pivots", f.ID)
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	var o Options
+	o.normalize()
+	if o.Trials != 1 || o.Scale != 1 || len(o.Levels) != 3 {
+		t.Fatalf("normalized = %+v", o)
+	}
+}
+
+func TestFigureTableLayoutPreserved(t *testing.T) {
+	// The declarative rewrite must keep the published table layouts: same
+	// IDs, column headers and row labels as the original harness.
+	if testing.Short() {
+		t.Skip("figure layout test runs sweeps")
+	}
+	o := tinyOptions()
+	run := func(id string) Table {
+		f, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing figure %s", id)
+		}
+		tabs, err := f.Run(context.Background(), o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tabs) != 1 {
+			t.Fatalf("%s produced %d tables", id, len(tabs))
+		}
+		return tabs[0]
+	}
+
+	fig5 := run("fig5")
+	if fig5.ID != "fig5" {
+		t.Fatalf("fig5 table ID = %q", fig5.ID)
+	}
+	if !reflect.DeepEqual(fig5.Columns, []string{"η", "20k tasks", "30k tasks", "40k tasks"}) {
+		t.Fatalf("fig5 columns = %v", fig5.Columns)
+	}
+	for i, want := range []string{"1", "2", "3", "4", "5"} {
+		if fig5.Rows[i][0] != want {
+			t.Fatalf("fig5 row %d label = %q, want %q", i, fig5.Rows[i][0], want)
+		}
+	}
+
+	fig7a := run("fig7a")
+	if !reflect.DeepEqual(fig7a.Columns, []string{"mapper", "+Heuristic", "+ReactDrop", "Δ (pp)"}) {
+		t.Fatalf("fig7a columns = %v", fig7a.Columns)
+	}
+	if fig7a.Rows[0][0] != "MSD" || fig7a.Rows[2][0] != "PAM" {
+		t.Fatalf("fig7a rows = %v", fig7a.Rows)
+	}
+	for _, row := range fig7a.Rows {
+		if !strings.HasPrefix(row[3], "+") && !strings.HasPrefix(row[3], "-") {
+			t.Fatalf("fig7a Δ cell %q not signed", row[3])
+		}
+	}
+
+	fig8 := run("fig8")
+	if fig8.Columns[0] != "policy" {
+		t.Fatalf("fig8 header = %v", fig8.Columns)
+	}
+	if fig8.Rows[0][0] != "PAM+Optimal" || fig8.Rows[1][0] != "PAM+Heuristic" || fig8.Rows[2][0] != "PAM+Threshold" {
+		t.Fatalf("fig8 rows = %v", fig8.Rows)
+	}
+
+	fig9 := run("fig9")
+	if fig9.Rows[0][0] != "PAM+Threshold" || fig9.Rows[2][0] != "MinMin+ReactDrop" {
+		t.Fatalf("fig9 rows = %v", fig9.Rows)
+	}
+
+	drops := run("drops")
+	if !reflect.DeepEqual(drops.Columns, []string{"level", "reactive share of drops (%)", "proactive dropped (%)", "reactive dropped (%)"}) {
+		t.Fatalf("drops columns = %v", drops.Columns)
+	}
+	if drops.Rows[0][0] != "20k" {
+		t.Fatalf("drops rows = %v", drops.Rows)
 	}
 }
 
@@ -196,11 +146,8 @@ func TestFigureSmoke(t *testing.T) {
 		t.Skip("figure smoke test is slow")
 	}
 	o := tinyOptions()
-	o.Trials = 1
-	o.Levels = []int{20000, 30000, 40000}
-	r := NewRunner(o)
 	for _, fig := range PaperFigures() {
-		tabs, err := fig.Run(r)
+		tabs, err := fig.Run(context.Background(), o)
 		if err != nil {
 			t.Fatalf("%s: %v", fig.ID, err)
 		}
@@ -220,65 +167,87 @@ func TestFigureSmoke(t *testing.T) {
 	}
 }
 
-func TestTableFprint(t *testing.T) {
-	tab := Table{
-		ID:      "tX",
-		Title:   "demo",
-		Columns: []string{"name", "value"},
-		Rows:    [][]string{{"alpha", "1.00"}, {"beta-long", "22.5"}},
+func TestFigureHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f, _ := ByID("fig5")
+	if _, err := f.Run(ctx, tinyOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run with cancelled context = %v, want context.Canceled", err)
 	}
-	var b bytes.Buffer
-	tab.Fprint(&b)
-	out := b.String()
-	for _, want := range []string{"tX — demo", "name", "alpha", "beta-long", "22.5"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("output missing %q:\n%s", want, out)
+}
+
+func TestSweepFromSpec(t *testing.T) {
+	items, err := SweepFromSpec("profile=video;mapper=PAM;dropper=reactdrop,heuristic:beta=1.5,eta=3;tasks=2000,3000;baseline=reactdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := taskdrop.NewSweep(append(items, taskdrop.SweepScale(0.05))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Cells() != 4 {
+		t.Fatalf("cells = %d, want 4", sw.Cells())
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The parameterized dropper value must survive the comma-bearing
+	// grammar and resolve to the Heuristic with β=1.5, η=3.
+	if _, ok := res.Cell("Heuristic"); !ok {
+		t.Fatalf("parameterized dropper cell missing: %v", res.Cells)
+	}
+	var diffs int
+	for _, c := range res.Cells {
+		if c.VsBaseline != nil {
+			diffs++
+		}
+	}
+	if diffs != 2 {
+		t.Fatalf("baseline directive produced %d paired comparisons, want 2", diffs)
+	}
+}
+
+func TestSweepFromSpecAxes(t *testing.T) {
+	// Every documented axis key must build.
+	for _, g := range []string{
+		"profile=video;tasks=100",
+		"mapper=PAM,MinMin;tasks=100",
+		"dropper=reactdrop|threshold:base=0.3,adaptive;tasks=100",
+		"gamma=1,2.5;tasks=100",
+		"window=5000;tasks=100",
+		"queuecap=2,6;tasks=100",
+		"grace=0,150;tasks=100",
+		"budget=8,64;tasks=100",
+		"mtbf=0,10000;tasks=100",
+	} {
+		items, err := SweepFromSpec(g)
+		if err != nil {
+			t.Fatalf("%q: %v", g, err)
+		}
+		if _, err := taskdrop.NewSweep(items...); err != nil {
+			t.Fatalf("%q: %v", g, err)
 		}
 	}
 }
 
-func TestTableCSV(t *testing.T) {
-	tab := Table{
-		ID:      "t1",
-		Columns: []string{"a", "b"},
-		Rows:    [][]string{{"x,y", `say "hi"`}},
-	}
-	got := tab.CSV()
-	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
-	if got != want {
-		t.Fatalf("CSV = %q, want %q", got, want)
-	}
-}
-
-func TestChart(t *testing.T) {
-	var b bytes.Buffer
-	Chart(&b, "demo", "%", []string{"one", "two"}, []float64{50, 100}, 10)
-	out := b.String()
-	if !strings.Contains(out, "one") || !strings.Contains(out, "##########") {
-		t.Fatalf("chart output:\n%s", out)
-	}
-	lines := strings.Split(strings.TrimSpace(out), "\n")
-	if len(lines) != 3 {
-		t.Fatalf("chart has %d lines", len(lines))
-	}
-	// The 50% bar must be half the 100% bar.
-	if strings.Count(lines[1], "#") != 5 {
-		t.Fatalf("half bar = %q", lines[1])
-	}
-}
-
-func TestLevelHelpers(t *testing.T) {
-	if levelLabel(20000) != "20k" || levelLabel(1234) != "1234" {
-		t.Error("levelLabel broken")
-	}
-	if middleLevel([]int{40000, 20000, 30000}) != 30000 {
-		t.Error("middleLevel broken")
-	}
-	if lowestLevel([]int{40000, 20000, 30000}) != 20000 {
-		t.Error("lowestLevel broken")
-	}
-	got := levelLabels([]int{20000, 30000})
-	if got[0] != "20k tasks" || got[1] != "30k tasks" {
-		t.Errorf("levelLabels = %v", got)
+func TestSweepFromSpecErrors(t *testing.T) {
+	for _, g := range []string{
+		"",                      // no axes
+		"bogus=1;tasks=100",     // unknown axis key
+		"tasks=abc",             // malformed int
+		"gamma=x",               // malformed float
+		"tasks",                 // missing values
+		"tasks=100;tasks=200",   // duplicate axis
+		"baseline=a,b;tasks=1",  // multi-value baseline
+		"dropper=nope;tasks=10", // unknown dropper surfaces via NewSweep
+	} {
+		items, err := SweepFromSpec(g)
+		if err == nil {
+			_, err = taskdrop.NewSweep(items...)
+		}
+		if err == nil {
+			t.Errorf("%q: expected an error", g)
+		}
 	}
 }

@@ -3,242 +3,204 @@ package expt
 import (
 	"fmt"
 
+	taskdrop "github.com/hpcclab/taskdrop"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
 // Extension experiments beyond the paper's evaluation: the ablations
 // DESIGN.md commits to, plus the two future-work directions of §VI
-// (machine failures, approximate computing). They run through the same
-// harness as the paper figures: `hcexp -fig ext-gamma`, etc.
+// (machine failures, approximate computing). They are declared exactly
+// like the paper figures — axes plus pivots over the public Sweep API —
+// and run through the same harness: `hcexp -fig ext-gamma`, etc.
 
 // Extensions returns the extension experiments, after the paper figures in
 // hcexp's registry.
 func Extensions() []Figure {
 	return []Figure{
-		{ID: "ext-gamma", Title: "Ablation: deadline slack γ vs robustness (PAM ± proactive dropping, 30k tasks)", Run: runExtGamma},
-		{ID: "ext-queue", Title: "Ablation: machine queue capacity vs robustness (PAM+Heuristic, 30k tasks)", Run: runExtQueue},
-		{ID: "ext-budget", Title: "Ablation: PMF compaction budget vs robustness (PAM+Heuristic, 30k tasks)", Run: runExtBudget},
-		{ID: "ext-mappers", Title: "Extension: all mapping heuristics ± proactive dropping (30k tasks)", Run: runExtMappers},
-		{ID: "ext-failures", Title: "Extension (§VI future work): robustness under machine failures", Run: runExtFailures},
-		{ID: "ext-approx", Title: "Extension (§VI future work): approximate computing — utility vs grace window", Run: runExtApprox},
+		{
+			ID:     "ext-gamma",
+			Title:  "Ablation: deadline slack γ vs robustness (PAM ± proactive dropping, 30k tasks)",
+			Items:  extGammaItems,
+			Pivots: extGammaPivots,
+		},
+		{
+			ID:     "ext-queue",
+			Title:  "Ablation: machine queue capacity vs robustness (PAM+Heuristic, 30k tasks)",
+			Items:  extQueueItems,
+			Pivots: extQueuePivots,
+		},
+		{
+			ID:     "ext-budget",
+			Title:  "Ablation: PMF compaction budget vs robustness (PAM+Heuristic, 30k tasks)",
+			Items:  extBudgetItems,
+			Pivots: extBudgetPivots,
+		},
+		{
+			ID:    "ext-mappers",
+			Title: "Extension: all mapping heuristics ± proactive dropping (30k tasks)",
+			Items: func(o Options) []taskdrop.SweepItem {
+				return gridItems("spec", middleLevel(o.Levels),
+					[]string{"MinMin", "MSD", "PAM", "FCFS", "SJF", "EDF", "MCT", "MET", "Sufferage", "KPB", "Random"})
+			},
+			Pivots: func(o Options) []taskdrop.Pivot {
+				return gridPivots("spec", middleLevel(o.Levels))
+			},
+		},
+		{
+			ID:     "ext-failures",
+			Title:  "Extension (§VI future work): robustness under machine failures",
+			Items:  extFailuresItems,
+			Pivots: extFailuresPivots,
+		},
+		{
+			ID:     "ext-approx",
+			Title:  "Extension (§VI future work): approximate computing — utility vs grace window",
+			Items:  extApproxItems,
+			Pivots: extApproxPivots,
+		},
 	}
 }
 
-// runExtGamma sweeps the deadline slack coefficient. Tight deadlines make
-// proactive dropping essential; loose ones shrink its edge.
-func runExtGamma(r *Runner) ([]Table, error) {
-	o := r.Options()
-	level := middleLevel(o.Levels)
-	gammas := []float64{1, 2, 3, 4, 5}
-	droppers := []string{"heuristic", "reactdrop"}
-	var specs []TrialSpec
-	for _, g := range gammas {
-		for _, dp := range droppers {
-			wl := o.StandardWorkload(level)
-			wl.GammaSlack = g
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("γ=%.0f %s", g, policyLabel(dp)),
-				Profile:  "spec",
-				Mapper:   "PAM",
-				Dropper:  dp,
-				Workload: wl,
-			})
-		}
+// extGammaItems sweeps the deadline slack coefficient. Tight deadlines
+// make proactive dropping essential; loose ones shrink its edge.
+func extGammaItems(o Options) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Gammas(1, 2, 3, 4, 5).Named("γ"),
+		taskdrop.Droppers("heuristic", "reactdrop"),
+		taskdrop.Tasks(middleLevel(o.Levels)),
+		taskdrop.Baseline("reactdrop"),
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "ext-gamma",
-		Title:   "Tasks completed on time (%) vs deadline slack γ (PAM, 30k tasks)",
-		Columns: []string{"γ", "+Heuristic", "+ReactDrop", "Δ (pp)"},
-	}
-	for gi, g := range gammas {
-		h, rd := sums[2*gi], sums[2*gi+1]
-		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%.0f", g),
-			fmtSummary(h.Robustness),
-			fmtSummary(rd.Robustness),
-			fmt.Sprintf("%+.2f", h.Robustness.Mean-rd.Robustness.Mean),
-		})
-	}
-	return []Table{tab}, nil
 }
 
-// runExtQueue sweeps the machine queue bound. Longer queues compound
+func extGammaPivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:       "Tasks completed on time (%) vs deadline slack γ (PAM, 30k tasks)",
+		Row:         "γ",
+		Col:         "dropper",
+		ColFmt:      "+%s",
+		Metric:      taskdrop.MetricRobustness,
+		Delta:       true,
+		DeltaHeader: "Δ (pp)",
+	}}
+}
+
+// extQueueItems sweeps the machine queue bound. Longer queues compound
 // completion-time uncertainty (§III motivates the limited queue), so
 // robustness should flatten or dip as capacity grows.
-func runExtQueue(r *Runner) ([]Table, error) {
-	o := r.Options()
-	level := middleLevel(o.Levels)
-	caps := []int{2, 4, 6, 8, 12}
-	var specs []TrialSpec
-	for _, qc := range caps {
-		specs = append(specs, TrialSpec{
-			Label:    fmt.Sprintf("cap=%d", qc),
-			Profile:  "spec",
-			Mapper:   "PAM",
-			Dropper:  "heuristic",
-			Workload: o.StandardWorkload(level),
-			QueueCap: qc,
-		})
+func extQueueItems(o Options) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers("heuristic"),
+		taskdrop.QueueCaps(2, 4, 6, 8, 12),
+		taskdrop.Tasks(middleLevel(o.Levels)),
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "ext-queue",
-		Title:   "Tasks completed on time (%) vs queue capacity (PAM+Heuristic, 30k tasks)",
-		Columns: []string{"queue capacity", "robustness (%)", "proactive dropped (%)"},
-	}
-	for i, qc := range caps {
-		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%d", qc),
-			fmtSummary(sums[i].Robustness),
-			fmtSummary(sums[i].ProactivePct),
-		})
-	}
-	return []Table{tab}, nil
 }
 
-// runExtBudget sweeps the calculus' impulse budget: the accuracy side of
-// the compaction ablation (bench_test.go measures the speed side).
-func runExtBudget(r *Runner) ([]Table, error) {
-	o := r.Options()
-	level := middleLevel(o.Levels)
-	budgets := []int{8, 16, 32, 64}
-	var specs []TrialSpec
-	for _, b := range budgets {
-		specs = append(specs, TrialSpec{
-			Label:       fmt.Sprintf("budget=%d", b),
-			Profile:     "spec",
-			Mapper:      "PAM",
-			Dropper:     "heuristic",
-			Workload:    o.StandardWorkload(level),
-			MaxImpulses: b,
-		})
-	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "ext-budget",
-		Title:   "Tasks completed on time (%) vs PMF compaction budget (PAM+Heuristic, 30k tasks)",
-		Columns: []string{"max impulses", "robustness (%)"},
-	}
-	for i, b := range budgets {
-		tab.Rows = append(tab.Rows, []string{fmt.Sprintf("%d", b), fmtSummary(sums[i].Robustness)})
-	}
-	return []Table{tab}, nil
+func extQueuePivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:     "Tasks completed on time (%) vs queue capacity (PAM+Heuristic, 30k tasks)",
+		Row:       "queuecap",
+		RowHeader: "queue capacity",
+		Columns: []taskdrop.MetricColumn{
+			{Header: "robustness (%)", Metric: taskdrop.MetricRobustness},
+			{Header: "proactive dropped (%)", Metric: taskdrop.MetricProactivePct},
+		},
+	}}
 }
 
-// runExtMappers runs the full mapper registry ± proactive dropping — the
-// broad version of the paper's "a good dropper forgives a poor mapper"
-// observation.
-func runExtMappers(r *Runner) ([]Table, error) {
-	mappers := []string{"MinMin", "MSD", "PAM", "FCFS", "SJF", "EDF", "MCT", "MET", "Sufferage", "KPB", "Random"}
-	tabs, err := mapperDropperGrid(r, "spec", middleLevel(r.Options().Levels), mappers)
-	if err == nil {
-		tabs[0].ID = "ext-mappers"
+// extBudgetItems sweeps the calculus' impulse budget: the accuracy side
+// of the compaction ablation (bench_test.go measures the speed side).
+func extBudgetItems(o Options) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers("heuristic"),
+		taskdrop.Budgets(8, 16, 32, 64),
+		taskdrop.Tasks(middleLevel(o.Levels)),
 	}
-	return tabs, err
 }
 
-// runExtFailures sweeps machine failure intensity (§VI future work:
+func extBudgetPivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:     "Tasks completed on time (%) vs PMF compaction budget (PAM+Heuristic, 30k tasks)",
+		Row:       "budget",
+		RowHeader: "max impulses",
+		Columns: []taskdrop.MetricColumn{
+			{Header: "robustness (%)", Metric: taskdrop.MetricRobustness},
+		},
+	}}
+}
+
+// extFailuresItems sweeps machine failure intensity (§VI future work:
 // "resource failure" uncertainty). MTBF is per machine; repairs average a
 // tenth of the MTBF.
-func runExtFailures(r *Runner) ([]Table, error) {
-	o := r.Options()
-	level := middleLevel(o.Levels)
+func extFailuresItems(o Options) []taskdrop.SweepItem {
 	mtbfs := []pmf.Tick{0, 20000, 10000, 5000}
-	droppers := []string{"heuristic", "reactdrop"}
-	var specs []TrialSpec
-	for _, mtbf := range mtbfs {
-		for _, dp := range droppers {
-			fc := sim.FailureConfig{}
-			if mtbf > 0 {
-				fc = sim.FailureConfig{MTBF: mtbf, MeanRepair: mtbf / 10, Seed: 1000}
-			}
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("mtbf=%d %s", mtbf, policyLabel(dp)),
-				Profile:  "spec",
-				Mapper:   "PAM",
-				Dropper:  dp,
-				Workload: o.StandardWorkload(level),
-				Failures: fc,
-			})
-		}
-	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "ext-failures",
-		Title:   "Tasks completed on time (%) under machine failures (PAM, 30k tasks; repair = MTBF/10)",
-		Columns: []string{"MTBF (s)", "+Heuristic", "+ReactDrop"},
-	}
-	for mi, mtbf := range mtbfs {
-		label := "no failures"
+	fcs := make([]sim.FailureConfig, len(mtbfs))
+	labels := make([]string, len(mtbfs))
+	for i, mtbf := range mtbfs {
+		labels[i] = "no failures"
 		if mtbf > 0 {
-			label = fmt.Sprintf("%.0f", float64(mtbf)/1000)
+			fcs[i] = sim.FailureConfig{MTBF: mtbf, MeanRepair: mtbf / 10, Seed: 1000}
+			labels[i] = fmt.Sprintf("%.0f", float64(mtbf)/1000)
 		}
-		tab.Rows = append(tab.Rows, []string{
-			label,
-			fmtSummary(sums[2*mi].Robustness),
-			fmtSummary(sums[2*mi+1].Robustness),
-		})
 	}
-	return []Table{tab}, nil
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.FailurePlans(fcs...).Named("mtbf").As(labels...),
+		taskdrop.Droppers("heuristic", "reactdrop"),
+		taskdrop.Tasks(middleLevel(o.Levels)),
+	}
 }
 
-// runExtApprox compares the strict-deadline heuristic against the
+func extFailuresPivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:     "Tasks completed on time (%) under machine failures (PAM, 30k tasks; repair = MTBF/10)",
+		Row:       "mtbf",
+		RowHeader: "MTBF (s)",
+		Col:       "dropper",
+		ColFmt:    "+%s",
+		Metric:    taskdrop.MetricRobustness,
+	}}
+}
+
+// extApproxItems compares the strict-deadline heuristic against the
 // utility-driven ApproxHeuristic across grace windows, scoring both by
 // realized utility (§VI future work: approximately computing tasks). The
-// grace window scales with the workload's mean deadline slack.
-func runExtApprox(r *Runner) ([]Table, error) {
-	o := r.Options()
-	level := middleLevel(o.Levels)
+// "approx" spec follows the engine's grace automatically, so grace and
+// policy are independent axes — the grace axis moves both the engine's
+// leeway and the approximate policy's value ramp together. Windows scale
+// with the workload's mean deadline slack: γ·100 ms is a stable proxy for
+// the SPEC system's (1+γ)·130 ms mean slack.
+func extApproxItems(o Options) []taskdrop.SweepItem {
 	fractions := []float64{0, 0.25, 0.5, 1.0}
-	var specs []TrialSpec
-	for _, f := range fractions {
-		wl := o.StandardWorkload(level)
-		// The mean deadline slack is avg_i + γ·avg_all ≈ (1+γ)·130 ms on
-		// the SPEC system; γ·100 ms is a stable proxy that avoids
-		// rebuilding the matrix here.
-		grace := pmf.Tick(f * wl.GammaSlack * 100)
-		for _, dp := range []string{fmt.Sprintf("approx:grace=%d", grace), "heuristic"} {
-			specs = append(specs, TrialSpec{
-				Label:         fmt.Sprintf("g=%d %s", grace, policyLabel(dp)),
-				Profile:       "spec",
-				Mapper:        "PAM",
-				Dropper:       dp,
-				Workload:      wl,
-				ReactiveGrace: grace,
-			})
-		}
+	graces := make([]pmf.Tick, len(fractions))
+	for i, f := range fractions {
+		graces[i] = pmf.Tick(f * workload.DefaultGammaSlack * 100)
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Graces(graces...),
+		taskdrop.Droppers("approx", "heuristic"),
+		taskdrop.Tasks(middleLevel(o.Levels)),
 	}
-	tab := Table{
-		ID:      "ext-approx",
-		Title:   "Realized utility (%) vs grace window (PAM, 30k tasks; both policies scored with the same grace)",
-		Columns: []string{"grace (ms)", "ApproxHeuristic", "Heuristic", "Δ (pp)"},
-	}
-	for fi := range fractions {
-		a, h := sums[2*fi], sums[2*fi+1]
-		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%d", a.Spec.ReactiveGrace),
-			fmtSummary(a.Utility),
-			fmtSummary(h.Utility),
-			fmt.Sprintf("%+.2f", a.Utility.Mean-h.Utility.Mean),
-		})
-	}
-	return []Table{tab}, nil
+}
+
+func extApproxPivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:       "Realized utility (%) vs grace window (PAM, 30k tasks; both policies scored with the same grace)",
+		Row:         "grace",
+		RowHeader:   "grace (ms)",
+		Col:         "dropper",
+		Metric:      taskdrop.MetricUtility,
+		Delta:       true,
+		DeltaHeader: "Δ (pp)",
+	}}
 }

@@ -1,9 +1,9 @@
 package expt
 
 import (
+	"context"
+	"reflect"
 	"testing"
-
-	"github.com/hpcclab/taskdrop/internal/sim"
 )
 
 func TestExtensionsRegistered(t *testing.T) {
@@ -26,66 +26,66 @@ func TestExtensionsRegistered(t *testing.T) {
 	}
 }
 
-func TestExtensionSpecsApplied(t *testing.T) {
-	// The runner must honor the extension knobs on TrialSpec.
-	o := tinyOptions()
-	r := NewRunner(o)
-
-	// Queue capacity.
-	spec := tinySpec(o, "cap", "PAM", "heuristic")
-	spec.QueueCap = 2
-	res, err := r.RunOne(spec, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := res.Validate(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Failure injection: aggressive failures must kill at least one task.
-	spec = tinySpec(o, "fail", "PAM", "heuristic")
-	spec.Failures = sim.FailureConfig{MTBF: 30, MeanRepair: 20, Seed: 5}
-	res, err = r.RunOne(spec, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Failed == 0 {
-		t.Fatalf("failure injection inert: %+v", res)
-	}
-
-	// Reactive grace: utility must be at least robustness.
-	spec = tinySpec(o, "grace", "PAM", "approx:grace=150")
-	spec.ReactiveGrace = 150
-	res, err = r.RunOne(spec, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.UtilityPct < res.RobustnessPct-1e-9 {
-		t.Fatalf("utility %v < robustness %v", res.UtilityPct, res.RobustnessPct)
-	}
-
-	// Compaction budget.
-	spec = tinySpec(o, "budget", "PAM", "heuristic")
-	spec.MaxImpulses = 8
-	if _, err := r.RunOne(spec, 0); err != nil {
-		t.Fatal(err)
-	}
-}
-
 func TestExtensionFigureSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("extension smoke is slow")
 	}
 	o := tinyOptions()
-	o.Trials = 1
-	r := NewRunner(o)
 	for _, fig := range Extensions() {
-		tabs, err := fig.Run(r)
+		tabs, err := fig.Run(context.Background(), o)
 		if err != nil {
 			t.Fatalf("%s: %v", fig.ID, err)
 		}
 		if len(tabs) == 0 || len(tabs[0].Rows) == 0 {
 			t.Fatalf("%s produced no data", fig.ID)
 		}
+		for _, row := range tabs[0].Rows {
+			if len(row) != len(tabs[0].Columns) {
+				t.Fatalf("%s row width %d != %d columns", fig.ID, len(row), len(tabs[0].Columns))
+			}
+		}
+	}
+}
+
+func TestExtensionTableLayoutPreserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension layout test runs sweeps")
+	}
+	o := tinyOptions()
+
+	f, _ := ByID("ext-gamma")
+	tabs, err := f.Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tabs[0].Columns, []string{"γ", "+Heuristic", "+ReactDrop", "Δ (pp)"}) {
+		t.Fatalf("ext-gamma columns = %v", tabs[0].Columns)
+	}
+	if tabs[0].Rows[0][0] != "1" || tabs[0].Rows[4][0] != "5" {
+		t.Fatalf("ext-gamma rows = %v", tabs[0].Rows)
+	}
+
+	f, _ = ByID("ext-failures")
+	tabs, err = f.Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tabs[0].Columns, []string{"MTBF (s)", "+Heuristic", "+ReactDrop"}) {
+		t.Fatalf("ext-failures columns = %v", tabs[0].Columns)
+	}
+	if tabs[0].Rows[0][0] != "no failures" || tabs[0].Rows[1][0] != "20" {
+		t.Fatalf("ext-failures rows = %v", tabs[0].Rows)
+	}
+
+	f, _ = ByID("ext-approx")
+	tabs, err = f.Run(context.Background(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tabs[0].Columns, []string{"grace (ms)", "ApproxHeuristic", "Heuristic", "Δ (pp)"}) {
+		t.Fatalf("ext-approx columns = %v", tabs[0].Columns)
+	}
+	if tabs[0].Rows[0][0] != "0" || tabs[0].Rows[3][0] != "300" {
+		t.Fatalf("ext-approx rows = %v", tabs[0].Rows)
 	}
 }

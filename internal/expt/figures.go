@@ -2,29 +2,77 @@ package expt
 
 import (
 	"fmt"
+	"strconv"
 
+	taskdrop "github.com/hpcclab/taskdrop"
 	"github.com/hpcclab/taskdrop/internal/core"
 )
 
-// Figure regenerates one table/figure of the paper's evaluation section.
-type Figure struct {
-	ID    string
-	Title string
-	Run   func(r *Runner) ([]Table, error)
-}
-
 // PaperFigures returns the figures of the paper's evaluation section, in
-// paper order.
+// paper order. Every figure is a declarative sweep: axes plus pivots, no
+// imperative running code.
 func PaperFigures() []Figure {
 	return []Figure{
-		{ID: "fig5", Title: "Impact of effective depth (η) on robustness — PAM + proactive dropping heuristic", Run: runFig5},
-		{ID: "fig6", Title: "Impact of robustness improvement factor (β) — PAM + proactive dropping heuristic", Run: runFig6},
-		{ID: "fig7a", Title: "Proactive dropping across mapping heuristics — heterogeneous system (30k tasks)", Run: runFig7a},
-		{ID: "fig7b", Title: "Proactive dropping across mapping heuristics — homogeneous system (30k tasks)", Run: runFig7b},
-		{ID: "fig8", Title: "Dropping policies vs oversubscription — PAM + {Optimal, Heuristic, Threshold}", Run: runFig8},
-		{ID: "fig9", Title: "Normalized incurred cost (cost / robustness) vs oversubscription", Run: runFig9},
-		{ID: "fig10", Title: "Video transcoding workload — proactive dropping across mapping heuristics (20k tasks)", Run: runFig10},
-		{ID: "drops", Title: "Share of reactive drops under proactive dropping (§V-F, ≈7% in the paper)", Run: runDropShare},
+		{
+			ID:     "fig5",
+			Title:  "Impact of effective depth (η) on robustness — PAM + proactive dropping heuristic",
+			Items:  fig5Items,
+			Pivots: fig5Pivots,
+		},
+		{
+			ID:     "fig6",
+			Title:  "Impact of robustness improvement factor (β) — PAM + proactive dropping heuristic",
+			Items:  fig6Items,
+			Pivots: fig6Pivots,
+		},
+		{
+			ID:    "fig7a",
+			Title: "Proactive dropping across mapping heuristics — heterogeneous system (30k tasks)",
+			Items: func(o Options) []taskdrop.SweepItem {
+				return gridItems("spec", middleLevel(o.Levels), []string{"MSD", "MinMin", "PAM"})
+			},
+			Pivots: func(o Options) []taskdrop.Pivot {
+				return gridPivots("spec", middleLevel(o.Levels))
+			},
+		},
+		{
+			ID:    "fig7b",
+			Title: "Proactive dropping across mapping heuristics — homogeneous system (30k tasks)",
+			Items: func(o Options) []taskdrop.SweepItem {
+				return gridItems("homog", middleLevel(o.Levels), []string{"FCFS", "EDF", "SJF", "PAM"})
+			},
+			Pivots: func(o Options) []taskdrop.Pivot {
+				return gridPivots("homog", middleLevel(o.Levels))
+			},
+		},
+		{
+			ID:     "fig8",
+			Title:  "Dropping policies vs oversubscription — PAM + {Optimal, Heuristic, Threshold}",
+			Items:  fig8Items,
+			Pivots: fig8Pivots,
+		},
+		{
+			ID:     "fig9",
+			Title:  "Normalized incurred cost (cost / robustness) vs oversubscription",
+			Items:  fig9Items,
+			Pivots: fig9Pivots,
+		},
+		{
+			ID:    "fig10",
+			Title: "Video transcoding workload — proactive dropping across mapping heuristics (20k tasks)",
+			Items: func(o Options) []taskdrop.SweepItem {
+				return gridItems("video", lowestLevel(o.Levels), []string{"MSD", "MinMin", "PAM"})
+			},
+			Pivots: func(o Options) []taskdrop.Pivot {
+				return gridPivots("video", lowestLevel(o.Levels))
+			},
+		},
+		{
+			ID:     "drops",
+			Title:  "Share of reactive drops under proactive dropping (§V-F, ≈7% in the paper)",
+			Items:  dropsItems,
+			Pivots: dropsPivots,
+		},
 	}
 }
 
@@ -43,295 +91,161 @@ func ByID(id string) (Figure, bool) {
 	return Figure{}, false
 }
 
-// fmtSummary renders "mean ± ci".
-func fmtSummary(s interface{ String() string }) string { return s.String() }
-
-// policyLabel renders a dropper spec's display name for table labels.
-func policyLabel(spec string) string {
-	p, err := core.PolicyFromSpec(spec)
-	if err != nil {
-		return spec
-	}
-	return p.Name()
+// levelsAxis declares the oversubscription axis over the harness levels.
+func levelsAxis(o Options) taskdrop.Axis {
+	return taskdrop.Tasks(sortedLevels(o.Levels)...)
 }
 
-// levelLabel renders an oversubscription level as "20k".
-func levelLabel(level int) string {
-	if level%1000 == 0 {
-		return fmt.Sprintf("%dk", level/1000)
-	}
-	return fmt.Sprintf("%d", level)
-}
-
-// middleLevel picks the paper's 30k level (the middle of the sorted
-// levels).
-func middleLevel(levels []int) int {
-	s := sortedLevels(levels)
-	return s[len(s)/2]
-}
-
-// lowestLevel picks the paper's 20k level.
-func lowestLevel(levels []int) int { return sortedLevels(levels)[0] }
-
-// runFig5 sweeps effective depth η ∈ {1..5} at every oversubscription
+// fig5Items sweeps effective depth η ∈ {1..5} at every oversubscription
 // level with β = 1 (Fig. 5).
-func runFig5(r *Runner) ([]Table, error) {
-	o := r.Options()
-	levels := sortedLevels(o.Levels)
+func fig5Items(o Options) []taskdrop.SweepItem {
 	etas := []int{1, 2, 3, 4, 5}
-	var specs []TrialSpec
-	for _, level := range levels {
-		for _, eta := range etas {
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("η=%d @%s", eta, levelLabel(level)),
-				Profile:  "spec",
-				Mapper:   "PAM",
-				Dropper:  fmt.Sprintf("heuristic:beta=%g,eta=%d", core.DefaultBeta, eta),
-				Workload: o.StandardWorkload(level),
-			})
-		}
+	specs := make([]string, len(etas))
+	labels := make([]string, len(etas))
+	for i, eta := range etas {
+		specs[i] = fmt.Sprintf("heuristic:beta=%g,eta=%d", core.DefaultBeta, eta)
+		labels[i] = strconv.Itoa(eta)
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers(specs...).Named("η").As(labels...),
+		levelsAxis(o),
 	}
-	tab := Table{
-		ID:      "fig5",
-		Title:   "Tasks completed on time (%) vs effective depth η (PAM+Heuristic, β=1)",
-		Columns: append([]string{"η"}, levelLabels(levels)...),
-	}
-	for ei, eta := range etas {
-		row := []string{fmt.Sprintf("%d", eta)}
-		for li := range levels {
-			row = append(row, fmtSummary(sums[li*len(etas)+ei].Robustness))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return []Table{tab}, nil
 }
 
-// runFig6 sweeps the robustness improvement factor β ∈ {1.0 … 4.0} at
+func fig5Pivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:  "Tasks completed on time (%) vs effective depth η (PAM+Heuristic, β=1)",
+		Row:    "η",
+		Col:    "tasks",
+		ColFmt: "%s tasks",
+		Metric: taskdrop.MetricRobustness,
+	}}
+}
+
+// fig6Items sweeps the robustness improvement factor β ∈ {1.0 … 4.0} at
 // every oversubscription level with η = 2 (Fig. 6).
-func runFig6(r *Runner) ([]Table, error) {
-	o := r.Options()
-	levels := sortedLevels(o.Levels)
+func fig6Items(o Options) []taskdrop.SweepItem {
 	betas := []float64{1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0}
-	var specs []TrialSpec
-	for _, level := range levels {
-		for _, beta := range betas {
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("β=%.1f @%s", beta, levelLabel(level)),
-				Profile:  "spec",
-				Mapper:   "PAM",
-				Dropper:  fmt.Sprintf("heuristic:beta=%g,eta=%d", beta, core.DefaultEta),
-				Workload: o.StandardWorkload(level),
-			})
-		}
+	specs := make([]string, len(betas))
+	labels := make([]string, len(betas))
+	for i, beta := range betas {
+		specs[i] = fmt.Sprintf("heuristic:beta=%g,eta=%d", beta, core.DefaultEta)
+		labels[i] = fmt.Sprintf("%.1f", beta)
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers(specs...).Named("β").As(labels...),
+		levelsAxis(o),
 	}
-	tab := Table{
-		ID:      "fig6",
-		Title:   "Tasks completed on time (%) vs robustness improvement factor β (PAM+Heuristic, η=2)",
-		Columns: append([]string{"β"}, levelLabels(levels)...),
-	}
-	for bi, beta := range betas {
-		row := []string{fmt.Sprintf("%.1f", beta)}
-		for li := range levels {
-			row = append(row, fmtSummary(sums[li*len(betas)+bi].Robustness))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return []Table{tab}, nil
 }
 
-// mapperDropperGrid builds the ±Heuristic comparison used by Figs. 7a, 7b
-// and 10.
-func mapperDropperGrid(r *Runner, profile string, level int, mappers []string) ([]Table, error) {
-	o := r.Options()
-	droppers := []string{"heuristic", "reactdrop"}
-	var specs []TrialSpec
-	for _, mn := range mappers {
-		for _, dp := range droppers {
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("%s+%s", mn, policyLabel(dp)),
-				Profile:  profile,
-				Mapper:   mn,
-				Dropper:  dp,
-				Workload: o.StandardWorkload(level),
-			})
-		}
-	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		Title:   fmt.Sprintf("Tasks completed on time (%%), %s profile, %s tasks", profile, levelLabel(level)),
-		Columns: []string{"mapper", "+Heuristic", "+ReactDrop", "Δ (pp)"},
-	}
-	for mi, mn := range mappers {
-		h, rd := sums[2*mi], sums[2*mi+1]
-		tab.Rows = append(tab.Rows, []string{
-			mn,
-			fmtSummary(h.Robustness),
-			fmtSummary(rd.Robustness),
-			fmt.Sprintf("%+.2f", h.Robustness.Mean-rd.Robustness.Mean),
-		})
-	}
-	return []Table{tab}, nil
+func fig6Pivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:  "Tasks completed on time (%) vs robustness improvement factor β (PAM+Heuristic, η=2)",
+		Row:    "β",
+		Col:    "tasks",
+		ColFmt: "%s tasks",
+		Metric: taskdrop.MetricRobustness,
+	}}
 }
 
-// runFig7a: heterogeneous system, MSD/MM/PAM ± proactive heuristic.
-func runFig7a(r *Runner) ([]Table, error) {
-	tabs, err := mapperDropperGrid(r, "spec", middleLevel(r.Options().Levels), []string{"MSD", "MinMin", "PAM"})
-	if err == nil {
-		tabs[0].ID = "fig7a"
+// gridItems declares the ±Heuristic comparison grid used by Figs. 7a, 7b
+// and 10: mappers × {heuristic, reactdrop} at one oversubscription level,
+// with the no-proactive-dropping cells as the paired baseline.
+func gridItems(profile string, level int, mappers []string) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles(profile),
+		taskdrop.Mappers(mappers...),
+		taskdrop.Droppers("heuristic", "reactdrop"),
+		taskdrop.Tasks(level),
+		taskdrop.Baseline("reactdrop"),
 	}
-	return tabs, err
 }
 
-// runFig7b: homogeneous system, FCFS/EDF/SJF/PAM ± proactive heuristic.
-func runFig7b(r *Runner) ([]Table, error) {
-	tabs, err := mapperDropperGrid(r, "homog", middleLevel(r.Options().Levels), []string{"FCFS", "EDF", "SJF", "PAM"})
-	if err == nil {
-		tabs[0].ID = "fig7b"
-	}
-	return tabs, err
+// gridPivots renders a ±Heuristic grid as the paper's table layout.
+func gridPivots(profile string, level int) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:       fmt.Sprintf("Tasks completed on time (%%), %s profile, %s tasks", profile, levelLabel(level)),
+		Row:         "mapper",
+		Col:         "dropper",
+		ColFmt:      "+%s",
+		Metric:      taskdrop.MetricRobustness,
+		Delta:       true,
+		DeltaHeader: "Δ (pp)",
+	}}
 }
 
-// runFig8 compares the three proactive dropping policies on PAM across
+// fig8Items compares the three proactive dropping policies on PAM across
 // oversubscription levels (Fig. 8).
-func runFig8(r *Runner) ([]Table, error) {
-	o := r.Options()
-	levels := sortedLevels(o.Levels)
-	droppers := []string{"optimal", "heuristic", "threshold"}
-	var specs []TrialSpec
-	for _, level := range levels {
-		for _, dp := range droppers {
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("PAM+%s @%s", policyLabel(dp), levelLabel(level)),
-				Profile:  "spec",
-				Mapper:   "PAM",
-				Dropper:  dp,
-				Workload: o.StandardWorkload(level),
-			})
-		}
+func fig8Items(o Options) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers("optimal", "heuristic", "threshold"),
+		levelsAxis(o),
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "fig8",
-		Title:   "Tasks completed on time (%) by dropping policy (PAM mapping)",
-		Columns: append([]string{"policy"}, levelLabels(levels)...),
-	}
-	for di, dp := range droppers {
-		row := []string{"PAM+" + policyLabel(dp)}
-		for li := range levels {
-			row = append(row, fmtSummary(sums[li*len(droppers)+di].Robustness))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return []Table{tab}, nil
 }
 
-// runFig9 compares the normalized incurred cost of PAM+Threshold,
+func fig8Pivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:     "Tasks completed on time (%) by dropping policy (PAM mapping)",
+		Row:       "dropper",
+		RowHeader: "policy",
+		RowFmt:    "PAM+%s",
+		Col:       "tasks",
+		ColFmt:    "%s tasks",
+		Metric:    taskdrop.MetricRobustness,
+	}}
+}
+
+// fig9Items compares the normalized incurred cost of PAM+Threshold,
 // PAM+Heuristic and MM+ReactDrop across oversubscription levels (Fig. 9).
-func runFig9(r *Runner) ([]Table, error) {
-	o := r.Options()
-	levels := sortedLevels(o.Levels)
-	combos := []struct {
-		mapper, dropper string
-	}{
-		{"PAM", "threshold"},
-		{"PAM", "heuristic"},
-		{"MinMin", "reactdrop"},
+// Mapper and dropper move together, so they form one joint axis.
+func fig9Items(o Options) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Values("combo",
+			taskdrop.Value("PAM+Threshold", taskdrop.WithMapper("PAM"), taskdrop.WithDropper("threshold")),
+			taskdrop.Value("PAM+Heuristic", taskdrop.WithMapper("PAM"), taskdrop.WithDropper("heuristic")),
+			taskdrop.Value("MinMin+ReactDrop", taskdrop.WithMapper("MinMin"), taskdrop.WithDropper("reactdrop")),
+		),
+		levelsAxis(o),
 	}
-	var specs []TrialSpec
-	for _, level := range levels {
-		for _, cb := range combos {
-			specs = append(specs, TrialSpec{
-				Label:    fmt.Sprintf("%s+%s @%s", cb.mapper, policyLabel(cb.dropper), levelLabel(level)),
-				Profile:  "spec",
-				Mapper:   cb.mapper,
-				Dropper:  cb.dropper,
-				Workload: o.StandardWorkload(level),
-			})
-		}
-	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "fig9",
-		Title:   "Normalized cost ($ per 1000 robustness-%, lower is better)",
-		Columns: append([]string{"combo"}, levelLabels(levels)...),
-	}
-	for ci, cb := range combos {
-		row := []string{fmt.Sprintf("%s+%s", cb.mapper, policyLabel(cb.dropper))}
-		for li := range levels {
-			row = append(row, fmtSummary(sums[li*len(combos)+ci].NormCost))
-		}
-		tab.Rows = append(tab.Rows, row)
-	}
-	return []Table{tab}, nil
 }
 
-// runFig10: video transcoding validation workload at the 20k level.
-func runFig10(r *Runner) ([]Table, error) {
-	tabs, err := mapperDropperGrid(r, "video", lowestLevel(r.Options().Levels), []string{"MSD", "MinMin", "PAM"})
-	if err == nil {
-		tabs[0].ID = "fig10"
-	}
-	return tabs, err
+func fig9Pivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:  "Normalized cost ($ per 1000 robustness-%, lower is better)",
+		Row:    "combo",
+		Col:    "tasks",
+		ColFmt: "%s tasks",
+		Metric: taskdrop.MetricNormCost,
+	}}
 }
 
-// runDropShare reports what share of all drops happened reactively under
+// dropsItems reports what share of all drops happened reactively under
 // the proactive heuristic (§V-F: ≈7%) and the drop mix per level.
-func runDropShare(r *Runner) ([]Table, error) {
-	o := r.Options()
-	levels := sortedLevels(o.Levels)
-	var specs []TrialSpec
-	for _, level := range levels {
-		specs = append(specs, TrialSpec{
-			Label:    "PAM+Heuristic @" + levelLabel(level),
-			Profile:  "spec",
-			Mapper:   "PAM",
-			Dropper:  "heuristic",
-			Workload: o.StandardWorkload(level),
-		})
+func dropsItems(o Options) []taskdrop.SweepItem {
+	return []taskdrop.SweepItem{
+		taskdrop.Profiles("spec"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers("heuristic"),
+		levelsAxis(o),
 	}
-	sums, err := r.Run(specs)
-	if err != nil {
-		return nil, err
-	}
-	tab := Table{
-		ID:      "drops",
-		Title:   "Drop mix under PAM+Heuristic (measured tasks)",
-		Columns: []string{"level", "reactive share of drops (%)", "proactive dropped (%)", "reactive dropped (%)"},
-	}
-	for li, level := range levels {
-		s := sums[li]
-		tab.Rows = append(tab.Rows, []string{
-			levelLabel(level),
-			fmtSummary(s.ReactiveShare),
-			fmtSummary(s.ProactivePct),
-			fmtSummary(s.ReactivePct),
-		})
-	}
-	return []Table{tab}, nil
 }
 
-// levelLabels renders level column headers.
-func levelLabels(levels []int) []string {
-	out := make([]string, len(levels))
-	for i, l := range levels {
-		out[i] = levelLabel(l) + " tasks"
-	}
-	return out
+func dropsPivots(Options) []taskdrop.Pivot {
+	return []taskdrop.Pivot{{
+		Title:     "Drop mix under PAM+Heuristic (measured tasks)",
+		Row:       "tasks",
+		RowHeader: "level",
+		Columns: []taskdrop.MetricColumn{
+			{Header: "reactive share of drops (%)", Metric: taskdrop.MetricReactiveShare},
+			{Header: "proactive dropped (%)", Metric: taskdrop.MetricProactivePct},
+			{Header: "reactive dropped (%)", Metric: taskdrop.MetricReactivePct},
+		},
+	}}
 }

@@ -1,0 +1,161 @@
+// Package expt regenerates every table and figure of the paper's
+// evaluation (§V) plus the extension experiments. Each figure is a pure
+// declaration: a sweep definition (axes over the public taskdrop.Sweep
+// API) and the pivots that lay the sweep's cells out as the paper's
+// tables. All running, pairing and aggregation machinery lives in the
+// public API — the harness owns no execution code of its own.
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	taskdrop "github.com/hpcclab/taskdrop"
+	"github.com/hpcclab/taskdrop/internal/tab"
+)
+
+// Table is the printable result type shared with the public sweep API.
+type Table = tab.Table
+
+// Options tunes how the harness runs the figures.
+type Options struct {
+	// Trials per cell (paper: 30).
+	Trials int
+	// Scale in (0,1] shrinks every workload (task count and window
+	// together), preserving arrival intensity; 1.0 is paper scale.
+	Scale float64
+	// BaseSeed seeds trial t of every cell with BaseSeed+t, so cells are
+	// compared on identical traces.
+	BaseSeed int64
+	// Workers bounds simulation parallelism (default: GOMAXPROCS).
+	Workers int
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+	// Levels are the oversubscription task counts (default 20k/30k/40k).
+	Levels []int
+}
+
+// DefaultOptions returns paper-faithful settings (30 trials, full scale).
+func DefaultOptions() Options {
+	return Options{
+		Trials:   30,
+		Scale:    1.0,
+		BaseSeed: 7,
+		Levels:   []int{20000, 30000, 40000},
+	}
+}
+
+func (o *Options) normalize() {
+	if o.Trials <= 0 {
+		o.Trials = 1
+	}
+	if o.Scale <= 0 || o.Scale > 1 {
+		o.Scale = 1
+	}
+	if len(o.Levels) == 0 {
+		o.Levels = []int{20000, 30000, 40000}
+	}
+}
+
+// sweepItems converts the harness options into sweep-level items appended
+// after a figure's own axes.
+func (o Options) sweepItems() []taskdrop.SweepItem {
+	items := []taskdrop.SweepItem{
+		taskdrop.SweepTrials(o.Trials),
+		taskdrop.SweepSeed(o.BaseSeed),
+		taskdrop.SweepWorkers(o.Workers),
+		taskdrop.SweepScale(o.Scale),
+	}
+	if o.Progress != nil {
+		items = append(items, taskdrop.OnCellDone(func(done, total int, cell *taskdrop.CellResult) {
+			fmt.Fprintf(o.Progress, "done %-28s (%d trials, %d/%d cells)\n", cell.Label, o.Trials, done, total)
+		}))
+	}
+	return items
+}
+
+// Figure is one declaratively defined experiment: the sweep axes it runs
+// and the pivots that render its tables.
+type Figure struct {
+	ID    string
+	Title string
+	// Items returns the figure's sweep definition (axes and any
+	// figure-specific sweep options) for the harness options.
+	Items func(o Options) []taskdrop.SweepItem
+	// Pivots lays the sweep out as the figure's tables; a pivot with an
+	// empty ID inherits the figure's.
+	Pivots func(o Options) []taskdrop.Pivot
+}
+
+// Run executes the figure's sweep and renders its tables. When ctx is
+// cancelled mid-run it returns promptly with the context error.
+func (f Figure) Run(ctx context.Context, o Options) ([]Table, error) {
+	o.normalize()
+	sw, err := taskdrop.NewSweep(append(f.Items(o), o.sweepItems()...)...)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", f.ID, err)
+	}
+	res, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var tabs []Table
+	for _, p := range f.Pivots(o) {
+		if p.ID == "" {
+			p.ID = f.ID
+		}
+		t, err := res.Pivot(p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", f.ID, err)
+		}
+		tabs = append(tabs, *t)
+	}
+	return tabs, nil
+}
+
+// RunSweep executes a user-declared sweep grammar string (see
+// SweepFromSpec) under the harness options and returns its flat result
+// table — the -sweep path of cmd/hcexp.
+func RunSweep(ctx context.Context, o Options, grammar string) (*Table, error) {
+	o.normalize()
+	items, err := SweepFromSpec(grammar)
+	if err != nil {
+		return nil, err
+	}
+	sw, err := taskdrop.NewSweep(append(items, o.sweepItems()...)...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sw.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table(), nil
+}
+
+// sortedLevels returns a copy of levels in ascending order.
+func sortedLevels(levels []int) []int {
+	out := append([]int(nil), levels...)
+	sort.Ints(out)
+	return out
+}
+
+// levelLabel renders an oversubscription level as "20k".
+func levelLabel(level int) string {
+	if level%1000 == 0 {
+		return fmt.Sprintf("%dk", level/1000)
+	}
+	return fmt.Sprintf("%d", level)
+}
+
+// middleLevel picks the paper's 30k level (the middle of the sorted
+// levels).
+func middleLevel(levels []int) int {
+	s := sortedLevels(levels)
+	return s[len(s)/2]
+}
+
+// lowestLevel picks the paper's 20k level.
+func lowestLevel(levels []int) int { return sortedLevels(levels)[0] }

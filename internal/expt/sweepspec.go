@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"fmt"
+	"strconv"
+
+	taskdrop "github.com/hpcclab/taskdrop"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/spec"
+)
+
+// SweepFromSpec converts a declarative -sweep grammar string (see
+// spec.ParseSweep) into the public API's sweep items. Recognized axis
+// keys:
+//
+//	profile   system profiles (registry specs)
+//	mapper    mapping heuristics (registry specs)
+//	dropper   dropping policies (registry specs)
+//	tasks     oversubscription levels (ints)
+//	gamma     deadline slack coefficients (floats)
+//	window    arrival windows in ticks (ints)
+//	queuecap  machine queue bounds (ints)
+//	grace     reactive grace windows in ticks (ints)
+//	budget    PMF compaction budgets (ints)
+//	mtbf      machine failure MTBFs in ticks (ints, 0 = none;
+//	          repair = MTBF/10, failure seed 1000)
+//
+// plus the baseline=<value> directive designating the paired-comparison
+// baseline cell value.
+func SweepFromSpec(grammar string) ([]taskdrop.SweepItem, error) {
+	parsed, err := spec.ParseSweep(grammar)
+	if err != nil {
+		return nil, err
+	}
+	var items []taskdrop.SweepItem
+	for _, ax := range parsed.Axes {
+		switch ax.Key {
+		case "profile":
+			items = append(items, taskdrop.Profiles(ax.Values...))
+		case "mapper":
+			items = append(items, taskdrop.Mappers(ax.Values...))
+		case "dropper":
+			items = append(items, taskdrop.Droppers(ax.Values...))
+		case "tasks":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, taskdrop.Tasks(ns...))
+		case "gamma":
+			gs := make([]float64, len(ax.Values))
+			for i, v := range ax.Values {
+				g, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					return nil, fmt.Errorf("expt: sweep axis %s value %q is not a number", ax.Key, v)
+				}
+				gs[i] = g
+			}
+			items = append(items, taskdrop.Gammas(gs...))
+		case "window":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			ws := make([]pmf.Tick, len(ns))
+			for i, n := range ns {
+				ws[i] = pmf.Tick(n)
+			}
+			items = append(items, taskdrop.Windows(ws...))
+		case "queuecap":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, taskdrop.QueueCaps(ns...))
+		case "grace":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			gs := make([]pmf.Tick, len(ns))
+			for i, n := range ns {
+				gs[i] = pmf.Tick(n)
+			}
+			items = append(items, taskdrop.Graces(gs...))
+		case "budget":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, taskdrop.Budgets(ns...))
+		case "mtbf":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			fcs := make([]sim.FailureConfig, len(ns))
+			for i, n := range ns {
+				if n > 0 {
+					fcs[i] = sim.FailureConfig{MTBF: pmf.Tick(n), MeanRepair: pmf.Tick(n) / 10, Seed: 1000}
+				}
+			}
+			items = append(items, taskdrop.FailurePlans(fcs...).Named("mtbf"))
+		default:
+			return nil, fmt.Errorf("expt: unknown sweep axis %q (known: profile mapper dropper tasks gamma window queuecap grace budget mtbf)", ax.Key)
+		}
+	}
+	if parsed.Baseline != "" {
+		items = append(items, taskdrop.Baseline(parsed.Baseline))
+	}
+	return items, nil
+}
+
+// sweepInts parses one axis' values as integers.
+func sweepInts(ax spec.SweepAxis) ([]int, error) {
+	ns := make([]int, len(ax.Values))
+	for i, v := range ax.Values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("expt: sweep axis %s value %q is not an integer", ax.Key, v)
+		}
+		ns[i] = n
+	}
+	return ns, nil
+}

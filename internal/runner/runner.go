@@ -7,6 +7,7 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -100,29 +101,99 @@ type Aggregate struct {
 	ReactivePct  stats.Summary `json:"reactive_pct"`
 }
 
+// metricFields is the single enumeration of the Aggregate's metrics: the
+// JSON-tag name (Stat's lookup key), how to extract each per-trial
+// observation, and which summary field the metric lives in. ok=false
+// excludes a trial from that metric's series (a zero-measured trial has
+// no drop percentages).
+var metricFields = []struct {
+	name  string
+	get   func(*sim.Result) (v float64, ok bool)
+	field func(*Aggregate) *stats.Summary
+}{
+	{"robustness",
+		func(r *sim.Result) (float64, bool) { return r.RobustnessPct, true },
+		func(a *Aggregate) *stats.Summary { return &a.Robustness }},
+	{"norm_cost",
+		func(r *sim.Result) (float64, bool) { return r.CostPerRobustness * 1000, true },
+		func(a *Aggregate) *stats.Summary { return &a.NormCost }},
+	{"reactive_share",
+		func(r *sim.Result) (float64, bool) { return 100 * r.DropReactiveShare(), true },
+		func(a *Aggregate) *stats.Summary { return &a.ReactiveShare }},
+	{"utility",
+		func(r *sim.Result) (float64, bool) { return r.UtilityPct, true },
+		func(a *Aggregate) *stats.Summary { return &a.Utility }},
+	{"proactive_pct",
+		func(r *sim.Result) (float64, bool) {
+			return 100 * float64(r.MDroppedProactive) / float64(max(r.Measured, 1)), r.Measured > 0
+		},
+		func(a *Aggregate) *stats.Summary { return &a.ProactivePct }},
+	{"reactive_pct",
+		func(r *sim.Result) (float64, bool) {
+			return 100 * float64(r.MDroppedReactive) / float64(max(r.Measured, 1)), r.Measured > 0
+		},
+		func(a *Aggregate) *stats.Summary { return &a.ReactivePct }},
+}
+
+// Stat returns the summary of one named metric. Recognized names are the
+// Aggregate's JSON tags: robustness, norm_cost, reactive_share, utility,
+// proactive_pct, reactive_pct.
+func (a Aggregate) Stat(metric string) (stats.Summary, bool) {
+	for _, f := range metricFields {
+		if f.name == metric {
+			return *f.field(&a), true
+		}
+	}
+	return stats.Summary{}, false
+}
+
 // Summarize aggregates per-trial results (nil entries are skipped) into
 // mean ± 95% CI summaries.
 func Summarize(results []*sim.Result) Aggregate {
-	var rob, cost, share, util, pro, rea []float64
-	for _, res := range results {
-		if res == nil {
-			continue
+	var agg Aggregate
+	for _, f := range metricFields {
+		var xs []float64
+		for _, res := range results {
+			if res == nil {
+				continue
+			}
+			if v, ok := f.get(res); ok {
+				xs = append(xs, v)
+			}
 		}
-		rob = append(rob, res.RobustnessPct)
-		cost = append(cost, res.CostPerRobustness*1000)
-		share = append(share, 100*res.DropReactiveShare())
-		util = append(util, res.UtilityPct)
-		if res.Measured > 0 {
-			pro = append(pro, 100*float64(res.MDroppedProactive)/float64(res.Measured))
-			rea = append(rea, 100*float64(res.MDroppedReactive)/float64(res.Measured))
+		*f.field(&agg) = stats.Summarize(xs)
+	}
+	return agg
+}
+
+// SummarizeDiff aggregates the paired per-trial differences xs[t] − ys[t]
+// into mean ± 95% CI summaries — the correct analysis when both series
+// ran trial t on the same trace, where the common workload noise cancels
+// and the CI tightens accordingly. The slices must be index-aligned by
+// trial; trials where either side is missing are skipped pairwise.
+func SummarizeDiff(xs, ys []*sim.Result) (Aggregate, error) {
+	if len(xs) != len(ys) {
+		return Aggregate{}, fmt.Errorf("runner: paired result series of unequal length (%d vs %d)", len(xs), len(ys))
+	}
+	var agg Aggregate
+	for _, f := range metricFields {
+		var ax, ay []float64
+		for t := range xs {
+			if xs[t] == nil || ys[t] == nil {
+				continue
+			}
+			vx, okx := f.get(xs[t])
+			vy, oky := f.get(ys[t])
+			if okx && oky {
+				ax = append(ax, vx)
+				ay = append(ay, vy)
+			}
 		}
+		d, err := stats.PairedDiff(ax, ay)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		*f.field(&agg) = d
 	}
-	return Aggregate{
-		Robustness:    stats.Summarize(rob),
-		NormCost:      stats.Summarize(cost),
-		ReactiveShare: stats.Summarize(share),
-		Utility:       stats.Summarize(util),
-		ProactivePct:  stats.Summarize(pro),
-		ReactivePct:   stats.Summarize(rea),
-	}
+	return agg, nil
 }

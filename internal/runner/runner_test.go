@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"math"
 	"sync/atomic"
 	"testing"
 
@@ -95,5 +96,102 @@ func TestSummarize(t *testing.T) {
 	}
 	if agg.NormCost.Mean != 1.5 {
 		t.Fatalf("norm cost = %+v", agg.NormCost)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	// No results at all.
+	if agg := Summarize(nil); agg.Robustness.N != 0 || agg.Robustness.Mean != 0 {
+		t.Fatalf("empty = %+v", agg)
+	}
+	// Every entry nil.
+	if agg := Summarize([]*sim.Result{nil, nil, nil}); agg.Robustness.N != 0 || agg.NormCost.N != 0 {
+		t.Fatalf("all-nil = %+v", agg)
+	}
+	// A single trial: degenerate CI (no spread to estimate).
+	agg := Summarize([]*sim.Result{{Measured: 10, MOnTime: 5, RobustnessPct: 50, UtilityPct: 50}})
+	if agg.Robustness.N != 1 || agg.Robustness.Mean != 50 || agg.Robustness.CI95 != 0 {
+		t.Fatalf("single trial = %+v", agg.Robustness)
+	}
+	// Zero-measured trials carry no drop percentages but still report the
+	// other metrics.
+	agg = Summarize([]*sim.Result{{Measured: 0}})
+	if agg.ProactivePct.N != 0 || agg.ReactivePct.N != 0 {
+		t.Fatalf("zero-measured drop pcts = %+v", agg)
+	}
+	if agg.Robustness.N != 1 {
+		t.Fatalf("zero-measured robustness = %+v", agg.Robustness)
+	}
+}
+
+func TestAggregateStat(t *testing.T) {
+	agg := Summarize([]*sim.Result{
+		{Measured: 100, MOnTime: 60, MDroppedProactive: 20, RobustnessPct: 60, UtilityPct: 70, CostPerRobustness: 0.001},
+	})
+	for name, want := range map[string]float64{
+		"robustness":     60,
+		"utility":        70,
+		"norm_cost":      1,
+		"proactive_pct":  20,
+		"reactive_pct":   0,
+		"reactive_share": 0,
+	} {
+		s, ok := agg.Stat(name)
+		if !ok || s.Mean != want {
+			t.Errorf("Stat(%q) = %+v, %v; want mean %v", name, s, ok, want)
+		}
+	}
+	if _, ok := agg.Stat("bogus"); ok {
+		t.Error("Stat must reject unknown metric names")
+	}
+}
+
+func TestSummarizeDiff(t *testing.T) {
+	xs := []*sim.Result{
+		{Measured: 100, MOnTime: 60, RobustnessPct: 60, UtilityPct: 60},
+		{Measured: 100, MOnTime: 50, RobustnessPct: 50, UtilityPct: 50},
+		{Measured: 100, MOnTime: 70, RobustnessPct: 70, UtilityPct: 70},
+	}
+	ys := []*sim.Result{
+		{Measured: 100, MOnTime: 40, RobustnessPct: 40, UtilityPct: 40},
+		{Measured: 100, MOnTime: 35, RobustnessPct: 35, UtilityPct: 35},
+		{Measured: 100, MOnTime: 45, RobustnessPct: 45, UtilityPct: 45},
+	}
+	diff, err := SummarizeDiff(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Differences: 20, 15, 25 → mean 20, sd 5, CI = t(2)·5/√3.
+	if diff.Robustness.N != 3 || diff.Robustness.Mean != 20 {
+		t.Fatalf("diff robustness = %+v", diff.Robustness)
+	}
+	wantCI := 4.303 * 5 / math.Sqrt(3)
+	if math.Abs(diff.Robustness.CI95-wantCI) > 1e-9 {
+		t.Fatalf("diff CI = %v, want %v", diff.Robustness.CI95, wantCI)
+	}
+	// The paired mean always equals the difference of means on shared
+	// index sets.
+	agg := Summarize(xs)
+	base := Summarize(ys)
+	if got := agg.Robustness.Mean - base.Robustness.Mean; math.Abs(diff.Robustness.Mean-got) > 1e-12 {
+		t.Fatalf("paired mean %v != mean difference %v", diff.Robustness.Mean, got)
+	}
+}
+
+func TestSummarizeDiffSkipsUnpairedTrials(t *testing.T) {
+	xs := []*sim.Result{{Measured: 10, RobustnessPct: 60}, nil, {Measured: 10, RobustnessPct: 50}}
+	ys := []*sim.Result{{Measured: 10, RobustnessPct: 40}, {Measured: 10, RobustnessPct: 99}, nil}
+	diff, err := SummarizeDiff(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Robustness.N != 1 || diff.Robustness.Mean != 20 {
+		t.Fatalf("unpaired trials not skipped pairwise: %+v", diff.Robustness)
+	}
+}
+
+func TestSummarizeDiffLengthMismatch(t *testing.T) {
+	if _, err := SummarizeDiff(make([]*sim.Result, 2), make([]*sim.Result, 3)); err == nil {
+		t.Fatal("length mismatch must error")
 	}
 }

@@ -323,6 +323,7 @@ func (e *Engine) proactiveDrops() {
 			Now:           e.clock,
 			Queue:         m.coreQueue(e.clock),
 			BatchPressure: pressure,
+			Grace:         e.cfg.ReactiveGrace,
 		}
 		idxs := e.dropper.Decide(&ctx)
 		if len(idxs) == 0 {

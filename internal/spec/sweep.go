@@ -1,0 +1,106 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SweepAxis is one parsed axis of a sweep grammar string: a dimension key
+// and the alternative values it ranges over (each value itself a registry
+// spec or number in the package grammar).
+type SweepAxis struct {
+	Key    string
+	Values []string
+}
+
+// SweepSpec is a parsed sweep grammar string.
+type SweepSpec struct {
+	Axes []SweepAxis
+	// Baseline is the value of the "baseline=<label>" directive ("" when
+	// absent).
+	Baseline string
+}
+
+// ParseSweep parses the declarative sweep grammar of hcexp's -sweep flag:
+// semicolon-separated axes, each "key=value,value,...", plus the
+// "baseline=<value>" directive, e.g.
+//
+//	profile=spec;dropper=reactdrop,heuristic:beta=1.5;tasks=20000,30000,40000;baseline=reactdrop
+//
+// Values may themselves be parameterized registry specs. Because spec
+// parameters also use commas, a comma-separated segment containing "=" is
+// treated as a parameter continuation of the preceding value, so
+// "dropper=reactdrop,heuristic:beta=1.5,eta=3" reads as the two values
+// {reactdrop, heuristic:beta=1.5,eta=3}. Alternatively "|" separates
+// values unambiguously (required for bare-flag parameters:
+// "dropper=threshold:base=0.3,adaptive|reactdrop").
+func ParseSweep(s string) (*SweepSpec, error) {
+	out := &SweepSpec{}
+	seen := map[string]bool{}
+	for _, axis := range strings.Split(s, ";") {
+		axis = strings.TrimSpace(axis)
+		if axis == "" {
+			continue
+		}
+		key, rest, ok := strings.Cut(axis, "=")
+		key = strings.ToLower(strings.TrimSpace(key))
+		if !ok || key == "" {
+			return nil, fmt.Errorf("spec: sweep axis %q is not key=value,...", axis)
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("spec: duplicate sweep axis %q", key)
+		}
+		seen[key] = true
+		vals, err := splitSweepValues(rest)
+		if err != nil {
+			return nil, fmt.Errorf("spec: sweep axis %q: %w", key, err)
+		}
+		if key == "baseline" {
+			if len(vals) != 1 {
+				return nil, fmt.Errorf("spec: baseline takes one value, got %v", vals)
+			}
+			out.Baseline = vals[0]
+			continue
+		}
+		out.Axes = append(out.Axes, SweepAxis{Key: key, Values: vals})
+	}
+	if len(out.Axes) == 0 {
+		return nil, fmt.Errorf("spec: sweep %q declares no axes", s)
+	}
+	return out, nil
+}
+
+// splitSweepValues splits one axis' value list: on "|" verbatim when
+// present, else on "," with parameter segments folded into the preceding
+// value. A segment is a parameter continuation (not a new grid value)
+// when its first "=" comes before any ":" — "eta=3" continues
+// "heuristic:beta=1.5", while "threshold:base=0.3" starts a new value.
+func splitSweepValues(s string) ([]string, error) {
+	var parts []string
+	if strings.Contains(s, "|") {
+		parts = strings.Split(s, "|")
+	} else {
+		for _, seg := range strings.Split(s, ",") {
+			eq := strings.Index(seg, "=")
+			colon := strings.Index(seg, ":")
+			isParam := eq >= 0 && (colon < 0 || eq < colon)
+			if len(parts) > 0 && isParam {
+				parts[len(parts)-1] += "," + seg
+				continue
+			}
+			parts = append(parts, seg)
+		}
+	}
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("empty value in %q", s)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseSweep(t *testing.T) {
+	got, err := ParseSweep("profile=spec;dropper=reactdrop,heuristic:beta=1.5,eta=3;tasks=20000,30000,40000;baseline=reactdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &SweepSpec{
+		Axes: []SweepAxis{
+			{Key: "profile", Values: []string{"spec"}},
+			{Key: "dropper", Values: []string{"reactdrop", "heuristic:beta=1.5,eta=3"}},
+			{Key: "tasks", Values: []string{"20000", "30000", "40000"}},
+		},
+		Baseline: "reactdrop",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseSweep = %+v, want %+v", got, want)
+	}
+}
+
+func TestParseSweepPipeSeparator(t *testing.T) {
+	// "|" separates values verbatim, keeping bare-flag parameters intact.
+	got, err := ParseSweep("dropper=threshold:base=0.3,adaptive|reactdrop;tasks=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Axes[0].Values, []string{"threshold:base=0.3,adaptive", "reactdrop"}) {
+		t.Fatalf("pipe-separated values = %v", got.Axes[0].Values)
+	}
+}
+
+func TestParseSweepWhitespaceAndCase(t *testing.T) {
+	got, err := ParseSweep(" Tasks = 100 , 200 ; PROFILE = video ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Axes[0].Key != "tasks" || got.Axes[1].Key != "profile" {
+		t.Fatalf("keys = %+v", got.Axes)
+	}
+	if !reflect.DeepEqual(got.Axes[0].Values, []string{"100", "200"}) {
+		t.Fatalf("values = %v", got.Axes[0].Values)
+	}
+}
+
+func TestParseSweepParameterContinuation(t *testing.T) {
+	// A comma-separated segment containing "=" folds into the previous
+	// value — it is a spec parameter, not a new grid value.
+	got, err := ParseSweep("profile=spec:seed=7;mapper=kpb:percent=30,PAM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Axes[0].Values, []string{"spec:seed=7"}) {
+		t.Fatalf("profile values = %v", got.Axes[0].Values)
+	}
+	if !reflect.DeepEqual(got.Axes[1].Values, []string{"kpb:percent=30", "PAM"}) {
+		t.Fatalf("mapper values = %v", got.Axes[1].Values)
+	}
+}
+
+func TestParseSweepErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",                    // no axes
+		";;",                  // no axes
+		"tasks",               // not key=value
+		"=100",                // empty key
+		"tasks=100;tasks=200", // duplicate axis
+		"tasks=100,,200",      // empty value
+		"tasks=|",             // empty values
+		"baseline=a,b",        // baseline takes one value
+		"baseline=x",          // baseline alone declares no axes
+	} {
+		if _, err := ParseSweep(bad); err == nil {
+			t.Errorf("ParseSweep(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// PairedDiff summarizes the element-wise differences x[i] − y[i] as a
+// mean ± 95% CI. This is the paired-difference analysis: when the two
+// series come from trials run on identical traces (the comparison
+// discipline of the paper's §V), the trial-to-trial workload noise is
+// common to both series and cancels in the differences, so the CI on the
+// mean difference is typically much tighter than the CI either series
+// carries on its own mean.
+func PairedDiff(x, y []float64) (Summary, error) {
+	if len(x) != len(y) {
+		return Summary{}, fmt.Errorf("stats: paired series of unequal length (%d vs %d)", len(x), len(y))
+	}
+	d := make([]float64, len(x))
+	for i := range x {
+		d[i] = x[i] - y[i]
+	}
+	return Summarize(d), nil
+}
+
+// IndependentDiff summarizes the difference of two independent sample
+// means, x − y, with a Welch-approximate 95% CI — the analysis forced on a
+// reader who only has the two per-cell summaries. It exists as the
+// comparison point for PairedDiff: on positively correlated (paired) data
+// the paired CI is no wider, usually far narrower.
+func IndependentDiff(x, y Summary) Summary {
+	out := Summary{N: x.N, Mean: x.Mean - y.Mean}
+	if y.N < out.N {
+		out.N = y.N
+	}
+	if x.N < 2 || y.N < 2 {
+		return out
+	}
+	vx := x.StdDev * x.StdDev / float64(x.N)
+	vy := y.StdDev * y.StdDev / float64(y.N)
+	se := math.Sqrt(vx + vy)
+	out.StdDev = se
+	if se == 0 {
+		return out
+	}
+	// Welch–Satterthwaite effective degrees of freedom.
+	df := (vx + vy) * (vx + vy) / (vx*vx/float64(x.N-1) + vy*vy/float64(y.N-1))
+	out.CI95 = tCritical95(int(df)) * se
+	return out
+}

@@ -205,6 +205,93 @@ func TestSummarizeCIShrinksWithN(t *testing.T) {
 	}
 }
 
+func TestPairedDiffHandComputed(t *testing.T) {
+	// d = [0.5, 1.0, 1.5]: mean 1, sd 0.5, CI = t(2)·0.5/√3.
+	s, err := PairedDiff([]float64{1, 2, 3}, []float64{0.5, 1, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || math.Abs(s.Mean-1) > 1e-12 {
+		t.Fatalf("paired diff = %+v", s)
+	}
+	if math.Abs(s.StdDev-0.5) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 0.5", s.StdDev)
+	}
+	wantCI := 4.303 * 0.5 / math.Sqrt(3)
+	if math.Abs(s.CI95-wantCI) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+}
+
+func TestPairedDiffCancelsCommonNoise(t *testing.T) {
+	// Perfectly correlated series with a constant offset: the differences
+	// are exactly the offset, so the paired CI collapses to zero while
+	// each series alone carries a wide CI.
+	x := []float64{10, 40, 20, 70, 30}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = v - 7
+	}
+	d, err := PairedDiff(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean != 7 || d.StdDev != 0 || d.CI95 != 0 {
+		t.Fatalf("paired diff of offset series = %+v, want exactly 7 ± 0", d)
+	}
+	if indep := IndependentDiff(Summarize(x), Summarize(y)); indep.CI95 <= 0 {
+		t.Fatalf("independent CI = %v, want > 0", indep.CI95)
+	}
+}
+
+func TestPairedDiffLengthMismatch(t *testing.T) {
+	if _, err := PairedDiff([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestPairedDiffDegenerate(t *testing.T) {
+	s, err := PairedDiff(nil, nil)
+	if err != nil || s.N != 0 {
+		t.Fatalf("empty paired diff = %+v, %v", s, err)
+	}
+	s, err = PairedDiff([]float64{4}, []float64{1})
+	if err != nil || s.N != 1 || s.Mean != 3 || s.CI95 != 0 {
+		t.Fatalf("single-pair diff = %+v, %v", s, err)
+	}
+}
+
+func TestIndependentDiffHandComputed(t *testing.T) {
+	// Equal variances and sizes: Welch df = 2n−2 = 18, se = √(4/10+4/10).
+	x := Summary{N: 10, Mean: 5, StdDev: 2}
+	y := Summary{N: 10, Mean: 3, StdDev: 2}
+	d := IndependentDiff(x, y)
+	if d.N != 10 || math.Abs(d.Mean-2) > 1e-12 {
+		t.Fatalf("independent diff = %+v", d)
+	}
+	se := math.Sqrt(0.8)
+	if math.Abs(d.StdDev-se) > 1e-12 {
+		t.Fatalf("se = %v, want %v", d.StdDev, se)
+	}
+	wantCI := 2.101 * se // t(18)
+	if math.Abs(d.CI95-wantCI) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", d.CI95, wantCI)
+	}
+}
+
+func TestIndependentDiffDegenerate(t *testing.T) {
+	// Too few observations on either side: mean only, zero CI.
+	d := IndependentDiff(Summary{N: 1, Mean: 4}, Summary{N: 30, Mean: 1, StdDev: 2})
+	if d.N != 1 || d.Mean != 3 || d.CI95 != 0 {
+		t.Fatalf("degenerate independent diff = %+v", d)
+	}
+	// Zero variance on both sides: exact difference, zero CI.
+	d = IndependentDiff(Summary{N: 5, Mean: 4}, Summary{N: 5, Mean: 1})
+	if d.Mean != 3 || d.CI95 != 0 {
+		t.Fatalf("zero-variance independent diff = %+v", d)
+	}
+}
+
 func TestMeanOf(t *testing.T) {
 	if MeanOf(nil) != 0 {
 		t.Fatal("MeanOf(nil) != 0")

@@ -1,4 +1,8 @@
-package expt
+// Package tab renders experiment results as printable tables: aligned
+// text and CSV. It is shared by the public sweep API
+// (taskdrop.SweepResult) and the figure harness (internal/expt), so both
+// layers print results identically.
+package tab
 
 import (
 	"fmt"
@@ -80,30 +84,4 @@ func (t *Table) CSV() string {
 		writeRow(row)
 	}
 	return b.String()
-}
-
-// Chart renders a quick ASCII bar chart of (label, value) pairs, scaled to
-// maxWidth characters, for terminal-friendly figure output.
-func Chart(w io.Writer, title, unit string, labels []string, values []float64, maxWidth int) {
-	if maxWidth <= 0 {
-		maxWidth = 50
-	}
-	fmt.Fprintln(w, title)
-	maxV := 0.0
-	maxL := 0
-	for i, v := range values {
-		if v > maxV {
-			maxV = v
-		}
-		if len(labels[i]) > maxL {
-			maxL = len(labels[i])
-		}
-	}
-	for i, v := range values {
-		bar := 0
-		if maxV > 0 {
-			bar = int(v / maxV * float64(maxWidth))
-		}
-		fmt.Fprintf(w, "  %-*s %6.2f%s |%s\n", maxL, labels[i], v, unit, strings.Repeat("#", bar))
-	}
 }

@@ -1,0 +1,37 @@
+package tab
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableFprint(t *testing.T) {
+	tab := Table{
+		ID:      "tX",
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Rows:    [][]string{{"alpha", "1.00"}, {"beta-long", "22.5"}},
+	}
+	var b bytes.Buffer
+	tab.Fprint(&b)
+	out := b.String()
+	for _, want := range []string{"tX — demo", "name", "alpha", "beta-long", "22.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{
+		ID:      "t1",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x,y", `say "hi"`}},
+	}
+	got := tab.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}

@@ -34,7 +34,9 @@ func NewMapper(spec string) (Mapper, error) { return mapping.FromSpec(spec) }
 //	approx:grace=<ticks ≥0>,beta=<float ≥1>,eta=<int ≥1>
 //
 // Omitted parameters take the paper's tuned defaults (β=1, η=2, θ=0.25,
-// adaptive threshold).
+// adaptive threshold). An omitted approx grace follows the engine's
+// reactive grace window (WithGrace), keeping policy and engine leeway in
+// sync automatically.
 func NewDropper(spec string) (DropPolicy, error) { return core.PolicyFromSpec(spec) }
 
 // NewProfile resolves a system-profile spec: "spec" (aliases specint, hc;

@@ -37,16 +37,24 @@ type Scenario struct {
 	dropperImplSet bool
 	dropper        DropPolicy
 
-	trials   int
-	seed     int64
-	tasks    int
-	window   Tick
-	gamma    float64
-	queueCap int
-	grace    Tick
-	failures FailureConfig
-	workers  int
-	onTrial  func(trial int, res *Result)
+	trials      int
+	seed        int64
+	tasks       int
+	window      Tick
+	gamma       float64
+	queueCap    int
+	grace       Tick
+	failures    FailureConfig
+	workers     int
+	maxImpulses int
+	onTrial     func(trial int, res *Result)
+
+	// genTrace, when set, replaces workload.Generate for trace creation —
+	// the trace-pairing hook: a Sweep installs a shared memoizing generator
+	// here so every cell with the same (profile, workload, seed) receives
+	// the one trace instance, making pairing an object identity instead of
+	// a happy accident of determinism.
+	genTrace func(profileSpec string, m *Matrix, cfg workload.Config, seed int64) *workload.Trace
 
 	buildOnce sync.Once
 	matrix    *Matrix
@@ -140,6 +148,13 @@ func WithWorkers(n int) ScenarioOption {
 	return func(s *Scenario) { s.workers = n }
 }
 
+// WithMaxImpulses overrides the calculus' PMF compaction budget (default
+// 0 = pmf.DefaultMaxImpulses). Smaller budgets trade completion-time
+// accuracy for speed; the ext-budget experiment sweeps this knob.
+func WithMaxImpulses(n int) ScenarioOption {
+	return func(s *Scenario) { s.maxImpulses = n }
+}
+
 // OnTrialDone registers a progress hook invoked once per completed trial,
 // possibly concurrently from several workers. The hook must not mutate
 // the Result.
@@ -221,6 +236,8 @@ func (s *Scenario) validate() error {
 		return fmt.Errorf("taskdrop: WithGrace(%d), want >= 0", s.grace)
 	case s.workers < 0:
 		return fmt.Errorf("taskdrop: WithWorkers(%d), want >= 0", s.workers)
+	case s.maxImpulses < 0:
+		return fmt.Errorf("taskdrop: WithMaxImpulses(%d), want >= 0", s.maxImpulses)
 	}
 	return nil
 }
@@ -267,6 +284,29 @@ func (s *Scenario) simConfig(trial int) SimConfig {
 	return cfg
 }
 
+// Trace returns the workload trace trial t runs: generated from the
+// scenario's matrix, workload shape and seed+t, through the sweep's
+// shared trace cache when the scenario is a sweep cell. Two scenarios
+// differing only in policy return identical traces for the same trial —
+// the pairing the evaluation methodology rests on.
+func (s *Scenario) Trace(trial int) (*Trace, error) {
+	if trial < 0 || trial >= s.trials {
+		return nil, fmt.Errorf("taskdrop: trial %d out of range [0,%d)", trial, s.trials)
+	}
+	return s.trace(trial), nil
+}
+
+// trace generates (or fetches, under a sweep) the trial's trace.
+func (s *Scenario) trace(trial int) *workload.Trace {
+	m := s.Matrix()
+	cfg := s.WorkloadConfig()
+	seed := s.seed + int64(trial)
+	if s.genTrace != nil {
+		return s.genTrace(s.profileSpec, m, cfg, seed)
+	}
+	return workload.Generate(m, cfg, seed)
+}
+
 // Engine builds the simulation engine for one trial of the scenario, for
 // callers that need post-run introspection (per-task states, per-type and
 // per-machine breakdowns) beyond what Result carries.
@@ -278,9 +318,11 @@ func (s *Scenario) Engine(trial int) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := s.Matrix()
-	tr := workload.Generate(m, s.WorkloadConfig(), s.seed+int64(trial))
-	return sim.New(m, tr, mapper, s.dropper, s.simConfig(trial)), nil
+	eng := sim.New(s.Matrix(), s.trace(trial), mapper, s.dropper, s.simConfig(trial))
+	if s.maxImpulses > 0 {
+		eng.Calc().MaxImpulses = s.maxImpulses
+	}
+	return eng, nil
 }
 
 // runTrial executes one seeded trial.
@@ -334,6 +376,9 @@ type TrialOutcome struct {
 	Trial  int     `json:"trial"`
 	Result *Result `json:"result,omitempty"`
 	Err    error   `json:"-"`
+	// Error mirrors Err as text so a streamed outcome survives JSON
+	// round-trips (error values don't marshal); empty on success.
+	Error string `json:"error,omitempty"`
 }
 
 // Stream executes the scenario like Run but delivers each trial's result
@@ -356,7 +401,7 @@ func (s *Scenario) Stream(ctx context.Context) <-chan TrialOutcome {
 			return nil
 		})
 		if err != nil {
-			out <- TrialOutcome{Trial: -1, Err: err}
+			out <- TrialOutcome{Trial: -1, Err: err, Error: err.Error()}
 		}
 	}()
 	return out

@@ -170,6 +170,47 @@ func TestScenarioStreamCancellation(t *testing.T) {
 	}
 }
 
+func TestTrialOutcomeErrorSerializes(t *testing.T) {
+	// A stream that ends early must deliver an outcome whose error
+	// survives JSON marshaling (error values themselves don't marshal).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sc := tinyScenario(t)
+	var last taskdrop.TrialOutcome
+	for oc := range sc.Stream(ctx) {
+		last = oc
+	}
+	if !errors.Is(last.Err, context.Canceled) {
+		t.Fatalf("final outcome err = %v, want context.Canceled", last.Err)
+	}
+	if last.Error != last.Err.Error() {
+		t.Fatalf("Error field %q does not mirror Err %q", last.Error, last.Err)
+	}
+	b, err := json.Marshal(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Trial int    `json:"trial"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Trial != -1 || decoded.Error != context.Canceled.Error() {
+		t.Fatalf("serialized outcome lost the error: %s", b)
+	}
+	// Successful outcomes must omit the field entirely.
+	ok := taskdrop.TrialOutcome{Trial: 2}
+	b, err = json.Marshal(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"trial":2}` {
+		t.Fatalf("success outcome JSON = %s", b)
+	}
+}
+
 func TestScenarioOnTrialDone(t *testing.T) {
 	var calls atomic.Int32
 	sc := tinyScenario(t, taskdrop.OnTrialDone(func(trial int, res *taskdrop.Result) {
@@ -201,6 +242,7 @@ func TestScenarioOptionValidation(t *testing.T) {
 		{"zero queue", []taskdrop.ScenarioOption{taskdrop.WithQueueCap(0)}},
 		{"negative grace", []taskdrop.ScenarioOption{taskdrop.WithGrace(-1)}},
 		{"negative workers", []taskdrop.ScenarioOption{taskdrop.WithWorkers(-1)}},
+		{"negative impulse budget", []taskdrop.ScenarioOption{taskdrop.WithMaxImpulses(-1)}},
 		{"mapper set twice", []taskdrop.ScenarioOption{
 			taskdrop.WithMapper("PAM"), taskdrop.WithMapperImpl(greedy{})}},
 		{"dropper set twice", []taskdrop.ScenarioOption{

@@ -1,0 +1,355 @@
+package taskdrop_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	taskdrop "github.com/hpcclab/taskdrop"
+)
+
+// tinySweep builds a fast 2×2 grid (dropper × tasks) on the video profile
+// with a reactdrop baseline.
+func tinySweep(t *testing.T, extra ...taskdrop.SweepItem) *taskdrop.Sweep {
+	t.Helper()
+	items := []taskdrop.SweepItem{
+		taskdrop.Profiles("video"),
+		taskdrop.Mappers("PAM"),
+		taskdrop.Droppers("heuristic", "reactdrop"),
+		taskdrop.Tasks(300, 500),
+		taskdrop.Each(taskdrop.WithWindow(2500)),
+		taskdrop.SweepTrials(3),
+		taskdrop.SweepSeed(42),
+		taskdrop.Baseline("reactdrop"),
+	}
+	sw, err := taskdrop.NewSweep(append(items, extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestSweepExpandsGrid(t *testing.T) {
+	sw := tinySweep(t)
+	if sw.Cells() != 4 {
+		t.Fatalf("cells = %d, want 4 (2 droppers × 2 levels)", sw.Cells())
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Axes, []string{"profile", "mapper", "dropper", "tasks"}) {
+		t.Fatalf("axes = %v", res.Axes)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("results = %d cells", len(res.Cells))
+	}
+	for i, c := range res.Cells {
+		if len(c.Run.Trials) != 3 {
+			t.Fatalf("cell %d ran %d trials", i, len(c.Run.Trials))
+		}
+		if c.Run.Summary.Robustness.N != 3 {
+			t.Fatalf("cell %d summary N = %d", i, c.Run.Summary.Robustness.N)
+		}
+		for _, res := range c.Run.Trials {
+			if err := res.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSweepBaselineDiffs(t *testing.T) {
+	res, err := tinySweep(t).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baselines, compared int
+	for _, c := range res.Cells {
+		if c.Baseline {
+			baselines++
+			if c.VsBaseline != nil {
+				t.Fatal("baseline cell must not carry a self-difference")
+			}
+			continue
+		}
+		compared++
+		if c.VsBaseline == nil {
+			t.Fatalf("cell %q missing paired difference", c.Label)
+		}
+		// The paired mean difference must equal the difference of the two
+		// cells' means exactly (both aggregate the same trials).
+		base, ok := res.Cell("ReactDrop", c.Coords[3].Value)
+		if !ok {
+			t.Fatalf("baseline cell for %q not found", c.Label)
+		}
+		got := c.VsBaseline.Robustness.Mean
+		want := c.Run.Summary.Robustness.Mean - base.Run.Summary.Robustness.Mean
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("paired mean %v != difference of means %v", got, want)
+		}
+		// Proactive dropping helps on this workload (same property the
+		// quickstart example asserts) — and now with a paired CI attached.
+		if got <= 0 {
+			t.Fatalf("heuristic vs reactdrop Δ robustness = %v, want > 0", got)
+		}
+	}
+	if baselines != 2 || compared != 2 {
+		t.Fatalf("baselines = %d, compared = %d", baselines, compared)
+	}
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	var runs []*taskdrop.SweepResult
+	for _, workers := range []int{1, 4} {
+		res, err := tinySweep(t, taskdrop.SweepWorkers(workers)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, res)
+	}
+	a, err := runs[0].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runs[1].JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("sweep results diverged across worker counts")
+	}
+}
+
+func TestSweepScaleShrinksWorkloads(t *testing.T) {
+	sw := tinySweep(t, taskdrop.SweepScale(0.1))
+	sc, err := sw.Scenario(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sc.WorkloadConfig()
+	if cfg.TotalTasks != 30 || cfg.Window != 250 {
+		t.Fatalf("scaled workload = %+v, want 30 tasks over 250 ticks", cfg)
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	res, err := tinySweep(t).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Table()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("flat table rows = %d", len(tab.Rows))
+	}
+	head := strings.Join(tab.Columns, "|")
+	for _, want := range []string{"dropper", "tasks", "robustness (%)", "Δ robustness vs reactdrop (pp, paired)"} {
+		if !strings.Contains(head, want) {
+			t.Fatalf("flat table header missing %q: %s", want, head)
+		}
+	}
+	var sawBaseline, sawDiff bool
+	for _, row := range tab.Rows {
+		last := row[len(row)-1]
+		if last == "baseline" {
+			sawBaseline = true
+		} else if strings.Contains(last, "±") {
+			sawDiff = true
+		}
+	}
+	if !sawBaseline || !sawDiff {
+		t.Fatalf("flat table lacks baseline/diff cells:\n%s", tab.CSV())
+	}
+	if res.CSV() != tab.CSV() {
+		t.Fatal("SweepResult.CSV must render the flat table")
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	res, err := tinySweep(t).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Axes  []string `json:"axes"`
+		Cells []struct {
+			Coords []struct{ Axis, Value string } `json:"coords"`
+			Run    struct {
+				Summary map[string]any `json:"summary"`
+			} `json:"run"`
+			VsBaseline map[string]any `json:"vs_baseline"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Cells) != 4 || len(decoded.Axes) != 4 {
+		t.Fatalf("decoded %d cells / %d axes", len(decoded.Cells), len(decoded.Axes))
+	}
+	if _, ok := decoded.Cells[0].Run.Summary["robustness"]; !ok {
+		t.Fatal("serialized cell missing robustness summary")
+	}
+}
+
+func TestSweepPivot(t *testing.T) {
+	res, err := tinySweep(t).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := res.Pivot(taskdrop.Pivot{
+		ID: "p1", Title: "demo",
+		Row: "dropper", Col: "tasks", ColFmt: "%s tasks",
+		Metric: taskdrop.MetricRobustness,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab.Columns, []string{"dropper", "300 tasks", "500 tasks"}) {
+		t.Fatalf("pivot columns = %v", tab.Columns)
+	}
+	if len(tab.Rows) != 2 || tab.Rows[0][0] != "Heuristic" || tab.Rows[1][0] != "ReactDrop" {
+		t.Fatalf("pivot rows = %v", tab.Rows)
+	}
+	// Transposed with a Δ column: two column values, row-wise mean diff.
+	tab2, err := res.Pivot(taskdrop.Pivot{
+		Row: "tasks", Col: "dropper", ColFmt: "+%s",
+		Metric: taskdrop.MetricRobustness, Delta: true, DeltaHeader: "Δ (pp)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab2.Columns, []string{"tasks", "+Heuristic", "+ReactDrop", "Δ (pp)"}) {
+		t.Fatalf("delta pivot columns = %v", tab2.Columns)
+	}
+	for _, row := range tab2.Rows {
+		if !strings.HasPrefix(row[3], "+") && !strings.HasPrefix(row[3], "-") {
+			t.Fatalf("delta cell %q not signed", row[3])
+		}
+	}
+	// Metric-columns layout: pin the dropper axis first.
+	if _, err := res.Pivot(taskdrop.Pivot{Row: "tasks", Columns: []taskdrop.MetricColumn{
+		{Header: "rob", Metric: taskdrop.MetricRobustness},
+	}}); err == nil {
+		t.Fatal("pivot must reject an unplaced multi-value axis")
+	}
+	if _, err := res.Pivot(taskdrop.Pivot{Row: "dropper", Col: "dropper"}); err == nil {
+		t.Fatal("pivot must reject Row == Col")
+	}
+}
+
+func TestSweepPivotMetricColumns(t *testing.T) {
+	sw, err := taskdrop.NewSweep(
+		taskdrop.Profiles("video"),
+		taskdrop.Droppers("heuristic"),
+		taskdrop.Tasks(300, 500),
+		taskdrop.Each(taskdrop.WithWindow(2500)),
+		taskdrop.SweepTrials(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := res.Pivot(taskdrop.Pivot{
+		Row: "tasks", RowHeader: "level",
+		Columns: []taskdrop.MetricColumn{
+			{Header: "robustness (%)", Metric: taskdrop.MetricRobustness},
+			{Header: "proactive dropped (%)", Metric: taskdrop.MetricProactivePct},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab.Columns, []string{"level", "robustness (%)", "proactive dropped (%)"}) {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %v", tab.Rows)
+	}
+}
+
+func TestSweepOnCellDone(t *testing.T) {
+	var calls atomic.Int32
+	sw := tinySweep(t, taskdrop.OnCellDone(func(done, total int, cell *taskdrop.CellResult) {
+		if total != 4 || done < 1 || done > 4 || cell.Run == nil {
+			t.Errorf("bad progress call: done=%d total=%d cell=%+v", done, total, cell)
+		}
+		calls.Add(1)
+	}))
+	if _, err := sw.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("progress hook ran %d times, want 4", calls.Load())
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tinySweep(t).Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		items []taskdrop.SweepItem
+	}{
+		{"no axes", nil},
+		{"unknown dropper", []taskdrop.SweepItem{taskdrop.Droppers("nope")}},
+		{"unknown profile", []taskdrop.SweepItem{taskdrop.Profiles("nope")}},
+		{"duplicate axis", []taskdrop.SweepItem{taskdrop.Tasks(100), taskdrop.Tasks(200)}},
+		{"empty axis", []taskdrop.SweepItem{taskdrop.Tasks()}},
+		{"As length mismatch", []taskdrop.SweepItem{taskdrop.Tasks(100, 200).As("only-one")}},
+		{"duplicate labels", []taskdrop.SweepItem{taskdrop.Values("x", taskdrop.Value("a"), taskdrop.Value("a"))}},
+		{"bad baseline", []taskdrop.SweepItem{taskdrop.Tasks(100), taskdrop.Baseline("nope")}},
+		{"ambiguous baseline", []taskdrop.SweepItem{
+			taskdrop.Values("a", taskdrop.Value("x"), taskdrop.Value("y")),
+			taskdrop.Values("b", taskdrop.Value("x"), taskdrop.Value("z")),
+			taskdrop.Baseline("x")}},
+		{"zero trials", []taskdrop.SweepItem{taskdrop.Tasks(100), taskdrop.SweepTrials(0)}},
+		{"bad scale", []taskdrop.SweepItem{taskdrop.Tasks(100), taskdrop.SweepScale(1.5)}},
+		{"Each sets trials", []taskdrop.SweepItem{taskdrop.Tasks(100), taskdrop.Each(taskdrop.WithTrials(30))}},
+		{"Each sets seed", []taskdrop.SweepItem{taskdrop.Tasks(100), taskdrop.Each(taskdrop.WithSeed(3))}},
+		{"axis value sets workers", []taskdrop.SweepItem{
+			taskdrop.Values("x", taskdrop.Value("a", taskdrop.WithWorkers(2)))}},
+	}
+	for _, c := range cases {
+		if _, err := taskdrop.NewSweep(c.items...); err == nil {
+			t.Errorf("%s: NewSweep should error", c.name)
+		}
+	}
+}
+
+func TestSweepDropperLabelCollisionFallsBack(t *testing.T) {
+	// Two heuristic tunings share the display name "Heuristic"; the axis
+	// must fall back to spec strings instead of colliding.
+	sw, err := taskdrop.NewSweep(
+		taskdrop.Profiles("video"),
+		taskdrop.Droppers("heuristic:eta=1", "heuristic:eta=2"),
+		taskdrop.Tasks(100),
+		taskdrop.Each(taskdrop.WithWindow(1000)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Cell("heuristic:eta=1"); !ok {
+		t.Fatal("collision fallback labels missing")
+	}
+}

@@ -17,7 +17,9 @@
 //   - workload profiles (SPECint-like inconsistent HC system, video
 //     transcoding, homogeneous cluster) and Poisson trace generation;
 //   - a concurrent, cancellable Scenario API for repeated-trial
-//     experiments, and a harness regenerating every figure of §V.
+//     experiments, and a declarative Sweep API expanding axis grids into
+//     paired scenarios with paired-difference statistics — the form in
+//     which every figure of §V is declared.
 //
 // # Quick start
 //
@@ -49,6 +51,29 @@
 // so CLI flags, experiment figure definitions and API calls all name
 // combinations the same way. Custom Mapper and DropPolicy implementations
 // plug in through WithMapperImpl and WithDropperPolicy.
+//
+// # Sweeps
+//
+// Whole experiment grids are declared with NewSweep: axes (Profiles,
+// Mappers, Droppers, Tasks, …) expand into a cross product of scenarios
+// that share trace generation by construction, run over one worker pool,
+// and — with a Baseline designated — report every cell as a paired mean
+// difference with a paired 95% CI, the correct analysis for comparisons
+// on identical traces:
+//
+//	sw, err := taskdrop.NewSweep(
+//		taskdrop.Droppers("heuristic", "reactdrop"),
+//		taskdrop.Tasks(20000, 30000, 40000),
+//		taskdrop.SweepTrials(30),
+//		taskdrop.Baseline("reactdrop"),
+//	)
+//	if err != nil { ... }
+//	res, err := sw.Run(ctx)
+//	if err != nil { ... }
+//	res.Table().Fprint(os.Stdout)
+//
+// SweepResult renders itself (Table, CSV, JSON, Pivot); every figure of
+// the paper's evaluation (internal/expt, cmd/hcexp) is such a declaration.
 //
 // For one-off single trials the legacy System facade remains:
 //
