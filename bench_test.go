@@ -92,8 +92,13 @@ func benchDecide(b *testing.B, policy core.Policy) {
 		{Type: 5, Deadline: 460},
 	}
 	ctx := &core.Context{Calc: calc, Machine: 2, Now: 100, Queue: queue, BatchPressure: 1.5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		// Recycle per iteration: each op is one cold decision, as at a
+		// fresh mapping event (without this, iterations after the first
+		// would measure pure chain-cache hits).
+		calc.Recycle()
 		_ = policy.Decide(ctx)
 	}
 }
@@ -132,8 +137,10 @@ func BenchmarkAblationCompactionBudget(b *testing.B) {
 				{Type: 9, Deadline: 500},
 				{Type: 5, Deadline: 460},
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				calc.Recycle()
 				_ = calc.SuccessProbs(2, 100, queue)
 			}
 		})
@@ -177,6 +184,7 @@ func BenchmarkQueueChain(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		calc.Recycle()
 		_ = calc.CompletionPMFs(2, 100, queue)
 	}
 }
@@ -192,6 +200,7 @@ func BenchmarkEq1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		calc.Recycle()
 		sinkPMF = calc.Append(prev, 3, 450, 0)
 	}
 }

@@ -11,6 +11,9 @@
 //	# a custom grid with paired-difference statistics vs a baseline:
 //	hcexp -sweep "profile=spec;dropper=reactdrop,heuristic:beta=1.5;tasks=20000,30000,40000;baseline=reactdrop"
 //
+//	# pprof captures of the same workload the benchmarks exercise:
+//	hcexp -fig fig8 -cpuprofile cpu.out -memprofile mem.out
+//
 // Workloads are paired: every combination inside a sweep sees identical
 // task traces, so differences between rows are differences between
 // policies, not between workloads — and with a baseline= directive they
@@ -26,11 +29,31 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"github.com/hpcclab/taskdrop/internal/expt"
 )
+
+// flushProfiles holds the pending -cpuprofile/-memprofile writers. fatalf
+// runs them before exiting so a profiling run cut short by Ctrl-C or a
+// figure error still leaves valid pprof files (log.Fatal would skip the
+// defers via os.Exit).
+var flushProfiles []func()
+
+func runFlushProfiles() {
+	for _, fn := range flushProfiles {
+		fn()
+	}
+	flushProfiles = nil
+}
+
+func fatalf(format string, args ...any) {
+	runFlushProfiles()
+	log.Fatalf(format, args...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -45,8 +68,42 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 		csvDir   = flag.String("csv", "", "directory to also write per-table CSV files")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		flushProfiles = append(flushProfiles, func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		})
+	}
+	if *memProf != "" {
+		path := *memProf
+		flushProfiles = append(flushProfiles, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		})
+	}
+	defer runFlushProfiles()
 
 	opt := expt.DefaultOptions()
 	opt.Trials = *trials
@@ -75,7 +132,7 @@ func main() {
 		for _, id := range strings.Split(*figIDs, ",") {
 			f, ok := expt.ByID(strings.TrimSpace(id))
 			if !ok {
-				log.Fatalf("unknown figure %q (known: fig5 fig6 fig7a fig7b fig8 fig9 fig10 drops)", id)
+				fatalf("unknown figure %q (known: fig5 fig6 fig7a fig7b fig8 fig9 fig10 drops)", id)
 			}
 			figs = append(figs, f)
 		}
@@ -86,10 +143,10 @@ func main() {
 		fmt.Printf("== %s: %s\n", fig.ID, fig.Title)
 		tables, err := fig.Run(ctx, opt)
 		if errors.Is(err, context.Canceled) {
-			log.Fatal("interrupted")
+			fatalf("interrupted")
 		}
 		if err != nil {
-			log.Fatalf("%s: %v", fig.ID, err)
+			fatalf("%s: %v", fig.ID, err)
 		}
 		printTables(tables, *csvDir)
 		fmt.Printf("  (%s)\n\n", time.Since(start).Round(time.Second))
@@ -101,10 +158,10 @@ func runSweep(ctx context.Context, opt expt.Options, grammar, csvDir string) {
 	start := time.Now()
 	tab, err := expt.RunSweep(ctx, opt, grammar)
 	if errors.Is(err, context.Canceled) {
-		log.Fatal("interrupted")
+		fatalf("interrupted")
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	printTables([]expt.Table{*tab}, csvDir)
 	fmt.Printf("  (%s)\n", time.Since(start).Round(time.Second))
@@ -115,7 +172,7 @@ func printTables(tables []expt.Table, csvDir string) {
 		tables[i].Fprint(os.Stdout)
 		if csvDir != "" {
 			if err := writeCSV(csvDir, &tables[i]); err != nil {
-				log.Fatalf("%s: %v", tables[i].ID, err)
+				fatalf("%s: %v", tables[i].ID, err)
 			}
 		}
 	}

@@ -27,12 +27,81 @@ type QueueTask struct {
 // of intermediate completion PMFs (mass-preserving compaction); see
 // pmf.DefaultMaxImpulses.
 //
+// # Memory contract
+//
+// Every PMF the calculus returns (from Append, Availability,
+// CompletionPMFs, ChainState.PMF, ...) may alias the calculus' internal
+// arena. Such PMFs stay valid until the next call to Recycle, which
+// reclaims all arena storage in O(1). The simulation engine recycles once
+// per mapping event, so within one dropping/mapping decision everything
+// composes freely; a caller that caches a PMF across decisions must pin it
+// first with pmf.PMF.CloneInto. A Calculus that is never recycled keeps
+// working (storage is then reclaimed by the garbage collector), it just
+// isn't allocation-free.
+//
+// # Shared-prefix chain cache
+//
+// Within one recycle epoch the calculus memoizes every Eq. 1 chain it
+// evaluates as a trie: ChainStart returns the (cached) availability root
+// for a (machine, now, running-head) triple and ChainState.Append walks or
+// extends the trie one task at a time. Policies evaluating many
+// drop-candidate scenarios over one queue — "the queue with task i
+// removed" — therefore share all common prefix convolutions instead of
+// rechaining from availability, and the mapper's tail-completion chains
+// reuse the prefixes the dropper already computed at the same event.
+//
 // A Calculus owns a convolution workspace and is therefore not safe for
 // concurrent use; give each simulation engine (or test goroutine) its own.
 type Calculus struct {
 	PET         *pet.Matrix
 	MaxImpulses int
 	ws          pmf.Workspace
+
+	// Chain trie, recycled per epoch.
+	epoch uint64
+	nodes []chainNode
+	roots []chainRoot
+
+	// Policy scratch, reused across Decide calls (see heuristicWalk).
+	scratchQ []QueueTask
+	scratchI []int
+}
+
+// chainKey identifies one Eq. 1 transition out of a chain node: appending
+// a task of type t with truncation deadline dl. The machine type is fixed
+// by the root the node descends from.
+type chainKey struct {
+	t  pet.TaskType
+	dl pmf.Tick
+}
+
+// chainEdge is one memoized transition.
+type chainEdge struct {
+	key  chainKey
+	node int32
+}
+
+// chainNode is one memoized chain state: the completion PMF of its prefix
+// plus the transitions already taken from it. Queues hold at most a
+// handful of tasks, so edges stay tiny and are scanned linearly.
+type chainNode struct {
+	cp    pmf.PMF
+	edges []chainEdge
+}
+
+// chainRootKey identifies an availability root: machine type, event time
+// and the running head (if any). Everything Availability depends on.
+type chainRootKey struct {
+	mt      pet.MachineType
+	now     pmf.Tick
+	running bool
+	rt      pet.TaskType
+	elapsed pmf.Tick
+}
+
+type chainRoot struct {
+	key  chainRootKey
+	node int32
 }
 
 // NewCalculus returns a calculus over the given PET with the default
@@ -41,49 +110,151 @@ func NewCalculus(m *pet.Matrix) *Calculus {
 	return &Calculus{PET: m, MaxImpulses: pmf.DefaultMaxImpulses}
 }
 
+// Recycle starts a new decision epoch: it reclaims the impulse arena and
+// the chain trie in O(1), invalidating every PMF previously returned by
+// this calculus. The owning engine calls it once per mapping event;
+// steady-state chain evaluation after warm-up then allocates nothing.
+func (c *Calculus) Recycle() {
+	c.ws.Reset()
+	c.epoch++
+	c.nodes = c.nodes[:0]
+	c.roots = c.roots[:0]
+}
+
+// Epoch returns the recycle epoch, incremented by every Recycle. Callers
+// caching a ChainState (e.g. a machine's tail-completion state) key the
+// cache on it: a state from an older epoch points into recycled storage
+// and must not be used.
+func (c *Calculus) Epoch() uint64 { return c.epoch }
+
+// newNode appends a trie node, reusing the edge storage of a node recycled
+// from an earlier epoch when available.
+func (c *Calculus) newNode(cp pmf.PMF) int32 {
+	if len(c.nodes) < cap(c.nodes) {
+		c.nodes = c.nodes[:len(c.nodes)+1]
+		nd := &c.nodes[len(c.nodes)-1]
+		nd.cp = cp
+		nd.edges = nd.edges[:0]
+	} else {
+		c.nodes = append(c.nodes, chainNode{cp: cp})
+	}
+	return int32(len(c.nodes) - 1)
+}
+
 // exec returns the execution-time PMF for (t, mt).
 func (c *Calculus) exec(t pet.TaskType, mt pet.MachineType) pmf.PMF {
 	return c.PET.ExecPMF(t, mt)
 }
 
-// Append chains Eq. 1 once: the completion PMF of a task of type t with
-// deadline dl on machine type mt, whose predecessor completes according to
-// prev. The result is compacted to the calculus budget.
-func (c *Calculus) Append(prev pmf.PMF, t pet.TaskType, dl pmf.Tick, mt pet.MachineType) pmf.PMF {
-	return c.ws.NextCompletion(prev, c.exec(t, mt), dl).Compact(c.MaxImpulses)
+// appendPMF chains Eq. 1 once through the workspace kernel and compacts
+// the result (in place when freshly produced) to the calculus budget.
+func (c *Calculus) appendPMF(prev pmf.PMF, t pet.TaskType, dl pmf.Tick, mt pet.MachineType) pmf.PMF {
+	return c.ws.NextCompletionCompact(prev, c.exec(t, mt), dl, c.MaxImpulses)
 }
 
-// appendTask is Append for a QueueTask.
-func (c *Calculus) appendTask(prev pmf.PMF, qt QueueTask, mt pet.MachineType) pmf.PMF {
-	return c.Append(prev, qt.Type, qt.Deadline, mt)
+// Append chains Eq. 1 once: the completion PMF of a task of type t with
+// deadline dl on machine type mt, whose predecessor completes according to
+// prev. The result is compacted to the calculus budget. It may alias the
+// calculus arena (see the memory contract above).
+func (c *Calculus) Append(prev pmf.PMF, t pet.TaskType, dl pmf.Tick, mt pet.MachineType) pmf.PMF {
+	return c.appendPMF(prev, t, dl, mt)
+}
+
+// availability computes the root PMF for the given key.
+func (c *Calculus) availability(key chainRootKey) pmf.PMF {
+	if key.running {
+		return c.ws.ConditionalRemainingShift(c.exec(key.rt, key.mt), key.elapsed, key.now)
+	}
+	return c.ws.Delta(key.now)
+}
+
+// rootFor returns the (cached) trie root for the given availability key.
+func (c *Calculus) rootFor(key chainRootKey) int32 {
+	for _, r := range c.roots {
+		if r.key == key {
+			return r.node
+		}
+	}
+	id := c.newNode(c.availability(key))
+	c.roots = append(c.roots, chainRoot{key: key, node: id})
+	return id
+}
+
+// ChainState is a memoized position in a completion-time chain: the
+// completion PMF of some prefix of kept tasks, rooted at a machine's
+// availability. Appending the same task (type and truncation deadline) to
+// the same state twice computes the convolution once. States are
+// invalidated by Recycle, like the PMFs they hold.
+type ChainState struct {
+	c    *Calculus
+	mt   pet.MachineType
+	node int32
+}
+
+// ChainStart returns the chain state at machine mt's availability for
+// queue q at time now, together with the index of the first pending
+// (droppable) entry in q. If the head of q is running, the availability is
+// its conditional completion time; otherwise the machine is free now.
+func (c *Calculus) ChainStart(mt pet.MachineType, now pmf.Tick, q []QueueTask) (ChainState, int) {
+	key := chainRootKey{mt: mt, now: now}
+	first := 0
+	if len(q) > 0 && q[0].Running {
+		key.running, key.rt, key.elapsed = true, q[0].Type, q[0].Elapsed
+		first = 1
+	}
+	return ChainState{c: c, mt: mt, node: c.rootFor(key)}, first
+}
+
+// PMF returns the completion PMF of the state's prefix. The result may
+// alias the calculus arena (valid until Recycle).
+func (s ChainState) PMF() pmf.PMF { return s.c.nodes[s.node].cp }
+
+// Append chains one task of type t with truncation deadline dl onto the
+// state, reusing the memoized result if this transition was already
+// evaluated in the current epoch.
+func (s ChainState) Append(t pet.TaskType, dl pmf.Tick) ChainState {
+	c := s.c
+	key := chainKey{t: t, dl: dl}
+	for _, e := range c.nodes[s.node].edges {
+		if e.key == key {
+			return ChainState{c: c, mt: s.mt, node: e.node}
+		}
+	}
+	cp := c.appendPMF(c.nodes[s.node].cp, t, dl, s.mt)
+	id := c.newNode(cp) // may grow c.nodes; re-take the parent below
+	nd := &c.nodes[s.node]
+	nd.edges = append(nd.edges, chainEdge{key: key, node: id})
+	return ChainState{c: c, mt: s.mt, node: id}
+}
+
+// AppendTask is Append for a QueueTask (strict-deadline truncation).
+func (s ChainState) AppendTask(qt QueueTask) ChainState {
+	return s.Append(qt.Type, qt.Deadline)
 }
 
 // Availability returns the PMF of the absolute time at which the machine
 // becomes free for the first pending task, together with the index of the
 // first pending (droppable) entry in q. If the head of q is running, the
 // availability is its conditional completion time; otherwise the machine is
-// free now.
+// free now. The PMF may alias the calculus arena (valid until Recycle).
 func (c *Calculus) Availability(mt pet.MachineType, now pmf.Tick, q []QueueTask) (avail pmf.PMF, firstPending int) {
-	if len(q) > 0 && q[0].Running {
-		rem := c.exec(q[0].Type, mt).ConditionalRemaining(q[0].Elapsed)
-		return rem.Shift(now), 1
-	}
-	return pmf.Delta(now), 0
+	s, first := c.ChainStart(mt, now, q)
+	return s.PMF(), first
 }
 
 // CompletionPMFs returns the completion-time PMF of every task in the
 // queue, in queue order, per Eq. 1. Index 0 of a running head is its
 // conditional completion time. Each PMF is compacted to the calculus
-// budget.
+// budget; all of them may alias the calculus arena (valid until Recycle).
 func (c *Calculus) CompletionPMFs(mt pet.MachineType, now pmf.Tick, q []QueueTask) []pmf.PMF {
 	out := make([]pmf.PMF, len(q))
-	prev, start := c.Availability(mt, now, q)
+	s, start := c.ChainStart(mt, now, q)
 	if start == 1 {
-		out[0] = prev
+		out[0] = s.PMF()
 	}
 	for i := start; i < len(q); i++ {
-		prev = c.appendTask(prev, q[i], mt)
-		out[i] = prev
+		s = s.AppendTask(q[i])
+		out[i] = s.PMF()
 	}
 	return out
 }
@@ -91,10 +262,14 @@ func (c *Calculus) CompletionPMFs(mt pet.MachineType, now pmf.Tick, q []QueueTas
 // SuccessProbs returns the chance of success (Eq. 2) of every task in the
 // queue: the mass of its completion PMF strictly before its deadline.
 func (c *Calculus) SuccessProbs(mt pet.MachineType, now pmf.Tick, q []QueueTask) []float64 {
-	cs := c.CompletionPMFs(mt, now, q)
 	ps := make([]float64, len(q))
-	for i, cp := range cs {
-		ps[i] = cp.MassBefore(q[i].Deadline)
+	s, start := c.ChainStart(mt, now, q)
+	if start == 1 {
+		ps[0] = s.PMF().MassBefore(q[0].Deadline)
+	}
+	for i := start; i < len(q); i++ {
+		s = s.AppendTask(q[i])
+		ps[i] = s.PMF().MassBefore(q[i].Deadline)
 	}
 	return ps
 }
@@ -103,34 +278,13 @@ func (c *Calculus) SuccessProbs(mt pet.MachineType, now pmf.Tick, q []QueueTask)
 // success of every task in the queue.
 func (c *Calculus) InstantaneousRobustness(mt pet.MachineType, now pmf.Tick, q []QueueTask) float64 {
 	sum := 0.0
-	for _, p := range c.SuccessProbs(mt, now, q) {
-		sum += p
+	s, start := c.ChainStart(mt, now, q)
+	if start == 1 {
+		sum += s.PMF().MassBefore(q[0].Deadline)
 	}
-	return sum
-}
-
-// chainFrom computes completion PMFs for tasks, starting the chain from the
-// given predecessor-completion PMF, stopping after limit tasks (limit < 0
-// means all). Used by the dropping policies to evaluate scenarios.
-func (c *Calculus) chainFrom(prev pmf.PMF, mt pet.MachineType, tasks []QueueTask, limit int) []pmf.PMF {
-	n := len(tasks)
-	if limit >= 0 && limit < n {
-		n = limit
-	}
-	out := make([]pmf.PMF, n)
-	for i := 0; i < n; i++ {
-		prev = c.appendTask(prev, tasks[i], mt)
-		out[i] = prev
-	}
-	return out
-}
-
-// successSum returns the summed chance of success of tasks[i] under the
-// completion PMFs cs (len(cs) ≤ len(tasks)).
-func successSum(cs []pmf.PMF, tasks []QueueTask) float64 {
-	sum := 0.0
-	for i, cp := range cs {
-		sum += cp.MassBefore(tasks[i].Deadline)
+	for i := start; i < len(q); i++ {
+		s = s.AppendTask(q[i])
+		sum += s.PMF().MassBefore(q[i].Deadline)
 	}
 	return sum
 }

@@ -66,7 +66,11 @@ type deadlineFunc func(qt QueueTask) pmf.Tick
 func strictDeadline(qt QueueTask) pmf.Tick { return qt.Deadline }
 
 // heuristicWalk is the single head-to-tail pass of Fig. 4 parameterized by
-// the per-task value function and truncation rule.
+// the per-task value function and truncation rule. Chains run through the
+// calculus' shared-prefix cache, so the keep/drop scenario windows of
+// consecutive candidates — which overlap heavily — convolve each distinct
+// prefix only once, and the walk's working slices live in calculus-owned
+// scratch: a steady-state decision allocates nothing until it drops.
 func heuristicWalk(ctx *Context, beta float64, eta int, value valueFunc, dlOf deadlineFunc) []int {
 	q := ctx.Queue
 	first, _ := droppableBounds(q)
@@ -76,34 +80,35 @@ func heuristicWalk(ctx *Context, beta float64, eta int, value valueFunc, dlOf de
 		return nil
 	}
 	calc := ctx.Calc
-	mt := ctx.Machine
-	prev, _ := calc.Availability(mt, ctx.Now, q)
+	start, _ := calc.ChainStart(ctx.Machine, ctx.Now, q)
 
 	// work holds the not-yet-decided pending suffix of the queue; orig maps
 	// its entries back to original queue indexes.
-	work := append([]QueueTask(nil), q[first:]...)
-	orig := make([]int, len(work))
-	for i := range orig {
-		orig[i] = first + i
+	work := append(calc.scratchQ[:0], q[first:]...)
+	orig := calc.scratchI[:0]
+	for i := range work {
+		orig = append(orig, first+i)
 	}
+	calc.scratchQ, calc.scratchI = work, orig
 
 	// chainValue evaluates the first n tasks of the given slice starting
-	// from start, returning the summed value and the head completion PMF.
-	chainValue := func(start pmf.PMF, tasks []QueueTask, n int) (float64, pmf.PMF) {
+	// from s, returning the summed value and the chain state after the
+	// first appended task.
+	chainValue := func(s ChainState, tasks []QueueTask, n int) (float64, ChainState) {
 		sum := 0.0
-		cur := start
-		var head pmf.PMF
+		head := s
 		for k := 0; k < n && k < len(tasks); k++ {
-			cur = calc.Append(cur, tasks[k].Type, dlOf(tasks[k]), mt)
+			s = s.Append(tasks[k].Type, dlOf(tasks[k]))
 			if k == 0 {
-				head = cur
+				head = s
 			}
-			sum += value(cur, tasks[k])
+			sum += value(s.PMF(), tasks[k])
 		}
 		return sum, head
 	}
 
 	var drops []int
+	prev := start
 	i := 0
 	for i < len(work)-1 { // the final task is never a candidate
 		window := eta
@@ -111,7 +116,7 @@ func heuristicWalk(ctx *Context, beta float64, eta int, value valueFunc, dlOf de
 			window = rest
 		}
 		// Keep scenario: tasks i..i+window; drop scenario: i+1..i+window.
-		vKeep, headPMF := chainValue(prev, work[i:], window+1)
+		vKeep, head := chainValue(prev, work[i:], window+1)
 		vDrop, _ := chainValue(prev, work[i+1:], window)
 
 		if vDrop > beta*vKeep {
@@ -121,8 +126,8 @@ func heuristicWalk(ctx *Context, beta float64, eta int, value valueFunc, dlOf de
 			// prev unchanged: the chain still starts after task i−1.
 			continue
 		}
-		// Advance: the completion PMF of kept task i heads the next chain.
-		prev = headPMF
+		// Advance: the chain state of kept task i heads the next window.
+		prev = head
 		i++
 	}
 	return drops

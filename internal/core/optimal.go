@@ -1,11 +1,6 @@
 package core
 
-import (
-	"math/bits"
-
-	"github.com/hpcclab/taskdrop/internal/pet"
-	"github.com/hpcclab/taskdrop/internal/pmf"
-)
+import "math/bits"
 
 // Optimal is the optimal proactive dropping policy of §IV-D: at each
 // mapping event it enumerates every subset of droppable tasks (2^(q−1)
@@ -27,8 +22,6 @@ func (Optimal) Name() string { return "Optimal" }
 
 // optimalSearch carries the shared state of one decision-tree walk.
 type optimalSearch struct {
-	calc  *Calculus
-	mt    pet.MachineType
 	cands []QueueTask // droppable tasks (queue[first:last])
 	tail  []QueueTask // tasks after the candidates (at least the final one)
 
@@ -45,14 +38,12 @@ func (Optimal) Decide(ctx *Context) []int {
 	if last-first <= 0 {
 		return nil
 	}
-	avail, _ := ctx.Calc.Availability(ctx.Machine, ctx.Now, q)
+	start, _ := ctx.Calc.ChainStart(ctx.Machine, ctx.Now, q)
 	s := &optimalSearch{
-		calc:  ctx.Calc,
-		mt:    ctx.Machine,
 		cands: q[first:last],
 		tail:  q[last:],
 	}
-	s.walk(0, avail, 0, 0)
+	s.walk(0, start, 0, 0)
 	if !s.haveBest || s.bestMask == 0 {
 		return nil
 	}
@@ -66,12 +57,14 @@ func (Optimal) Decide(ctx *Context) []int {
 }
 
 // walk explores keep/drop decisions for candidate i given the chain state.
-func (s *optimalSearch) walk(i int, prev pmf.PMF, sum float64, mask uint32) {
+// Chain states are memoized in the calculus trie, so beyond the explicit
+// prefix sharing of the depth-first walk, the tail chains behind identical
+// survivor sets are also convolved only once per decision.
+func (s *optimalSearch) walk(i int, prev ChainState, sum float64, mask uint32) {
 	if i == len(s.cands) {
 		for _, qt := range s.tail {
-			cp := s.calc.appendTask(prev, qt, s.mt)
-			sum += cp.MassBefore(qt.Deadline)
-			prev = cp
+			prev = prev.AppendTask(qt)
+			sum += prev.PMF().MassBefore(qt.Deadline)
 		}
 		size := bits.OnesCount32(mask)
 		if !s.haveBest || sum > s.bestR+1e-12 || (sum >= s.bestR-1e-12 && size < s.bestSize) {
@@ -81,8 +74,8 @@ func (s *optimalSearch) walk(i int, prev pmf.PMF, sum float64, mask uint32) {
 	}
 	qt := s.cands[i]
 	// Keep candidate i.
-	cp := s.calc.appendTask(prev, qt, s.mt)
-	s.walk(i+1, cp, sum+cp.MassBefore(qt.Deadline), mask)
+	kept := prev.AppendTask(qt)
+	s.walk(i+1, kept, sum+kept.PMF().MassBefore(qt.Deadline), mask)
 	// Drop candidate i: the chain passes through unchanged.
 	s.walk(i+1, prev, sum, mask|1<<i)
 }

@@ -51,21 +51,20 @@ func (t Threshold) Decide(ctx *Context) []int {
 	if len(q)-first < 1 {
 		return nil
 	}
-	calc := ctx.Calc
-	prev, _ := calc.Availability(ctx.Machine, ctx.Now, q)
+	prev, _ := ctx.Calc.ChainStart(ctx.Machine, ctx.Now, q)
 
 	var drops []int
 	// Unlike the paper's heuristic, the threshold baseline may prune any
 	// pending task including the last: its criterion is the task's own
 	// chance of success, not its influence zone.
 	for i := first; i < len(q); i++ {
-		cp := calc.appendTask(prev, q[i], ctx.Machine)
-		if cp.MassBefore(q[i].Deadline) < theta {
+		next := prev.AppendTask(q[i])
+		if next.PMF().MassBefore(q[i].Deadline) < theta {
 			drops = append(drops, i)
 			// prev unchanged: the chain skips the dropped task.
 			continue
 		}
-		prev = cp
+		prev = next
 	}
 	return drops
 }

@@ -21,7 +21,15 @@ func (p PMF) Compact(maxN int) PMF {
 	if len(p.imp) <= maxN {
 		return p
 	}
-	lo, hi := p.imp[0].T, p.imp[len(p.imp)-1].T
+	return PMF{imp: compactInto(make([]Impulse, 0, maxN), p.imp, maxN)}
+}
+
+// compactInto performs the windowed merge of Compact, appending the result
+// to the empty slice dst. dst may alias src[:0] (in-place compaction):
+// every completed window consumed at least one source impulse before its
+// merged impulse is written, so writes never overtake reads.
+func compactInto(dst, src []Impulse, maxN int) []Impulse {
+	lo, hi := src[0].T, src[len(src)-1].T
 	span := hi - lo + 1
 	width := span / Tick(maxN)
 	if span%Tick(maxN) != 0 {
@@ -30,24 +38,25 @@ func (p PMF) Compact(maxN int) PMF {
 	if width < 1 {
 		width = 1
 	}
-	out := make([]Impulse, 0, maxN)
 	var (
-		curBin   Tick = -1
 		mass     float64
 		weighted float64
 	)
 	flush := func() {
 		if mass > massEps {
 			t := Tick(weighted/mass + 0.5)
-			out = append(out, Impulse{T: t, P: mass})
+			dst = append(dst, Impulse{T: t, P: mass})
 		}
 		mass, weighted = 0, 0
 	}
-	for _, im := range p.imp {
-		bin := (im.T - lo) / width
-		if bin != curBin {
+	// src is time-sorted, so the window index is non-decreasing: tracking
+	// the next window boundary needs one division per window change
+	// instead of one per impulse.
+	nextBound := lo // the first impulse (at lo) always opens a window
+	for _, im := range src {
+		if im.T >= nextBound {
 			flush()
-			curBin = bin
+			nextBound = lo + ((im.T-lo)/width+1)*width
 		}
 		mass += im.P
 		weighted += float64(im.T) * im.P
@@ -55,13 +64,13 @@ func (p PMF) Compact(maxN int) PMF {
 	flush()
 	// Windowed merging can still round two adjacent bins to the same tick;
 	// fold duplicates.
-	merged := out[:0]
-	for _, im := range out {
+	merged := dst[:0]
+	for _, im := range dst {
 		if n := len(merged); n > 0 && merged[n-1].T == im.T {
 			merged[n-1].P += im.P
 		} else {
 			merged = append(merged, im)
 		}
 	}
-	return PMF{imp: merged}
+	return merged
 }

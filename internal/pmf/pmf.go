@@ -85,7 +85,7 @@ func (p PMF) Impulses() []Impulse { return p.imp }
 
 // At returns the mass at exactly tick t (zero if no impulse there).
 func (p PMF) At(t Tick) float64 {
-	i := sort.Search(len(p.imp), func(i int) bool { return p.imp[i].T >= t })
+	i := searchImpulses(p.imp, t)
 	if i < len(p.imp) && p.imp[i].T == t {
 		return p.imp[i].P
 	}
@@ -103,25 +103,24 @@ func (p PMF) TotalMass() float64 {
 
 // MassBefore returns the probability mass strictly before tick t.
 // This is the "chance of success" of Eq. 2 when t is a deadline.
+// The boundary index is located by binary search; only the in-range
+// impulses are touched.
 func (p PMF) MassBefore(t Tick) float64 {
 	s := 0.0
-	for _, im := range p.imp {
-		if im.T >= t {
-			break
-		}
+	for _, im := range p.imp[:searchImpulses(p.imp, t)] {
 		s += im.P
 	}
 	return s
 }
 
-// MassAtOrAfter returns the probability mass at or after tick t.
+// MassAtOrAfter returns the probability mass at or after tick t. The
+// summation runs latest-impulse-first, matching the historical scan order
+// bit for bit.
 func (p PMF) MassAtOrAfter(t Tick) float64 {
 	s := 0.0
-	for i := len(p.imp) - 1; i >= 0; i-- {
-		if p.imp[i].T < t {
-			break
-		}
-		s += p.imp[i].P
+	tail := p.imp[searchImpulses(p.imp, t):]
+	for i := len(tail) - 1; i >= 0; i-- {
+		s += tail[i].P
 	}
 	return s
 }
@@ -260,6 +259,17 @@ func (p PMF) Normalize() PMF {
 		return p
 	}
 	return p.Scale(1 / m)
+}
+
+// CloneInto copies p's impulses into buf (reusing its capacity when
+// sufficient) and returns both the copy and the possibly-grown buffer for
+// the caller to reuse. It is the pinning operation of the calculus' memory
+// contract: results that alias workspace arena memory are only valid until
+// the next recycle, so a caller caching one across decisions clones it
+// into storage it owns.
+func (p PMF) CloneInto(buf []Impulse) (PMF, []Impulse) {
+	buf = append(buf[:0], p.imp...)
+	return PMF{imp: buf}, buf
 }
 
 // Equal reports exact equality of impulse lists.

@@ -1,36 +1,126 @@
 package pmf
 
-// Workspace provides allocation- and sort-free convolution for the hot
-// paths of the completion-time calculus. It accumulates impulse masses
-// into a reusable dense array indexed by time offset, then harvests the
-// non-zero cells in order — O(n1·n2 + span) instead of the
-// O(n1·n2 · log(n1·n2)) sort-merge of the portable implementation.
+import mathbits "math/bits"
+
+// Workspace provides allocation-free convolution for the hot paths of the
+// completion-time calculus. It owns an arena of impulse storage: every
+// result it returns aliases arena memory and stays valid until the next
+// Reset, so a chain of Eq. 1 evaluations runs with zero steady-state
+// allocations. Reset recycles the arena in O(1); the owner (one calculus
+// per simulation engine) calls it once per dropping decision.
+//
+// Two accumulation kernels replace the append-then-sort of the portable
+// PMF methods, chosen by output shape:
+//
+//   - dense: masses accumulate into a reusable time-indexed window, whose
+//     non-zero cells are harvested in order into the arena — O(n1·n2 +
+//     span). Completion PMFs in this system span a few thousand ticks, so
+//     this is the cache-friendly common case.
+//   - merge: both operands are already time-sorted, so the output is the
+//     union of one sorted run per left-hand impulse (the right-hand PMF
+//     shifted and scaled); a k-way merge produces sorted, deduplicated
+//     output directly in O(n1·n2 · log n1) with no dependence on the time
+//     span. It takes over where a dense window would be too wide.
+//
+// Both kernels accumulate equal-time contributions in ascending left-
+// impulse order — the floating-point addition order of the naive nested
+// loop — so their results are bit-identical to each other. Against the
+// portable PMF methods they are equal up to the summation order of
+// equal-time ties (the portable accumulator sorts contributions with an
+// unstable sort, so its tie order is unspecified): identical impulse
+// times, masses within ULPs.
 //
 // A Workspace is not safe for concurrent use; each simulation engine owns
 // one.
 type Workspace struct {
-	dense []float64
+	block   []Impulse // current arena block; results alias this (or older, still-referenced blocks)
+	used    int       // committed impulses in block
+	lastOff int       // offset of the most recent allocation, for in-place compaction
+	dense   []float64 // dense accumulation window, reused across calls
+	touched []uint64  // bitmap of written dense cells, so harvest skips zero runs
+	curs    []cursor  // merge cursors, reused across calls
+	heap    []int32   // k-way merge heap of cursor indexes, reused
 }
 
-// maxDenseSpan bounds the dense window. Completion PMFs in this system
-// span at most a few thousand ticks (bounded queues × bounded execution
-// times); anything wider falls back to the portable sort-based path.
+// Arena block sizing, in impulses (16 B each). Blocks double until the cap;
+// a workspace that is never Reset then degrades to one block allocation per
+// ~1 MiB of results instead of growing without bound.
+const (
+	minBlockImpulses = 4 << 10
+	maxBlockImpulses = 64 << 10
+)
+
+// maxDenseSpan bounds the dense window (one float64 per tick of output
+// span); anything wider uses the merge kernel, which is span-independent.
 const maxDenseSpan = 1 << 17
 
-// grow ensures capacity for span cells and returns the zeroed window.
-func (w *Workspace) grow(span int) []float64 {
-	if cap(w.dense) < span {
-		w.dense = make([]float64, span)
-	}
-	d := w.dense[:span]
-	clear(d)
-	return d
+// Reset recycles the arena. Every PMF previously returned by this
+// workspace (and everything derived from one by in-place compaction) is
+// invalidated: its storage will be overwritten by subsequent calls.
+func (w *Workspace) Reset() {
+	w.used = 0
+	w.lastOff = 0
 }
 
-// NextCompletion is the workspace-backed equivalent of
-// PMF.NextCompletion (Eq. 1). Results are identical up to floating-point
-// addition order.
+// ensure makes room for n more impulses at the arena tail, switching to a
+// fresh block when the current one is full. Old blocks stay alive for as
+// long as previously returned PMFs reference them.
+func (w *Workspace) ensure(n int) {
+	if w.used+n <= len(w.block) {
+		return
+	}
+	size := 2 * len(w.block)
+	if size > maxBlockImpulses {
+		size = maxBlockImpulses
+	}
+	if size < minBlockImpulses {
+		size = minBlockImpulses
+	}
+	if size < n {
+		size = n
+	}
+	w.block = make([]Impulse, size)
+	w.used = 0
+	w.lastOff = 0
+}
+
+// commit finalizes the n-impulse allocation starting at base and returns
+// the aliasing PMF (capacity-clamped so nothing can append past it).
+func (w *Workspace) commit(base, n int) PMF {
+	w.lastOff = base
+	w.used = base + n
+	return PMF{imp: w.block[base : base+n : base+n]}
+}
+
+// cursor walks one sorted run of output impulses: src shifted by shift and
+// scaled by scale. Its position in Workspace.curs is the merge tie-break.
+type cursor struct {
+	src   []Impulse
+	shift Tick
+	scale float64
+	pos   int
+	t     Tick // src[pos].T + shift, cached for the heap
+}
+
+// NextCompletion implements Eq. 1 of the paper with arena storage: given
+// the completion-time PMF of the predecessor task (prev, c_{i-1}) and the
+// execution-time PMF of the pending task (exec, e_i) with hard deadline dl
+// (δ_i), it returns the completion-time PMF of the pending task, c_i.
+// Results match PMF.NextCompletion up to the floating-point summation
+// order of equal-time ties (see the package comment on Workspace).
+//
+// The returned PMF may alias workspace memory; it is valid until Reset.
 func (w *Workspace) NextCompletion(prev, exec PMF, dl Tick) PMF {
+	return w.nextCompletion(prev, exec, dl, 0)
+}
+
+// nextCompletion is NextCompletion with an optional compaction budget:
+// with maxN > 0 the dense kernel bins over-budget output directly from the
+// accumulation window (identical to harvesting then compacting, without
+// materializing the intermediate impulses). maxN <= 0 harvests raw. The
+// merge kernel and the pass-through fast paths ignore maxN; the caller
+// compacts those.
+func (w *Workspace) nextCompletion(prev, exec PMF, dl Tick, maxN int) PMF {
 	if prev.IsZero() {
 		return Zero()
 	}
@@ -38,88 +128,411 @@ func (w *Workspace) NextCompletion(prev, exec PMF, dl Tick) PMF {
 		// No execution mass at all: every scenario carries through.
 		return prev
 	}
-	// Output bounds. Impulses below dl expand by the execution span;
-	// impulses at or above dl carry through unchanged.
-	lastExec := lastBelow(prev.imp, dl)
-	var lo, hi Tick
-	switch {
-	case lastExec < 0:
+	// Impulses are time-sorted, so the predecessors completing before dl
+	// (those whose successor executes) form a prefix.
+	k := searchImpulses(prev.imp, dl)
+	if k == 0 {
 		// Everything carries through.
 		return prev
-	case lastExec == len(prev.imp)-1:
+	}
+	// Output bounds. Impulses below dl expand by the execution span;
+	// impulses at or above dl carry through unchanged.
+	var lo, hi Tick
+	if k == len(prev.imp) {
 		// Everything executes.
 		lo = prev.imp[0].T + exec.imp[0].T
-		hi = prev.imp[lastExec].T + exec.imp[len(exec.imp)-1].T
-	default:
+		hi = prev.imp[k-1].T + exec.imp[len(exec.imp)-1].T
+	} else {
 		lo = prev.imp[0].T + exec.imp[0].T
-		if c := prev.imp[lastExec+1].T; c < lo {
+		if c := prev.imp[k].T; c < lo {
 			lo = c
 		}
 		hi = prev.imp[len(prev.imp)-1].T
-		if h := prev.imp[lastExec].T + exec.imp[len(exec.imp)-1].T; h > hi {
+		if h := prev.imp[k-1].T + exec.imp[len(exec.imp)-1].T; h > hi {
 			hi = h
 		}
 	}
-	span := int(hi-lo) + 1
-	if span <= 0 || span > maxDenseSpan {
-		return prev.NextCompletion(exec, dl)
-	}
-	d := w.grow(span)
-	for _, a := range prev.imp {
-		if a.T < dl {
+	total := k*len(exec.imp) + (len(prev.imp) - k)
+	if span := int(hi-lo) + 1; span > 0 && span <= maxDenseSpan {
+		d, bits := w.denseWindow(span)
+		for _, a := range prev.imp[:k] {
 			for _, b := range exec.imp {
-				d[a.T+b.T-lo] += a.P * b.P
+				i := uint(a.T + b.T - lo)
+				d[i] += a.P * b.P
+				bits[i>>6] |= 1 << (i & 63)
 			}
-		} else {
-			d[a.T-lo] += a.P
 		}
+		for _, a := range prev.imp[k:] {
+			i := uint(a.T - lo)
+			d[i] += a.P
+			bits[i>>6] |= 1 << (i & 63)
+		}
+		if maxN > 0 {
+			return w.harvestCompact(d, bits, lo, maxN)
+		}
+		return w.harvest(d, bits, lo, total)
 	}
-	return harvest(d, lo)
+	// Wide output: k-way merge, one run per executing predecessor.
+	w.curs = w.curs[:0]
+	for _, a := range prev.imp[:k] {
+		w.curs = append(w.curs, cursor{src: exec.imp, shift: a.T, scale: a.P, t: exec.imp[0].T + a.T})
+	}
+	if k < len(prev.imp) {
+		// Predecessors completing at or after dl carry through unchanged.
+		// They form one sorted run whose times all exceed every executing
+		// predecessor's, so giving it the highest cursor index reproduces
+		// the nested-loop accumulation order exactly.
+		carry := prev.imp[k:]
+		w.curs = append(w.curs, cursor{src: carry, shift: 0, scale: 1, t: carry[0].T})
+	}
+	return w.mergeRuns(total)
 }
 
-// Convolve is the workspace-backed equivalent of PMF.Convolve.
+// Convolve returns the distribution of X+Y for independent X ~ p and Y ~ q
+// with arena storage. Results are identical to PMF.Convolve up to
+// floating-point addition order (contributions accumulate in ascending
+// p-impulse order). The returned PMF is valid until Reset.
 func (w *Workspace) Convolve(p, q PMF) PMF {
 	if p.IsZero() || q.IsZero() {
 		return Zero()
 	}
 	lo := p.imp[0].T + q.imp[0].T
 	hi := p.imp[len(p.imp)-1].T + q.imp[len(q.imp)-1].T
-	span := int(hi-lo) + 1
-	if span <= 0 || span > maxDenseSpan {
-		return p.Convolve(q)
+	total := len(p.imp) * len(q.imp)
+	if span := int(hi-lo) + 1; span > 0 && span <= maxDenseSpan {
+		d, bits := w.denseWindow(span)
+		for _, a := range p.imp {
+			for _, b := range q.imp {
+				i := uint(a.T + b.T - lo)
+				d[i] += a.P * b.P
+				bits[i>>6] |= 1 << (i & 63)
+			}
+		}
+		return w.harvest(d, bits, lo, total)
 	}
-	d := w.grow(span)
+	w.curs = w.curs[:0]
 	for _, a := range p.imp {
-		for _, b := range q.imp {
-			d[a.T+b.T-lo] += a.P * b.P
-		}
+		w.curs = append(w.curs, cursor{src: q.imp, shift: a.T, scale: a.P, t: q.imp[0].T + a.T})
 	}
-	return harvest(d, lo)
+	return w.mergeRuns(total)
 }
 
-// lastBelow returns the index of the last impulse with time < dl, or −1.
-func lastBelow(imps []Impulse, dl Tick) int {
-	for i := len(imps) - 1; i >= 0; i-- {
-		if imps[i].T < dl {
-			return i
-		}
+// denseWindow returns the zeroed span-cell accumulation window and its
+// touched-cell bitmap.
+func (w *Workspace) denseWindow(span int) ([]float64, []uint64) {
+	if cap(w.dense) < span {
+		w.dense = make([]float64, span)
+		w.touched = make([]uint64, (cap(w.dense)+63)/64)
 	}
-	return -1
+	d := w.dense[:span]
+	clear(d)
+	bits := w.touched[:(span+63)/64]
+	clear(bits)
+	return d, bits
 }
 
-// harvest collects non-negligible cells of the dense window into a PMF.
-func harvest(d []float64, lo Tick) PMF {
+// harvest collects the non-negligible cells of the dense window, in time
+// order, into fresh arena space. Only cells flagged in the touched bitmap
+// are inspected, so the cost scales with the contribution count, not the
+// window span. total bounds the number of non-zero cells.
+func (w *Workspace) harvest(d []float64, bits []uint64, lo Tick, total int) PMF {
+	if total > len(d) {
+		total = len(d)
+	}
+	w.ensure(total)
+	base := w.used
+	out := w.block[base:base]
+	for wi, word := range bits {
+		for word != 0 {
+			i := wi<<6 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			if v := d[i]; v > massEps {
+				out = append(out, Impulse{T: lo + Tick(i), P: v})
+			}
+		}
+	}
+	return w.commit(base, len(out))
+}
+
+// harvestCompact harvests the dense window and compacts to at most maxN
+// impulses in a single arena allocation, without materializing the raw
+// impulse list. The result is identical to harvest followed by Compact:
+// a first bitmap walk counts the non-negligible cells (and finds the true
+// support bounds); within budget, a plain harvest walk follows, otherwise
+// the second walk accumulates Compact's equal-width windows directly.
+func (w *Workspace) harvestCompact(d []float64, bits []uint64, lo Tick, maxN int) PMF {
+	count, first, last := 0, 0, 0
+	for wi, word := range bits {
+		for word != 0 {
+			i := wi<<6 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			if d[i] > massEps {
+				if count == 0 {
+					first = i
+				}
+				last = i
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return Zero()
+	}
+	w.ensure(count)
+	base := w.used
+	out := w.block[base:base]
+	if count <= maxN {
+		// Within budget: plain harvest.
+		for wi, word := range bits {
+			for word != 0 {
+				i := wi<<6 + mathbits.TrailingZeros64(word)
+				word &= word - 1
+				if v := d[i]; v > massEps {
+					out = append(out, Impulse{T: lo + Tick(i), P: v})
+				}
+			}
+		}
+		return w.commit(base, len(out))
+	}
+	// Over budget: the windowed merge of compactInto, reading cells
+	// instead of impulses. Same window arithmetic, same accumulation and
+	// flush order, bit-identical results.
+	span := Tick(last-first) + 1
+	width := span / Tick(maxN)
+	if span%Tick(maxN) != 0 {
+		width++
+	}
+	if width < 1 {
+		width = 1
+	}
+	var mass, weighted float64
+	flush := func() {
+		if mass > massEps {
+			out = append(out, Impulse{T: Tick(weighted/mass + 0.5), P: mass})
+		}
+		mass, weighted = 0, 0
+	}
+	nextBound := first // the first cell always opens a window
+	for wi, word := range bits {
+		for word != 0 {
+			i := wi<<6 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			v := d[i]
+			if v <= massEps {
+				continue
+			}
+			if i >= nextBound {
+				flush()
+				nextBound = first + (int(Tick(i-first)/width)+1)*int(width)
+			}
+			t := lo + Tick(i)
+			mass += v
+			weighted += float64(t) * v
+		}
+	}
+	flush()
+	// Fold adjacent windows rounded to the same tick, as Compact does.
+	merged := out[:0]
+	for _, im := range out {
+		if n := len(merged); n > 0 && merged[n-1].T == im.T {
+			merged[n-1].P += im.P
+		} else {
+			merged = append(merged, im)
+		}
+	}
+	return w.commit(base, len(merged))
+}
+
+// mergeRuns k-way-merges the prepared cursors into fresh arena space.
+// total bounds the output size (the sum of run lengths). Ties on time pop
+// in ascending cursor order, fixing the accumulation order; accumulated
+// cells at or below massEps are dropped, as in the portable kernel.
+func (w *Workspace) mergeRuns(total int) PMF {
+	w.ensure(total)
+	base := w.used
+	out := w.block[base:base]
+
+	// Build the heap of cursor indexes keyed by (current time, index).
+	h := w.heap[:0]
+	for i := range w.curs {
+		h = append(h, int32(i))
+	}
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		w.siftDown(h, i)
+	}
+
+	for len(h) > 0 {
+		ci := h[0]
+		c := &w.curs[ci]
+		t := c.t
+		v := c.scale * c.src[c.pos].P
+		c.pos++
+		if c.pos < len(c.src) {
+			c.t = c.src[c.pos].T + c.shift
+		} else {
+			h[0] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if len(h) > 0 {
+			w.siftDown(h, 0)
+		}
+		if n := len(out); n > 0 && out[n-1].T == t {
+			out[n-1].P += v
+		} else {
+			if n > 0 && out[n-1].P <= massEps {
+				// The previous cell is complete and negligible: drop it.
+				out = out[:n-1]
+			}
+			out = append(out, Impulse{T: t, P: v})
+		}
+	}
+	if n := len(out); n > 0 && out[n-1].P <= massEps {
+		out = out[:n-1]
+	}
+	w.heap = h[:0]
+	return w.commit(base, len(out))
+}
+
+// siftDown restores the heap property at index i. Ordering is by cursor
+// time, ties broken by cursor index (ascending), which is what pins the
+// floating-point accumulation order.
+func (w *Workspace) siftDown(h []int32, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && w.cursLess(h[r], h[l]) {
+			m = r
+		}
+		if !w.cursLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (w *Workspace) cursLess(a, b int32) bool {
+	ca, cb := &w.curs[a], &w.curs[b]
+	return ca.t < cb.t || (ca.t == cb.t && a < b)
+}
+
+// NextCompletionCompact fuses NextCompletion with compaction to maxN
+// impulses — the per-task step of every completion chain. The dense kernel
+// bins its accumulation window straight into the arena; other paths
+// compact their result afterwards, in place when the kernel freshly
+// produced it. The distinction matters when the fast paths return prev
+// itself (all mass carries through, or exec is empty): prev's storage
+// belongs to the caller — it may be a cached chain state other evaluations
+// still read — so an over-budget pass-through is compacted into fresh
+// storage instead of being mutated in place.
+func (w *Workspace) NextCompletionCompact(prev, exec PMF, dl Tick, maxN int) PMF {
+	if maxN <= 0 {
+		panic("pmf: non-positive impulse budget")
+	}
+	next := w.nextCompletion(prev, exec, dl, maxN)
+	if len(next.imp) <= maxN {
+		return next
+	}
+	if len(prev.imp) == len(next.imp) && &prev.imp[0] == &next.imp[0] {
+		return next.Compact(maxN)
+	}
+	return w.CompactTail(next, maxN)
+}
+
+// CompactTail compacts p to at most maxN impulses, preserving total mass
+// exactly (see PMF.Compact). If p is the most recent allocation of this
+// workspace, compaction happens in place and the freed arena space is
+// reclaimed; otherwise it falls back to the portable allocating Compact.
+//
+// In-place compaction overwrites p's storage: it must only be applied to
+// a result the caller exclusively owns (fresh kernel output), never to a
+// PMF shared with other live readers — see NextCompletionCompact.
+func (w *Workspace) CompactTail(p PMF, maxN int) PMF {
+	if maxN <= 0 {
+		panic("pmf: non-positive impulse budget")
+	}
+	if len(p.imp) <= maxN {
+		return p
+	}
+	if !w.ownsTail(p) {
+		return p.Compact(maxN)
+	}
+	out := compactInto(p.imp[:0:len(p.imp)], p.imp, maxN)
+	return w.commit(w.lastOff, len(out))
+}
+
+// ownsTail reports whether p is exactly the workspace's most recent
+// allocation (and therefore safe to mutate in place).
+func (w *Workspace) ownsTail(p PMF) bool {
+	if len(p.imp) == 0 || w.lastOff+len(p.imp) != w.used {
+		return false
+	}
+	return &p.imp[0] == &w.block[w.lastOff]
+}
+
+// Delta returns the deterministic PMF with all mass at t, stored in the
+// arena (valid until Reset).
+func (w *Workspace) Delta(t Tick) PMF {
+	w.ensure(1)
+	base := w.used
+	w.block[base] = Impulse{T: t, P: 1}
+	return w.commit(base, 1)
+}
+
+// ConditionalRemainingShift is the fused availability operation of the
+// calculus: it returns p.ConditionalRemaining(elapsed).Shift(now) — the
+// absolute completion time of a task that has been running for elapsed
+// ticks as of now — with arena storage and identical arithmetic. The
+// returned PMF is valid until Reset.
+func (w *Workspace) ConditionalRemainingShift(p PMF, elapsed, now Tick) PMF {
+	if elapsed <= 0 {
+		if p.IsZero() {
+			return Zero()
+		}
+		w.ensure(len(p.imp))
+		base := w.used
+		for i, im := range p.imp {
+			w.block[base+i] = Impulse{T: im.T + now, P: im.P}
+		}
+		return w.commit(base, len(p.imp))
+	}
+	w.ensure(len(p.imp))
+	base := w.used
 	n := 0
-	for _, v := range d {
-		if v > massEps {
+	mass := 0.0
+	for _, im := range p.imp {
+		if im.T > elapsed {
+			w.block[base+n] = Impulse{T: im.T - elapsed + now, P: im.P}
+			mass += im.P
 			n++
 		}
 	}
-	out := make([]Impulse, 0, n)
-	for i, v := range d {
-		if v > massEps {
-			out = append(out, Impulse{T: lo + Tick(i), P: v})
+	if mass <= massEps {
+		// The task has outlived its model; assume completion on the next
+		// tick (see PMF.ConditionalRemaining).
+		return w.Delta(now + 1)
+	}
+	inv := 1 / mass
+	for i := base; i < base+n; i++ {
+		w.block[i].P *= inv
+	}
+	return w.commit(base, n)
+}
+
+// searchImpulses returns the smallest index i with imps[i].T >= t (so
+// imps[:i] is the strictly-before-t prefix).
+func searchImpulses(imps []Impulse, t Tick) int {
+	lo, hi := 0, len(imps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if imps[mid].T < t {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return PMF{imp: out}
+	return lo
 }

@@ -116,7 +116,20 @@ func BenchmarkNextCompletionWorkspace(b *testing.B) {
 	var ws Workspace
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		ws.Reset()
 		_ = ws.NextCompletion(prev, exec, 1500)
+	}
+}
+
+func BenchmarkNextCompletionCompactWorkspace(b *testing.B) {
+	r := rand.New(rand.NewSource(31))
+	prev := randomPMF(r, 32, 2000)
+	exec := randomPMF(r, 25, 300).Normalize()
+	var ws Workspace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ws.Reset()
+		_ = ws.NextCompletionCompact(prev, exec, 1500, DefaultMaxImpulses)
 	}
 }
 

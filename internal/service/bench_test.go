@@ -15,7 +15,7 @@ import (
 // benchTasks pre-generates an oversubscribed arrival sequence long enough
 // for b.N decisions by tiling a base trace along the time axis, so the
 // system stays under continuous load however many iterations run.
-func benchTasks(b *testing.B, n int) []workload.Task {
+func benchTasks(b testing.TB, n int) []workload.Task {
 	b.Helper()
 	m, err := pet.CachedMatrix("video")
 	if err != nil {

@@ -268,7 +268,11 @@ func (e *Engine) handleCompletion(m *Machine) {
 
 // mappingEvent performs the per-event pipeline of Fig. 1/Fig. 4: reactive
 // dropping, proactive dropping, mapping, and starting idle machines.
+// The calculus is recycled first: all completion-time chains evaluated
+// within one event share the arena and the prefix cache, and nothing but
+// the machines' pinned tail caches survives into the next event.
 func (e *Engine) mappingEvent(fromCompletion bool) {
+	e.calc.Recycle()
 	reacted := e.reactiveDrops()
 	if fromCompletion || reacted || e.cfg.DropOnArrival {
 		e.proactiveDrops()

@@ -27,10 +27,17 @@ type Machine struct {
 	// completion cache.
 	version uint64
 
+	// Tail completion-chain cache: the memoized chain state of the last
+	// queued task, valid while (epoch, version, now) all match. The chain
+	// lives in the calculus' per-event trie, so the epoch guard drops it
+	// whenever the calculus recycles.
 	tailVer   uint64
 	tailNow   pmf.Tick
-	tailPMF   pmf.PMF
+	tailEpoch uint64
+	tailState core.ChainState
 	tailValid bool
+	// qbuf is the reusable backing of coreQueue.
+	qbuf []core.QueueTask
 }
 
 // Type returns the machine's PET column.
@@ -58,38 +65,44 @@ func (m *Machine) firstPending() int {
 }
 
 // coreQueue converts the machine queue into the calculus' view at time
-// now.
+// now. The returned slice is machine-owned scratch, overwritten by the
+// next call for this machine; consumers use it within one decision.
 func (m *Machine) coreQueue(now pmf.Tick) []core.QueueTask {
-	out := make([]core.QueueTask, len(m.queue))
+	out := m.qbuf[:0]
 	for i, ts := range m.queue {
-		out[i] = core.QueueTask{
+		qt := core.QueueTask{
 			Type:     ts.Task.Type,
 			Deadline: ts.Task.Deadline,
 		}
 		if i == 0 && m.running {
-			out[i].Running = true
-			out[i].Elapsed = now - ts.Start
+			qt.Running = true
+			qt.Elapsed = now - ts.Start
 		}
+		out = append(out, qt)
 	}
+	m.qbuf = out
 	return out
 }
 
-// tailCompletion returns the completion-time PMF of the machine's last
-// queued task (the availability PMF a newly appended task would chain
-// from). Results are cached per (queue version, now).
-func (m *Machine) tailCompletion(calc *core.Calculus, now pmf.Tick) pmf.PMF {
-	if m.tailValid && m.tailVer == m.version && m.tailNow == now {
-		return m.tailPMF
+// tailChain returns the memoized chain state of the machine's last queued
+// task (the availability state a newly appended task would chain from; for
+// an empty queue, the machine-free-now root). The state is cached per
+// (calculus epoch, queue version, now); the chain itself runs through the
+// calculus' shared-prefix cache, so at a dropping event it reuses the
+// prefixes the dropper already convolved, and candidate completions
+// branching off it are memoized per (task type, deadline).
+func (m *Machine) tailChain(calc *core.Calculus, now pmf.Tick) core.ChainState {
+	if m.tailValid && m.tailEpoch == calc.Epoch() && m.tailVer == m.version && m.tailNow == now {
+		return m.tailState
 	}
-	var tail pmf.PMF
-	if len(m.queue) == 0 {
-		tail = pmf.Delta(now)
-	} else {
-		cs := calc.CompletionPMFs(m.Type(), now, m.coreQueue(now))
-		tail = cs[len(cs)-1]
+	q := m.coreQueue(now)
+	s, start := calc.ChainStart(m.Type(), now, q)
+	for i := start; i < len(q); i++ {
+		s = s.AppendTask(q[i])
 	}
-	m.tailVer, m.tailNow, m.tailPMF, m.tailValid = m.version, now, tail, true
-	return tail
+	m.tailState = s
+	m.tailEpoch, m.tailVer, m.tailNow, m.tailValid = calc.Epoch(), m.version, now, true
+	return s
 }
 
 // removeAt deletes the queue entry at index i and bumps the version.

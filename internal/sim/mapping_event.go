@@ -50,12 +50,14 @@ func (ev *MappingEvent) HasFreeSlot() bool {
 
 // CandidateCompletion returns the completion-time PMF task ts would have
 // if appended to machine m's queue now (Eq. 1 chained onto the queue's
-// tail completion). The tail is cached per machine per event, so scanning
-// many candidates against one machine costs one convolution each.
+// tail completion). The tail chain state is cached per machine per event
+// and candidates branch off it through the calculus' chain cache, so
+// re-scanning the same (task, machine) pair across the commit rounds of a
+// batch heuristic costs a lookup, not a convolution. The returned PMF
+// aliases the calculus arena (valid within the current mapping event).
 func (ev *MappingEvent) CandidateCompletion(ts *TaskState, m *Machine) pmf.PMF {
-	calc := ev.e.calc
-	tail := m.tailCompletion(calc, ev.e.clock)
-	return calc.Append(tail, ts.Task.Type, ts.Task.Deadline, m.Type())
+	tail := m.tailChain(ev.e.calc, ev.e.clock)
+	return tail.Append(ts.Task.Type, ts.Task.Deadline).PMF()
 }
 
 // SuccessProbability returns the chance of success (Eq. 2) task ts would
