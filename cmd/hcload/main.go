@@ -96,6 +96,12 @@ func main() {
 	fmt.Printf("  dropped at arrival  %d\n", rep.Dropped)
 	fmt.Printf("decide latency        p50 %s   p99 %s\n",
 		rep.LatencyP50.Round(time.Microsecond), rep.LatencyP99.Round(time.Microsecond))
+	if len(rep.PerShard) > 1 {
+		for _, sl := range rep.PerShard {
+			fmt.Printf("  shard %-3d           p50 %s   p99 %s   (%d requests)\n",
+				sl.Shard, sl.P50.Round(time.Microsecond), sl.P99.Round(time.Microsecond), sl.Requests)
+		}
+	}
 	if rep.Final != nil {
 		fmt.Printf("achieved robustness   %6.2f %% of measured tasks completed on time\n", rep.Final.RobustnessPct)
 		fmt.Printf("  on time / late      %d / %d\n", rep.Final.MOnTime, rep.Final.MLate)

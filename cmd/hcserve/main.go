@@ -6,13 +6,21 @@
 //
 //	hcserve -addr :8080 -profile spec -mapper PAM -dropper "heuristic:beta=1.5,eta=3"
 //
+// With -shards N the machines are partitioned into N independent
+// admission shards, each with its own single-writer decision loop, behind
+// a routing policy (-router rr|mass|p2c) — the sharded cluster
+// architecture that multiplies decision throughput while keeping the
+// paper's calculus exact per shard.
+//
 // Endpoints:
 //
 //	POST /v1/decide   {"tasks":[{"type":3,"arrival":120,"deadline":890,...}]}
-//	POST /v1/drain    graceful drain; returns the final trial Result
+//	POST /v1/drain    graceful drain (all shards concurrently); returns the
+//	                  merged final trial Result
+//	GET  /v1/stats    per-shard queue depths, robustness estimates, drop counts
 //	GET  /healthz     liveness + served configuration
 //	GET  /metrics     Prometheus text (decisions/s, drop rate, queue depths,
-//	                  decision-latency histogram)
+//	                  decision-latency histogram, per-shard series)
 //
 // On SIGTERM/SIGINT the server stops accepting work, drains the virtual
 // system, and prints the final robustness accounting before exiting.
@@ -42,6 +50,8 @@ func main() {
 		profileSpec   = flag.String("profile", "spec", "system profile spec: spec | video | homog (e.g. spec:seed=7)")
 		mapperSpec    = flag.String("mapper", "PAM", "mapping heuristic spec (MinMin, MSD, PAM, FCFS, SJF, EDF, kpb:percent=30, ...)")
 		dropperSpec   = flag.String("dropper", "heuristic", "dropping policy spec: reactdrop | heuristic[:beta=..,eta=..] | optimal | threshold[:base=..,adaptive] | approx[:grace=..]")
+		shards        = flag.Int("shards", 1, "admission shards (independent decision loops over partitioned machines)")
+		routerSpec    = flag.String("router", "rr", "shard-routing policy spec: rr | mass | p2c[:seed=..]")
 		queueCap      = flag.Int("queue", 6, "machine queue capacity incl. running task")
 		grace         = flag.Int64("grace", 0, "reactive-drop grace window in ms (approximate-computing extension)")
 		dropOnArrival = flag.Bool("drop-on-arrival", false, "engage the proactive dropper on arrival events too (strict Fig. 4)")
@@ -55,6 +65,8 @@ func main() {
 		Profile:           *profileSpec,
 		Mapper:            *mapperSpec,
 		Dropper:           *dropperSpec,
+		Shards:            *shards,
+		Router:            *routerSpec,
 		QueueCap:          *queueCap,
 		Grace:             pmf.Tick(*grace),
 		DropOnArrival:     *dropOnArrival,
@@ -65,8 +77,8 @@ func main() {
 		log.Fatal(err)
 	}
 	m := ctrl.Matrix()
-	log.Printf("serving profile=%s mapper=%s dropper=%s: %d machines, %d task types",
-		*profileSpec, *mapperSpec, *dropperSpec, len(m.Machines()), m.NumTaskTypes())
+	log.Printf("serving profile=%s mapper=%s dropper=%s: %d machines, %d task types, %d shard(s) routed by %s",
+		*profileSpec, *mapperSpec, *dropperSpec, len(m.Machines()), m.NumTaskTypes(), ctrl.NumShards(), *routerSpec)
 
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(ctrl)}
 	errCh := make(chan error, 1)

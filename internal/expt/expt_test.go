@@ -219,6 +219,8 @@ func TestSweepFromSpecAxes(t *testing.T) {
 		"queuecap=2,6;tasks=100",
 		"grace=0,150;tasks=100",
 		"budget=8,64;tasks=100",
+		"shards=1,2,4;tasks=100",
+		"router=rr|mass|p2c:seed=3;tasks=100",
 		"mtbf=0,10000;tasks=100",
 	} {
 		items, err := SweepFromSpec(g)

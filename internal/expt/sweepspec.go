@@ -23,6 +23,8 @@ import (
 //	queuecap  machine queue bounds (ints)
 //	grace     reactive grace windows in ticks (ints)
 //	budget    PMF compaction budgets (ints)
+//	shards    cluster shard counts (ints; see WithShards)
+//	router    shard-routing policies (registry specs; see NewRouter)
 //	mtbf      machine failure MTBFs in ticks (ints, 0 = none;
 //	          repair = MTBF/10, failure seed 1000)
 //
@@ -90,6 +92,14 @@ func SweepFromSpec(grammar string) ([]taskdrop.SweepItem, error) {
 				return nil, err
 			}
 			items = append(items, taskdrop.Budgets(ns...))
+		case "shards":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, taskdrop.Shards(ns...))
+		case "router":
+			items = append(items, taskdrop.Routers(ax.Values...))
 		case "mtbf":
 			ns, err := sweepInts(ax)
 			if err != nil {
@@ -103,7 +113,7 @@ func SweepFromSpec(grammar string) ([]taskdrop.SweepItem, error) {
 			}
 			items = append(items, taskdrop.FailurePlans(fcs...).Named("mtbf"))
 		default:
-			return nil, fmt.Errorf("expt: unknown sweep axis %q (known: profile mapper dropper tasks gamma window queuecap grace budget mtbf)", ax.Key)
+			return nil, fmt.Errorf("expt: unknown sweep axis %q (known: profile mapper dropper tasks gamma window queuecap grace budget shards router mtbf)", ax.Key)
 		}
 	}
 	if parsed.Baseline != "" {

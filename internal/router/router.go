@@ -1,0 +1,274 @@
+// Package router implements the shard-routing layer of the clustered
+// admission architecture: given N independent shard engines (each owning a
+// disjoint subset of the machines, see sim.PartitionMachines), a routing
+// policy picks the shard every arriving task is admitted through.
+//
+// Probabilistic pruning is shard-local by construction — a task's
+// completion-time PMF (Eq. 1) depends only on the queues of the machines
+// it may run on — so routing a task to a shard and running the paper's
+// calculus inside that shard preserves the dropping semantics exactly
+// while the shards advance independently.
+//
+// # Concurrency model
+//
+// Policies are consulted by a lock-free front-end: many goroutines may
+// call Route concurrently while shard decision loops publish their state
+// through ShardView atomics. No policy takes a lock; the mutable ones
+// (round-robin cursor, power-of-two RNG) advance a single atomic word.
+// The route hot path is budgeted at ≤ 2 allocations (all built-in
+// policies allocate zero); CI asserts the budget.
+//
+// Policies resolve through the same parameterized spec grammar as
+// mappers, droppers and profiles (internal/spec):
+//
+//	rr                          round-robin (aliases roundrobin, round-robin)
+//	mass                        least queue mass (aliases leastmass, least-queue-mass, lqm)
+//	p2c[:seed=<int64>]          power-of-two-choices over per-class
+//	                            robustness estimates (aliases poweroftwo,
+//	                            power-of-two)
+package router
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/spec"
+)
+
+// EWMAAlpha is the smoothing factor of the per-class robustness estimate:
+// each admission folds its observed chance of success into the running
+// estimate as new = (1-α)·old + α·observed. 1/8 forgets roughly the last
+// twenty decisions — fast enough to track load swings, slow enough not to
+// thrash on one unlucky placement.
+const EWMAAlpha = 0.125
+
+// Task is the router's view of one arriving task: just enough to pick a
+// shard, nothing that would require parsing the full wire spec on the hot
+// path.
+type Task struct {
+	// Class is the task's PET row (task type).
+	Class int
+	// Arrival and Deadline are the task's absolute ticks.
+	Arrival  pmf.Tick
+	Deadline pmf.Tick
+}
+
+// ShardView is the router-visible state of one shard, published lock-free:
+// the shard's single-writer decision loop stores into the atomics after
+// every event, and any number of front-end goroutines read them when
+// routing. It carries the two signals the built-in policies consume —
+// queue-mass load gauges and a per-task-class EWMA of the on-time
+// probability the shard recently delivered at admission.
+type ShardView struct {
+	batch  atomic.Int64 // deferred tasks waiting unmapped
+	queued atomic.Int64 // tasks in machine queues (incl. running)
+	free   atomic.Int64 // open queue slots across the shard
+
+	// robustness[class] holds math.Float64bits of the per-class EWMA.
+	robustness []atomic.Uint64
+}
+
+// NewShardView builds a view for a shard serving numClasses task types.
+// Robustness estimates start optimistic (1.0) so cold shards attract work
+// until real observations arrive.
+func NewShardView(numClasses int) *ShardView {
+	v := &ShardView{robustness: make([]atomic.Uint64, numClasses)}
+	one := math.Float64bits(1.0)
+	for i := range v.robustness {
+		v.robustness[i].Store(one)
+	}
+	return v
+}
+
+// SetLoad publishes the shard's load gauges (single writer: the shard's
+// decision loop).
+func (v *ShardView) SetLoad(batch, queued, free int) {
+	v.batch.Store(int64(batch))
+	v.queued.Store(int64(queued))
+	v.free.Store(int64(free))
+}
+
+// QueueMass returns the shard's outstanding work: tasks in machine queues
+// plus deferred tasks waiting in the batch.
+func (v *ShardView) QueueMass() int64 { return v.queued.Load() + v.batch.Load() }
+
+// FreeSlots returns the shard's open queue slots.
+func (v *ShardView) FreeSlots() int64 { return v.free.Load() }
+
+// ObserveAdmission folds one admission outcome for a task of the given
+// class into the per-class robustness EWMA: p is the chance of success the
+// shard gave the task at admission (0 for a deferred or dropped task).
+// Single writer: the shard's decision loop.
+func (v *ShardView) ObserveAdmission(class int, p float64) {
+	if class < 0 || class >= len(v.robustness) {
+		return
+	}
+	old := math.Float64frombits(v.robustness[class].Load())
+	next := (1-EWMAAlpha)*old + EWMAAlpha*p
+	// Clamp accumulated rounding drift: estimates are probabilities.
+	next = math.Max(0, math.Min(1, next))
+	v.robustness[class].Store(math.Float64bits(next))
+}
+
+// ClassRobustness returns the shard's current expected on-time probability
+// for the given task class (1.0 before any observation, or for an unknown
+// class).
+func (v *ShardView) ClassRobustness(class int) float64 {
+	if class < 0 || class >= len(v.robustness) {
+		return 1.0
+	}
+	return math.Float64frombits(v.robustness[class].Load())
+}
+
+// Policy picks the shard an arriving task is admitted through. Route is
+// called concurrently by the front-end and must not block or allocate more
+// than the documented budget (≤ 2 allocs; built-ins allocate zero). The
+// returned index must lie in [0, len(views)).
+type Policy interface {
+	// Name identifies the policy in logs and experiment tables.
+	Name() string
+	// Route picks a shard for task t given the published shard views.
+	Route(t Task, views []*ShardView) int
+}
+
+// RoundRobin cycles through the shards in order, ignoring their state —
+// the zero-information baseline. The cursor is a single atomic, so
+// concurrent fronts interleave without locking.
+type RoundRobin struct {
+	next atomic.Uint64
+}
+
+// NewRoundRobin returns a round-robin policy starting at shard 0.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "rr" }
+
+// Route implements Policy.
+func (p *RoundRobin) Route(_ Task, views []*ShardView) int {
+	return int((p.next.Add(1) - 1) % uint64(len(views)))
+}
+
+// LeastMass routes to the shard with the least outstanding work (machine
+// queues plus deferred batch), breaking ties toward the lower shard index
+// so the policy is a pure function of the published views.
+type LeastMass struct{}
+
+// Name implements Policy.
+func (LeastMass) Name() string { return "mass" }
+
+// Route implements Policy.
+func (LeastMass) Route(_ Task, views []*ShardView) int {
+	best, bestMass := 0, views[0].QueueMass()
+	for i := 1; i < len(views); i++ {
+		if m := views[i].QueueMass(); m < bestMass {
+			best, bestMass = i, m
+		}
+	}
+	return best
+}
+
+// PowerOfTwo samples two distinct shards and admits through the one whose
+// robustness estimate for the task's class — the expected on-time
+// probability the shard has recently delivered to that class — is higher,
+// breaking ties toward the lighter queue and then the lower index. Two
+// choices give most of the benefit of a full scan at O(1) cost, and the
+// sampling keeps a persistently-misestimated shard from starving
+// (Mitzenmacher's power of two choices, applied to robustness instead of
+// queue length).
+//
+// The RNG is a counter-based splitmix64 advanced with one atomic add, so
+// concurrent routes never lock and a fixed seed makes a sequential request
+// stream reproducible.
+type PowerOfTwo struct {
+	state atomic.Uint64
+}
+
+// NewPowerOfTwo returns a power-of-two-choices policy seeded for
+// reproducible routing.
+func NewPowerOfTwo(seed int64) *PowerOfTwo {
+	p := &PowerOfTwo{}
+	p.state.Store(uint64(seed))
+	return p
+}
+
+// Name implements Policy.
+func (*PowerOfTwo) Name() string { return "p2c" }
+
+// rand64 advances the counter-based splitmix64 stream by one draw.
+func (p *PowerOfTwo) rand64() uint64 {
+	x := p.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Route implements Policy.
+func (p *PowerOfTwo) Route(t Task, views []*ShardView) int {
+	n := uint64(len(views))
+	if n == 1 {
+		return 0
+	}
+	r := p.rand64()
+	i := int(r % n)
+	j := int((r >> 32) % (n - 1))
+	if j >= i {
+		j++ // distinct second choice, uniform over the rest
+	}
+	if better(t, views, j, i) {
+		return j
+	}
+	return i
+}
+
+// better reports whether shard a beats shard b for task t: higher
+// robustness estimate for the class, then lighter queue, then lower index.
+func better(t Task, views []*ShardView, a, b int) bool {
+	ra, rb := views[a].ClassRobustness(t.Class), views[b].ClassRobustness(t.Class)
+	if ra != rb {
+		return ra > rb
+	}
+	ma, mb := views[a].QueueMass(), views[b].QueueMass()
+	if ma != mb {
+		return ma < mb
+	}
+	return a < b
+}
+
+// FromSpec resolves a routing-policy spec (see the package comment for the
+// grammar). Mutable policies (round-robin cursor, p2c RNG) are constructed
+// fresh per call, so two clusters never share routing state.
+func FromSpec(s string) (Policy, error) {
+	name, params, err := spec.Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	var p Policy
+	switch name {
+	case "rr", "roundrobin", "round-robin":
+		p = NewRoundRobin()
+	case "mass", "leastmass", "least-queue-mass", "lqm":
+		p = LeastMass{}
+	case "p2c", "poweroftwo", "power-of-two":
+		p = NewPowerOfTwo(params.Int64("seed", 1))
+	default:
+		return nil, fmt.Errorf("router: unknown routing policy %q (known: %s)", name, strings.Join(Names(), ", "))
+	}
+	if err := params.Finish(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Names lists the canonical routing-policy names.
+func Names() []string {
+	out := []string{"rr", "mass", "p2c"}
+	sort.Strings(out)
+	return out
+}

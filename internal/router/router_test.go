@@ -1,0 +1,180 @@
+package router
+
+import (
+	"math"
+	"testing"
+)
+
+func views(n int) []*ShardView {
+	out := make([]*ShardView, n)
+	for i := range out {
+		out[i] = NewShardView(4)
+	}
+	return out
+}
+
+func TestFromSpec(t *testing.T) {
+	for spec, want := range map[string]string{
+		"rr":               "rr",
+		"RoundRobin":       "rr",
+		"round-robin":      "rr",
+		"mass":             "mass",
+		"leastmass":        "mass",
+		"least-queue-mass": "mass",
+		"lqm":              "mass",
+		"p2c":              "p2c",
+		"p2c:seed=42":      "p2c",
+		"PowerOfTwo":       "p2c",
+	} {
+		p, err := FromSpec(spec)
+		if err != nil {
+			t.Fatalf("FromSpec(%q): %v", spec, err)
+		}
+		if p.Name() != want {
+			t.Errorf("FromSpec(%q).Name() = %q, want %q", spec, p.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "nosuch", "rr:seed=1", "p2c:sede=1", "p2c:seed=x"} {
+		if _, err := FromSpec(bad); err == nil {
+			t.Errorf("FromSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFromSpecFreshState(t *testing.T) {
+	a, _ := FromSpec("rr")
+	b, _ := FromSpec("rr")
+	vs := views(3)
+	a.Route(Task{}, vs)
+	if got := b.Route(Task{}, vs); got != 0 {
+		t.Fatalf("second rr instance started at %d; routing state is shared", got)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	vs := views(3)
+	for i := 0; i < 9; i++ {
+		if got := p.Route(Task{}, vs); got != i%3 {
+			t.Fatalf("route %d = %d, want %d", i, got, i%3)
+		}
+	}
+}
+
+func TestLeastMassPicksLightestWithDeterministicTies(t *testing.T) {
+	vs := views(4)
+	vs[0].SetLoad(1, 5, 0) // mass 6
+	vs[1].SetLoad(0, 4, 2) // mass 4
+	vs[2].SetLoad(2, 2, 2) // mass 4
+	vs[3].SetLoad(3, 4, 0) // mass 7
+	if got := (LeastMass{}).Route(Task{}, vs); got != 1 {
+		t.Fatalf("least mass = %d, want 1 (lowest index among ties)", got)
+	}
+}
+
+func TestPowerOfTwoDeterministicAndPrefersRobustShard(t *testing.T) {
+	mk := func() []*ShardView {
+		vs := views(2)
+		// Shard 0 has been failing class 2; shard 1 delivering it on time.
+		for i := 0; i < 100; i++ {
+			vs[0].ObserveAdmission(2, 0.05)
+			vs[1].ObserveAdmission(2, 0.95)
+		}
+		return vs
+	}
+	a, b := NewPowerOfTwo(7), NewPowerOfTwo(7)
+	vsA, vsB := mk(), mk()
+	toOne := 0
+	for i := 0; i < 200; i++ {
+		ra := a.Route(Task{Class: 2}, vsA)
+		rb := b.Route(Task{Class: 2}, vsB)
+		if ra != rb {
+			t.Fatalf("route %d diverged for equal seeds: %d vs %d", i, ra, rb)
+		}
+		if ra == 1 {
+			toOne++
+		}
+	}
+	// With two shards, every route compares both; the robust shard must
+	// win essentially always.
+	if toOne < 190 {
+		t.Fatalf("p2c sent only %d/200 class-2 tasks to the robust shard", toOne)
+	}
+}
+
+func TestPowerOfTwoSecondChoiceDistinct(t *testing.T) {
+	// Robustness strictly increasing with shard index: the winner of any
+	// pair is the max of two draws, so the distribution across 2000 routes
+	// pins the sampling: shard 0 can win only if both draws landed on it —
+	// impossible with distinct choices — and shard 4 wins every pair that
+	// samples it (expected ≈ 2/5 of routes).
+	p := NewPowerOfTwo(3)
+	vs := views(5)
+	for s, v := range vs {
+		for i := 0; i < 100; i++ {
+			v.ObserveAdmission(1, float64(s)/10)
+		}
+	}
+	counts := make([]int, 5)
+	for i := 0; i < 2000; i++ {
+		counts[p.Route(Task{Class: 1}, vs)]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("shard 0 won %d pairs; the two choices are not distinct: %v", counts[0], counts)
+	}
+	for s := 1; s < 5; s++ {
+		if counts[s] == 0 {
+			t.Fatalf("shard %d never won a pair: %v", s, counts)
+		}
+	}
+	if counts[4] < 600 {
+		t.Fatalf("best shard won only %d/2000 (want ≈ 800): %v", counts[4], counts)
+	}
+}
+
+func TestShardViewEWMA(t *testing.T) {
+	v := NewShardView(2)
+	if got := v.ClassRobustness(0); got != 1.0 {
+		t.Fatalf("cold estimate = %v, want optimistic 1.0", got)
+	}
+	for i := 0; i < 400; i++ {
+		v.ObserveAdmission(0, 0.25)
+	}
+	if got := v.ClassRobustness(0); math.Abs(got-0.25) > 1e-6 {
+		t.Fatalf("converged estimate = %v, want 0.25", got)
+	}
+	// Out-of-range classes are ignored and read optimistic.
+	v.ObserveAdmission(9, 0.0)
+	if got := v.ClassRobustness(9); got != 1.0 {
+		t.Fatalf("unknown class estimate = %v, want 1.0", got)
+	}
+	if got := v.ClassRobustness(1); got != 1.0 {
+		t.Fatalf("untouched class estimate = %v, want 1.0", got)
+	}
+}
+
+// maxRouteAllocs bounds the allocation count of one Route call on the
+// router hot path — the front-end consults the policy for every arriving
+// task, concurrently with shard loops, and must not generate garbage. The
+// built-in policies allocate nothing; the budget of 2 leaves headroom for
+// instrumentation without letting per-route slices creep in. CI's
+// alloc-regression job runs this test.
+const maxRouteAllocs = 2
+
+func TestRouterRouteAllocsSteadyState(t *testing.T) {
+	vs := views(8)
+	for i, v := range vs {
+		v.SetLoad(i, 2*i, 8-i)
+	}
+	for _, spec := range []string{"rr", "mass", "p2c:seed=5"} {
+		p, err := FromSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		task := Task{Class: 1, Arrival: 100, Deadline: 900}
+		p.Route(task, vs) // warm
+		if avg := testing.AllocsPerRun(200, func() { p.Route(task, vs) }); avg > maxRouteAllocs {
+			t.Errorf("%s: Route allocates %.1f/op, budget %d", spec, avg, maxRouteAllocs)
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"sort"
 	"time"
@@ -28,6 +27,17 @@ type ReplayConfig struct {
 	Drain bool
 }
 
+// ShardLatency is the client-observed decide latency attributed to one
+// admission shard: a request's latency counts toward every shard that
+// decided part of it, so with single-task batches the attribution is
+// exact and with larger batches it bounds each shard's contribution.
+type ShardLatency struct {
+	Shard    int           `json:"shard"`
+	Requests int           `json:"requests"`
+	P50      time.Duration `json:"latency_p50_ns"`
+	P99      time.Duration `json:"latency_p99_ns"`
+}
+
 // ReplayReport is the client-side account of one replayed trace.
 type ReplayReport struct {
 	Requests int `json:"requests"`
@@ -40,7 +50,10 @@ type ReplayReport struct {
 	// LatencyP50/P99 are client-observed decide-request latencies.
 	LatencyP50 time.Duration `json:"latency_p50_ns"`
 	LatencyP99 time.Duration `json:"latency_p99_ns"`
-	Elapsed    time.Duration `json:"elapsed_ns"`
+	// PerShard breaks the latencies down by the shard(s) that served each
+	// request, in shard order (one entry on an unsharded server).
+	PerShard []ShardLatency `json:"per_shard,omitempty"`
+	Elapsed  time.Duration  `json:"elapsed_ns"`
 	// Final is the server's drain Result (nil unless ReplayConfig.Drain).
 	Final *sim.Result `json:"final,omitempty"`
 }
@@ -68,6 +81,7 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 	}
 	rep := &ReplayReport{Tasks: tr.Len()}
 	lats := make([]time.Duration, 0, (tr.Len()+cfg.BatchSize-1)/cfg.BatchSize)
+	shardLats := map[int][]time.Duration{}
 	start := time.Now()
 
 	for lo := 0; lo < len(tr.Tasks); lo += cfg.BatchSize {
@@ -101,8 +115,10 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 		if err := postJSON(ctx, client, baseURL+"/v1/decide", &req, &resp); err != nil {
 			return nil, err
 		}
-		lats = append(lats, time.Since(t0))
+		lat := time.Since(t0)
+		lats = append(lats, lat)
 		rep.Requests++
+		seen := map[int]bool{}
 		for _, d := range resp.Decisions {
 			switch d.Action {
 			case ActionMap:
@@ -111,6 +127,10 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 				rep.Deferred++
 			case ActionDrop:
 				rep.Dropped++
+			}
+			if !seen[d.Shard] {
+				seen[d.Shard] = true
+				shardLats[d.Shard] = append(shardLats[d.Shard], lat)
 			}
 		}
 		rep.Decisions = append(rep.Decisions, resp.Decisions...)
@@ -130,24 +150,50 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	rep.LatencyP50 = percentile(lats, 0.50)
 	rep.LatencyP99 = percentile(lats, 0.99)
+	shardIDs := make([]int, 0, len(shardLats))
+	for s := range shardLats {
+		shardIDs = append(shardIDs, s)
+	}
+	sort.Ints(shardIDs)
+	for _, s := range shardIDs {
+		sl := shardLats[s]
+		sort.Slice(sl, func(i, j int) bool { return sl[i] < sl[j] })
+		rep.PerShard = append(rep.PerShard, ShardLatency{
+			Shard:    s,
+			Requests: len(sl),
+			P50:      percentile(sl, 0.50),
+			P99:      percentile(sl, 0.99),
+		})
+	}
 	return rep, nil
 }
 
-// percentile reads the q-quantile from an ascending latency slice using
-// the nearest-rank definition, which never understates the tail: the p99
-// of two samples is the slower one, not the faster.
+// percentile reads the q-quantile from an ascending latency slice by
+// linear interpolation between the bracketing order statistics (Hyndman &
+// Fan type 7, the default of R and numpy). The earlier nearest-rank
+// definition collapsed small samples onto single order statistics — at
+// n < 100 every q > (n-1)/n reads the maximum and the median of two
+// samples reads the faster one — biasing reported tails whichever way the
+// truncation fell; interpolation converges smoothly from tiny replay runs
+// up.
 func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	switch {
+	case n == 0:
 		return 0
+	case n == 1:
+		return sorted[0]
 	}
-	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	r := q * float64(n-1)
+	i := int(r)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
 	if i < 0 {
 		i = 0
 	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
+	frac := r - float64(i)
+	return sorted[i] + time.Duration(frac*float64(sorted[i+1]-sorted[i])+0.5)
 }
 
 // postJSON posts body (nil for an empty body) and decodes the response

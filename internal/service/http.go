@@ -13,10 +13,14 @@ const maxDecideBody = 16 << 20
 
 // NewHandler wires the controller's HTTP surface:
 //
-//	POST /v1/decide  — batch admission decisions
-//	POST /v1/drain   — graceful drain; returns the final Result
-//	GET  /healthz    — liveness + served (profile, mapper, dropper)
-//	GET  /metrics    — Prometheus text exposition
+//	POST /v1/decide  — batch admission decisions (routed across shards)
+//	POST /v1/drain   — graceful drain (all shards concurrently); returns
+//	                   the merged final Result
+//	GET  /v1/stats   — per-shard queue depths, robustness estimates and
+//	                   drop counts
+//	GET  /healthz    — liveness + served (profile, mapper, dropper,
+//	                   shards, router)
+//	GET  /metrics    — Prometheus text exposition (aggregate + per-shard)
 func NewHandler(c *Controller) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
@@ -45,6 +49,14 @@ func NewHandler(c *Controller) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, &DrainResponse{Result: res})
 	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		shards, err := c.ShardStats(r.Context())
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, &StatsResponse{Router: c.policy.Name(), Shards: shards})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := StatusResponse{
 			Status:   "ok",
@@ -52,6 +64,8 @@ func NewHandler(c *Controller) http.Handler {
 			Mapper:   c.cfg.Mapper,
 			Dropper:  c.cfg.Dropper,
 			Machines: len(c.matrix.Machines()),
+			Shards:   len(c.shards),
+			Router:   c.policy.Name(),
 		}
 		if c.Draining() {
 			st.Status = "draining"
@@ -61,7 +75,8 @@ func NewHandler(c *Controller) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.metrics.WritePrometheus(w)
-		// Engine gauges come from the decision loop; skip them once drained
+		writeShardGauges(w, c)
+		// Engine gauges come from the decision loops; skip them once drained
 		// (counters above still tell the whole story).
 		if snap, err := c.Stats(r.Context()); err == nil {
 			writeEngineGauges(w, c, snap)
@@ -72,6 +87,40 @@ func NewHandler(c *Controller) http.Handler {
 		}
 	})
 	return mux
+}
+
+// writeShardGauges renders the per-shard series: decision counters from
+// each shard's metrics and load/robustness gauges from the lock-free
+// router views — none of it goes through a decision loop, so the scrape
+// stays cheap and never stalls behind admission work.
+func writeShardGauges(w http.ResponseWriter, c *Controller) {
+	fmt.Fprintf(w, "# HELP taskdrop_shard_decisions_total Admission decisions by shard and action.\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_shard_decisions_total counter\n")
+	for _, sh := range c.shards {
+		fmt.Fprintf(w, "taskdrop_shard_decisions_total{shard=\"%d\",action=\"map\"} %d\n", sh.id, sh.metrics.mapped.Load())
+		fmt.Fprintf(w, "taskdrop_shard_decisions_total{shard=\"%d\",action=\"defer\"} %d\n", sh.id, sh.metrics.deferred.Load())
+		fmt.Fprintf(w, "taskdrop_shard_decisions_total{shard=\"%d\",action=\"drop\"} %d\n", sh.id, sh.metrics.dropped.Load())
+	}
+	fmt.Fprintf(w, "# HELP taskdrop_shard_queue_mass Outstanding tasks per shard (machine queues + deferred batch).\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_shard_queue_mass gauge\n")
+	for _, sh := range c.shards {
+		fmt.Fprintf(w, "taskdrop_shard_queue_mass{shard=\"%d\"} %d\n", sh.id, sh.view.QueueMass())
+	}
+	fmt.Fprintf(w, "# HELP taskdrop_shard_free_slots Open queue slots per shard.\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_shard_free_slots gauge\n")
+	for _, sh := range c.shards {
+		fmt.Fprintf(w, "taskdrop_shard_free_slots{shard=\"%d\"} %d\n", sh.id, sh.view.FreeSlots())
+	}
+	fmt.Fprintf(w, "# HELP taskdrop_shard_robustness_estimate Mean expected on-time probability across task classes per shard.\n")
+	fmt.Fprintf(w, "# TYPE taskdrop_shard_robustness_estimate gauge\n")
+	nt := c.matrix.NumTaskTypes()
+	for _, sh := range c.shards {
+		sum := 0.0
+		for class := 0; class < nt; class++ {
+			sum += sh.view.ClassRobustness(class)
+		}
+		fmt.Fprintf(w, "taskdrop_shard_robustness_estimate{shard=\"%d\"} %g\n", sh.id, sum/float64(nt))
+	}
 }
 
 // writeEngineGauges renders the live queue-state gauges.

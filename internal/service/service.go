@@ -2,36 +2,42 @@
 // online admission controller — the serving layer over the same machinery
 // the offline simulator uses.
 //
-// # Concurrency model: single-writer event loop
+// # Concurrency model: per-shard single-writer loops behind a router
 //
-// All mutable state (the open simulation engine, its machine queues, the
-// completion-time calculus with its convolution workspace) is owned by ONE
-// goroutine; HTTP handlers submit closures over a channel and wait for the
-// reply. This choice, rather than sharding or locking, is deliberate:
+// The cluster's machines are partitioned into N shards (default 1). Each
+// shard owns all mutable state for its machines — a shard-scoped open
+// simulation engine, its machine queues, the completion-time calculus with
+// its convolution workspace — inside ONE goroutine; HTTP handlers submit
+// closures over the shard's channel and wait for the reply. A lock-free
+// router front-end (internal/router) picks the shard for every arriving
+// task by policy (round-robin, least-queue-mass, or power-of-two-choices
+// over per-class robustness estimates), reading only atomics the shard
+// loops publish. The single-writer core remains the unit of determinism:
 //
-//   - the calculus reuses a pmf.Workspace whose dense scratch array is
-//     inherently single-threaded — sharing it under a lock would serialize
-//     anyway, and per-request workspaces would defeat its purpose;
-//   - queue state is tiny (machines × queue-cap entries), so the loop's
-//     critical path is microseconds of convolution, not contention;
-//   - serializing decisions in request order makes the decision sequence a
-//     pure function of the request sequence — the determinism guarantee
-//     ("same spec, same trace, same seed ⇒ same decisions") that lets the
-//     online controller be validated against the offline simulator.
+//   - each calculus reuses a pmf.Workspace whose dense scratch array is
+//     inherently single-threaded — sharding gives every loop its own;
+//   - probabilistic pruning is shard-local by construction (a task's
+//     completion-time PMF depends only on the queues of the machines it
+//     may run on), so the paper's calculus inside a shard is exactly the
+//     calculus on a smaller system;
+//   - decisions within a shard are serialized in submission order, so for
+//     a sequential client the decision sequence — routing included — is a
+//     pure function of the request sequence, which lets the online
+//     controller be validated against the offline cluster simulator.
 //
-// Scaling beyond one loop is a matter of running one Controller per
-// machine-group shard behind a task-type router; the single-writer core
-// stays the unit of determinism.
+// Decide throughput multiplies twice over: per-decision work shrinks with
+// the shard's machine count (the mapper and dropper scan shard-local
+// queues only), and on multi-core hosts the loops advance in parallel.
 //
 // # Memory model
 //
-// The controller retains one small task record per decision so the drain
+// Each shard retains one small task record per decision so the drain
 // Result can account for the full run exactly like an offline trial
 // (including per-task utility and boundary exclusion). Live gauges are
-// O(1) — the engine maintains its lifecycle census incrementally — but
+// O(1) — each engine maintains its lifecycle census incrementally — but
 // memory grows linearly with tasks served (~100 B/task). For multi-day
-// deployments, drain and restart per epoch (or shard by epoch) to bound
-// the history a single controller accounts for.
+// deployments, drain and restart per epoch to bound the history a
+// controller accounts for.
 package service
 
 import (
@@ -39,12 +45,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/sim"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
@@ -52,9 +60,9 @@ import (
 // ErrDraining is returned for work submitted after Drain has begun.
 var ErrDraining = errors.New("service: controller is draining")
 
-// Config assembles an admission controller. Profile, Mapper and Dropper
-// are registry specs — the same grammar as the CLI flags and the Scenario
-// API (see internal/spec).
+// Config assembles an admission controller. Profile, Mapper, Dropper and
+// Router are registry specs — the same grammar as the CLI flags and the
+// Scenario API (see internal/spec).
 type Config struct {
 	// Profile is the system profile spec (e.g. "spec", "video", "spec:seed=7").
 	Profile string
@@ -62,6 +70,13 @@ type Config struct {
 	Mapper string
 	// Dropper is the dropping policy spec (default "heuristic").
 	Dropper string
+	// Shards partitions the machines into independent admission shards,
+	// each with its own single-writer decision loop (default 1; must not
+	// exceed the profile's machine count).
+	Shards int
+	// Router is the shard-routing policy spec: "rr", "mass", or
+	// "p2c[:seed=..]" (default "rr"; irrelevant with one shard).
+	Router string
 	// QueueCap bounds each machine queue, including the running task
 	// (default 6, the paper's setting).
 	QueueCap int
@@ -72,11 +87,12 @@ type Config struct {
 	// (see sim.Config.DropOnArrival).
 	DropOnArrival bool
 	// BoundaryExclusion excludes the first and last N tasks from the final
-	// drain Result's measured metrics. The service default is 0 (account
-	// for everything served); set 100 to mirror the paper's offline runs.
+	// drain Result's measured metrics, split evenly across shards. The
+	// service default is 0 (account for everything served); set 100 to
+	// mirror the paper's offline runs.
 	BoundaryExclusion int
-	// Backlog bounds decide requests queued behind the decision loop
-	// before submitters block (default 256).
+	// Backlog bounds decide requests queued behind each shard's decision
+	// loop before submitters block (default 256).
 	Backlog int
 }
 
@@ -90,6 +106,12 @@ func (c Config) withDefaults() Config {
 	if c.Dropper == "" {
 		c.Dropper = "heuristic"
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Router == "" {
+		c.Router = "rr"
+	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 6
 	}
@@ -99,44 +121,43 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Controller is the online admission service: it keeps live per-machine
-// queue state inside an open simulation engine, incrementally maintains
-// completion-time PMFs through the engine's calculus (reusing its
-// convolution workspace and tail-PMF caches), and decides map/defer/drop
-// for every arriving task.
+// Controller is the online admission service: a cluster of shard-scoped
+// open engines, each keeping live queue state and incrementally-maintained
+// completion-time PMFs behind its own single-writer decision loop, fronted
+// by a lock-free shard router. It decides map/defer/drop for every
+// arriving task.
 type Controller struct {
 	cfg     Config
 	matrix  *pet.Matrix
 	metrics *Metrics
+	policy  router.Policy
+	cl      *sim.Cluster
+	shards  []*shard
 
-	cmds     chan func()
-	loopDone chan struct{}
+	// seq issues cluster-wide arrival sequence numbers at routing time.
+	seq atomic.Int64
 
 	mu       sync.Mutex // guards draining flag and final result
 	draining bool
 	final    *sim.Result
-
-	// Loop-owned state: touched only by the goroutine running loop().
-	eng     *sim.Engine
-	seq     int
-	stopped bool
+	drained  chan struct{} // closed once every shard drained and results merged
 }
 
-// New resolves the specs, obtains the (cached) PET matrix, builds the open
-// engine and starts the decision loop.
+// New resolves the specs, obtains the (cached) PET matrix, partitions the
+// machines into shards and starts one decision loop per shard.
 func New(cfg Config) (*Controller, error) {
 	cfg = cfg.withDefaults()
 	matrix, err := pet.CachedMatrix(cfg.Profile)
 	if err != nil {
 		return nil, err
 	}
-	mapper, err := mapping.FromSpec(cfg.Mapper)
+	policy, err := router.FromSpec(cfg.Router)
 	if err != nil {
 		return nil, err
 	}
-	dropper, err := core.PolicyFromSpec(cfg.Dropper)
-	if err != nil {
-		return nil, err
+	if cfg.Shards < 1 || cfg.Shards > len(matrix.Machines()) {
+		return nil, fmt.Errorf("service: %d shards for %d machines, want 1..%d",
+			cfg.Shards, len(matrix.Machines()), len(matrix.Machines()))
 	}
 	if cfg.QueueCap < 1 {
 		return nil, fmt.Errorf("service: queue cap %d, want >= 1", cfg.QueueCap)
@@ -156,15 +177,45 @@ func New(cfg Config) (*Controller, error) {
 		DropOnArrival:     cfg.DropOnArrival,
 		ReactiveGrace:     cfg.Grace,
 	}
-	c := &Controller{
-		cfg:      cfg,
-		matrix:   matrix,
-		metrics:  newMetrics(),
-		cmds:     make(chan func(), cfg.Backlog),
-		loopDone: make(chan struct{}),
-		eng:      sim.NewOpen(matrix, mapper, dropper, simCfg),
+	// Each shard resolves its own mapper and dropper instances: shard loops
+	// advance concurrently and must not share stateful components.
+	cl, err := sim.NewCluster(matrix, cfg.Shards, policy, func(int) (sim.Mapper, core.Policy, error) {
+		m, err := mapping.FromSpec(cfg.Mapper)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := core.PolicyFromSpec(cfg.Dropper)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, d, nil
+	}, simCfg)
+	if err != nil {
+		return nil, err
 	}
-	go c.loop()
+	c := &Controller{
+		cfg:     cfg,
+		matrix:  matrix,
+		metrics: newMetrics(),
+		policy:  policy,
+		cl:      cl,
+		shards:  make([]*shard, cfg.Shards),
+		drained: make(chan struct{}),
+	}
+	for s := 0; s < cfg.Shards; s++ {
+		sh := &shard{
+			id:       s,
+			c:        c,
+			eng:      cl.Shards()[s],
+			view:     cl.View(s),
+			global:   cl.GlobalMachines(s),
+			metrics:  newMetrics(),
+			cmds:     make(chan func(), cfg.Backlog),
+			loopDone: make(chan struct{}),
+		}
+		c.shards[s] = sh
+		go sh.loop()
+	}
 	return c, nil
 }
 
@@ -174,58 +225,25 @@ func (c *Controller) Config() Config { return c.cfg }
 // Matrix returns the served system's PET matrix.
 func (c *Controller) Matrix() *pet.Matrix { return c.matrix }
 
-// Metrics returns the controller's operational counters.
+// Metrics returns the controller's aggregate operational counters.
 func (c *Controller) Metrics() *Metrics { return c.metrics }
 
-// loop is the single writer: it executes submitted closures in arrival
-// order until the drain command flips stopped.
-func (c *Controller) loop() {
-	defer close(c.loopDone)
-	for fn := range c.cmds {
-		fn()
-		if c.stopped {
-			return
-		}
-	}
-}
+// NumShards returns the number of admission shards.
+func (c *Controller) NumShards() int { return len(c.shards) }
 
-// do runs fn on the decision loop and waits for it to finish.
-func (c *Controller) do(ctx context.Context, fn func()) error {
-	done := make(chan struct{})
-	wrapped := func() { defer close(done); fn() }
-	select {
-	case c.cmds <- wrapped:
-	case <-c.loopDone:
-		return ErrDraining
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-	select {
-	case <-done:
-		return nil
-	case <-c.loopDone:
-		// The loop exited with wrapped still queued; it will never run.
-		select {
-		case <-done:
-			return nil
-		default:
-			return ErrDraining
-		}
-	case <-ctx.Done():
-		return ctx.Err()
-	}
-}
-
-// Decide processes one batch of arriving tasks through the admission
-// pipeline (reactive drop of expired tasks, proactive dropping policy,
-// mapping heuristic) and returns one decision per task, in order.
-// Decisions are serialized: for a fixed request sequence the decision
-// sequence is deterministic.
+// Decide routes one batch of arriving tasks across the shards and admits
+// each through its shard's pipeline (reactive drop of expired tasks,
+// proactive dropping policy, mapping heuristic), returning one decision
+// per task in request order. Routing reads only lock-free shard views;
+// per-shard sub-batches are processed by the shard loops concurrently.
+// For a sequential client the whole sequence — routing included — is
+// deterministic.
 //
 // A request whose ctx is cancelled while still queued is skipped — an
-// errored Decide leaves no state behind, so clients may safely retry.
-// Only a cancellation racing the processing itself can commit a batch
-// the client never saw; resubmitting after such a race double-feeds.
+// errored Decide on a single shard leaves no state behind, so clients may
+// safely retry. A cancellation racing the processing itself, or an error
+// on one shard of a multi-shard batch, can commit a sub-batch the client
+// never saw; resubmitting after such a race double-feeds.
 func (c *Controller) Decide(ctx context.Context, req *DecideRequest) (*DecideResponse, error) {
 	if req == nil || len(req.Tasks) == 0 {
 		return nil, fmt.Errorf("service: empty decide request")
@@ -243,61 +261,67 @@ func (c *Controller) Decide(ctx context.Context, req *DecideRequest) (*DecideRes
 	if draining {
 		return nil, ErrDraining
 	}
-	var resp *DecideResponse
-	err := c.do(ctx, func() {
-		if c.stopped || ctx.Err() != nil {
-			// Drained, or the submitter already gave up: leave the engine
-			// untouched so the failed request has no effect.
-			return
-		}
-		resp = c.decideLocked(req)
-	})
-	if err != nil {
-		return nil, err
+	c.metrics.requests.Add(1)
+
+	n := len(req.Tasks)
+	base := c.seq.Add(int64(n)) - int64(n)
+	seqs := make([]int64, n)
+	for i := range seqs {
+		seqs[i] = base + int64(i)
 	}
-	if resp == nil {
-		// The closure skipped: either the submitter's ctx was cancelled as
-		// it ran (a client problem, not a server state) or the controller
-		// drained underneath it.
-		if err := ctx.Err(); err != nil {
+	resp := &DecideResponse{Decisions: make([]Decision, n)}
+
+	if len(c.shards) == 1 {
+		now, err := c.shards[0].decide(ctx, req, resp, nil, seqs)
+		if err != nil {
 			return nil, err
 		}
-		return nil, ErrDraining
+		resp.Now = now
+		return resp, nil
+	}
+
+	// Route every task up front (deterministic for a sequential client),
+	// then fan the per-shard sub-batches out to their loops.
+	byShard := make([][]int, len(c.shards))
+	for i := range req.Tasks {
+		t := &req.Tasks[i]
+		s := c.cl.Route(pet.TaskType(t.Type), t.Arrival, t.Deadline)
+		byShard[s] = append(byShard[s], i)
+	}
+	type result struct {
+		now pmf.Tick
+		err error
+	}
+	results := make([]result, len(c.shards))
+	var wg sync.WaitGroup
+	for s, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, idxs []int) {
+			defer wg.Done()
+			now, err := c.shards[s].decide(ctx, req, resp, idxs, seqs)
+			results[s] = result{now: now, err: err}
+		}(s, idxs)
+	}
+	wg.Wait()
+	for s := range results {
+		if err := results[s].err; err != nil {
+			return nil, err
+		}
+		if results[s].now > resp.Now {
+			resp.Now = results[s].now
+		}
 	}
 	return resp, nil
 }
 
-// decideLocked runs on the decision loop.
-func (c *Controller) decideLocked(req *DecideRequest) *DecideResponse {
-	c.metrics.requests.Add(1)
-	machines := c.matrix.Machines()
-	out := &DecideResponse{Decisions: make([]Decision, len(req.Tasks))}
-	for i := range req.Tasks {
-		spec := &req.Tasks[i]
-		ts := c.eng.Feed(c.makeTask(spec))
-		d := Decision{ID: spec.ID, Seq: c.seq, Machine: -1}
-		c.seq++
-		switch st := ts.Status; {
-		case st == sim.StatusQueued || st == sim.StatusRunning:
-			d.Action = ActionMap
-			d.Machine = ts.Machine
-			d.MachineName = machines[ts.Machine].Name
-		case st == sim.StatusBatch:
-			d.Action = ActionDefer
-		default:
-			d.Action = ActionDrop
-		}
-		c.metrics.countDecision(d.Action)
-		out.Decisions[i] = d
-	}
-	out.Now = c.eng.Now()
-	return out
-}
-
 // makeTask converts a wire spec into an engine task, filling missing
 // realized execution times with the PET cell means (rounded to ticks) so
-// generic clients need not carry a trace.
-func (c *Controller) makeTask(spec *TaskSpec) *workload.Task {
+// generic clients need not carry a trace. The id is the cluster-wide
+// arrival sequence number.
+func (c *Controller) makeTask(spec *TaskSpec, id int) *workload.Task {
 	exec := spec.ExecByType
 	if len(exec) == 0 {
 		nm := c.matrix.NumMachineTypes()
@@ -311,7 +335,7 @@ func (c *Controller) makeTask(spec *TaskSpec) *workload.Task {
 		}
 	}
 	return &workload.Task{
-		ID:         c.seq,
+		ID:         id,
 		Type:       pet.TaskType(spec.Type),
 		Arrival:    spec.Arrival,
 		Deadline:   spec.Deadline,
@@ -319,47 +343,83 @@ func (c *Controller) makeTask(spec *TaskSpec) *workload.Task {
 	}
 }
 
-// Snapshot is a point-in-time view of the controller's live state.
+// Snapshot is a point-in-time view of the controller's live state, merged
+// across shards: the most advanced shard clock, the summed lifecycle
+// census, and per-machine queue depths in matrix-wide machine order.
 type Snapshot struct {
 	Now         pmf.Tick `json:"now"`
 	Live        sim.Live `json:"live"`
 	QueueDepths []int    `json:"queue_depths"`
 }
 
-// Stats snapshots the engine state through the decision loop. Once
+// Stats snapshots the merged engine state through the shard loops. Once
 // draining it fails fast with ErrDraining rather than queueing behind the
-// (potentially long) drain command — a metrics scrape must not stall on
+// (potentially long) drain commands — a metrics scrape must not stall on
 // shutdown.
 func (c *Controller) Stats(ctx context.Context) (Snapshot, error) {
-	if c.Draining() {
-		return Snapshot{}, ErrDraining
-	}
-	var snap Snapshot
-	ok := false
-	err := c.do(ctx, func() {
-		if c.stopped {
-			return
-		}
-		snap = Snapshot{Now: c.eng.Now(), Live: c.eng.LiveCounts(), QueueDepths: c.eng.QueueDepths()}
-		ok = true
-	})
+	shards, err := c.ShardStats(ctx)
 	if err != nil {
 		return Snapshot{}, err
 	}
-	if !ok {
-		return Snapshot{}, ErrDraining
+	snap := Snapshot{QueueDepths: make([]int, len(c.matrix.Machines()))}
+	for _, ss := range shards {
+		if ss.Now > snap.Now {
+			snap.Now = ss.Now
+		}
+		snap.Live.Arrived += ss.Live.Arrived
+		snap.Live.Batch += ss.Live.Batch
+		snap.Live.Queued += ss.Live.Queued
+		snap.Live.Running += ss.Live.Running
+		snap.Live.OnTime += ss.Live.OnTime
+		snap.Live.Late += ss.Live.Late
+		snap.Live.DroppedReactive += ss.Live.DroppedReactive
+		snap.Live.DroppedProactive += ss.Live.DroppedProactive
+		snap.Live.Failed += ss.Live.Failed
+		for local, depth := range ss.QueueDepths {
+			snap.QueueDepths[ss.Machines[local]] = depth
+		}
 	}
 	return snap, nil
 }
 
+// ShardStats snapshots every shard: live census and clock through the
+// shard's decision loop, plus the lock-free router view (queue mass, free
+// slots, per-class robustness estimates) and the shard's decision
+// counters. Fails fast with ErrDraining once a drain has begun.
+func (c *Controller) ShardStats(ctx context.Context) ([]ShardSnapshot, error) {
+	if c.Draining() {
+		return nil, ErrDraining
+	}
+	// Fan out like Drain does: a scrape pays the slowest shard's loop
+	// queue wait, not the sum across shards.
+	out := make([]ShardSnapshot, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for s, sh := range c.shards {
+		wg.Add(1)
+		go func(s int, sh *shard) {
+			defer wg.Done()
+			out[s], errs[s] = sh.snapshot(ctx)
+		}(s, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // Drain gracefully shuts the controller down: new Decide calls are
-// rejected immediately, the virtual system runs its queued work to
-// completion, and the final trial Result (robustness, drops, cost) is
-// returned. Draining is committed the moment Drain is first called:
-// whatever happens to ctx afterwards, the drain command is enqueued (in
-// the background if need be) and runs to completion, so a caller whose
-// ctx expires still finds the result later through FinalResult or another
-// Drain call — and concurrent waiters can rely on the loop terminating.
+// rejected immediately, every shard's virtual system runs its queued work
+// to completion concurrently, and the merged trial Result (robustness,
+// drops, cost) is returned. Draining is committed the moment Drain is
+// first called: whatever happens to ctx afterwards, the drain commands are
+// enqueued (in the background if need be) and run to completion, so a
+// caller whose ctx expires still finds the result later through
+// FinalResult or another Drain call — and concurrent waiters can rely on
+// every loop terminating.
 func (c *Controller) Drain(ctx context.Context) (*sim.Result, error) {
 	c.mu.Lock()
 	first := !c.draining
@@ -367,23 +427,29 @@ func (c *Controller) Drain(ctx context.Context) (*sim.Result, error) {
 	c.mu.Unlock()
 
 	if first {
-		// The send is unbounded-blocking by design: the loop is consuming
-		// the queue, so it always eventually accepts, and only this command
-		// can stop it. The goroutine decouples that wait from ctx.
-		drainCmd := func() {
-			res := c.eng.Drain()
-			c.mu.Lock()
-			c.final = res
-			c.mu.Unlock()
-			c.stopped = true
+		// The sends are unbounded-blocking by design: each loop is consuming
+		// its queue, so it always eventually accepts, and only this command
+		// can stop it. Goroutines decouple the waits from ctx and drain the
+		// shards concurrently.
+		for _, sh := range c.shards {
+			go func(sh *shard) { sh.cmds <- sh.drainCmd }(sh)
 		}
-		go func() { c.cmds <- drainCmd }()
+		go func() {
+			parts := make([]*sim.Result, len(c.shards))
+			for s, sh := range c.shards {
+				<-sh.loopDone // loop exit happens after drainCmd stored sh.final
+				parts[s] = sh.final
+			}
+			merged := sim.MergeResults(parts, len(c.matrix.Machines()))
+			c.mu.Lock()
+			c.final = merged
+			c.mu.Unlock()
+			close(c.drained)
+		}()
 	}
 
-	// drainCmd stores the result before the loop exits, so once loopDone
-	// closes the result is ready.
 	select {
-	case <-c.loopDone:
+	case <-c.drained:
 		if final, ok := c.FinalResult(); ok {
 			return final, nil
 		}
@@ -400,7 +466,7 @@ func (c *Controller) Draining() bool {
 	return c.draining
 }
 
-// FinalResult returns the drain result once available.
+// FinalResult returns the merged drain result once available.
 func (c *Controller) FinalResult() (*sim.Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -282,7 +282,7 @@ func TestControllerRejectsBadSpecs(t *testing.T) {
 func TestMakeTaskFillsExecFromPET(t *testing.T) {
 	c := newTestController(t)
 	defer c.Close()
-	task := c.makeTask(&TaskSpec{Type: 1, Arrival: 10, Deadline: 100_000})
+	task := c.makeTask(&TaskSpec{Type: 1, Arrival: 10, Deadline: 100_000}, 0)
 	if len(task.ExecByType) != c.matrix.NumMachineTypes() {
 		t.Fatalf("exec len %d", len(task.ExecByType))
 	}

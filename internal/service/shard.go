@@ -1,0 +1,178 @@
+package service
+
+import (
+	"context"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
+	"github.com/hpcclab/taskdrop/internal/sim"
+)
+
+// shard is one admission shard: a shard-scoped open engine owned by one
+// single-writer decision loop, plus the shard's operational counters and
+// its lock-free router view. It is the old single-engine controller's
+// concurrency unit, multiplied: all determinism arguments (decisions are a
+// pure function of the shard's request sequence) hold per shard.
+type shard struct {
+	id   int
+	c    *Controller
+	eng  *sim.Engine
+	view *router.ShardView
+	// global translates shard-local machine indexes to matrix-wide ones
+	// for wire decisions and merged gauges.
+	global  []int
+	metrics *Metrics
+
+	cmds     chan func()
+	loopDone chan struct{}
+
+	// Loop-owned state: touched only by the goroutine running loop().
+	stopped bool
+	final   *sim.Result
+}
+
+// loop is the shard's single writer: it executes submitted closures in
+// submission order until the drain command flips stopped.
+func (sh *shard) loop() {
+	defer close(sh.loopDone)
+	for fn := range sh.cmds {
+		fn()
+		if sh.stopped {
+			return
+		}
+	}
+}
+
+// do runs fn on the shard's decision loop and waits for it to finish.
+func (sh *shard) do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	wrapped := func() { defer close(done); fn() }
+	select {
+	case sh.cmds <- wrapped:
+	case <-sh.loopDone:
+		return ErrDraining
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-sh.loopDone:
+		// The loop exited with wrapped still queued; it will never run.
+		select {
+		case <-done:
+			return nil
+		default:
+			return ErrDraining
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// decide admits the request tasks selected by idxs (nil = all, the
+// single-shard fast path) through this shard's engine, writing each
+// decision into its request slot of resp. seqs carries the cluster-wide
+// sequence number per request index. Returns the shard clock after the
+// sub-batch, and ErrDraining if the shard drained before processing.
+func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideResponse, idxs []int, seqs []int64) (pmf.Tick, error) {
+	var now pmf.Tick
+	committed := false
+	err := sh.do(ctx, func() {
+		if sh.stopped || ctx.Err() != nil {
+			// Drained, or the submitter already gave up: leave the engine
+			// untouched so the failed request has no effect.
+			return
+		}
+		sh.metrics.requests.Add(1)
+		machines := sh.c.matrix.Machines()
+		decideOne := func(i int) {
+			spec := &req.Tasks[i]
+			ts := sh.eng.Feed(sh.c.makeTask(spec, int(seqs[i])))
+			d := Decision{ID: spec.ID, Seq: int(seqs[i]), Shard: sh.id, Machine: -1}
+			switch st := ts.Status; {
+			case st == sim.StatusQueued || st == sim.StatusRunning:
+				d.Action = ActionMap
+				d.Machine = sh.global[ts.Machine]
+				d.MachineName = machines[d.Machine].Name
+			case st == sim.StatusBatch:
+				d.Action = ActionDefer
+			default:
+				d.Action = ActionDrop
+			}
+			sh.eng.ObserveDecision(sh.view, ts)
+			sh.metrics.countDecision(d.Action)
+			sh.c.metrics.countDecision(d.Action)
+			resp.Decisions[i] = d
+		}
+		if idxs == nil {
+			for i := range req.Tasks {
+				decideOne(i)
+			}
+		} else {
+			for _, i := range idxs {
+				decideOne(i)
+			}
+		}
+		now = sh.eng.Now()
+		committed = true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !committed {
+		// The closure skipped: either the submitter's ctx was cancelled as
+		// it ran (a client problem, not a server state) or the shard drained
+		// underneath it.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return 0, ErrDraining
+	}
+	return now, nil
+}
+
+// snapshot reads the shard's live engine state through its decision loop.
+func (sh *shard) snapshot(ctx context.Context) (ShardSnapshot, error) {
+	var snap ShardSnapshot
+	ok := false
+	err := sh.do(ctx, func() {
+		if sh.stopped {
+			return
+		}
+		snap = ShardSnapshot{
+			Shard:       sh.id,
+			Now:         sh.eng.Now(),
+			Live:        sh.eng.LiveCounts(),
+			QueueDepths: sh.eng.QueueDepths(),
+			Machines:    sh.global,
+		}
+		ok = true
+	})
+	if err != nil {
+		return ShardSnapshot{}, err
+	}
+	if !ok {
+		return ShardSnapshot{}, ErrDraining
+	}
+	// Lock-free annotations: router view and shard counters.
+	snap.QueueMass = sh.view.QueueMass()
+	snap.FreeSlots = sh.view.FreeSlots()
+	nt := sh.c.matrix.NumTaskTypes()
+	snap.Robustness = make([]float64, nt)
+	for class := 0; class < nt; class++ {
+		snap.Robustness[class] = sh.view.ClassRobustness(class)
+	}
+	snap.Requests = sh.metrics.requests.Load()
+	snap.Mapped = sh.metrics.mapped.Load()
+	snap.Deferred = sh.metrics.deferred.Load()
+	snap.Dropped = sh.metrics.dropped.Load()
+	return snap, nil
+}
+
+// drainCmd runs the shard's virtual system to completion on the loop and
+// stops it. Executed as the loop's final command.
+func (sh *shard) drainCmd() {
+	sh.final = sh.eng.Drain()
+	sh.stopped = true
+}

@@ -57,10 +57,15 @@ const (
 // Decision is the admission outcome of one task.
 type Decision struct {
 	ID string `json:"id,omitempty"`
-	// Seq is the server-assigned arrival sequence number (0-based).
+	// Seq is the server-assigned arrival sequence number (0-based,
+	// cluster-wide).
 	Seq    int    `json:"seq"`
 	Action Action `json:"action"`
-	// Machine is the admitted machine's index, or -1 when not mapped.
+	// Shard is the admission shard the task was routed to (0 on an
+	// unsharded server).
+	Shard int `json:"shard"`
+	// Machine is the admitted machine's matrix-wide index, or -1 when not
+	// mapped.
 	Machine     int    `json:"machine"`
 	MachineName string `json:"machine_name,omitempty"`
 }
@@ -85,6 +90,39 @@ type StatusResponse struct {
 	Mapper   string `json:"mapper"`
 	Dropper  string `json:"dropper"`
 	Machines int    `json:"machines"`
+	Shards   int    `json:"shards"`
+	Router   string `json:"router"`
+}
+
+// ShardSnapshot is one shard's entry in GET /v1/stats: the live engine
+// state read through the shard's decision loop, the lock-free router view
+// (queue mass, free slots, per-class robustness estimates), and the
+// shard's decision counters.
+type ShardSnapshot struct {
+	Shard int      `json:"shard"`
+	Now   pmf.Tick `json:"now"`
+	Live  sim.Live `json:"live"`
+	// QueueDepths[i] is the queue length (incl. running) of the shard's
+	// i-th local machine; Machines[i] is that machine's matrix-wide index.
+	QueueDepths []int `json:"queue_depths"`
+	Machines    []int `json:"machines"`
+	// QueueMass and FreeSlots are the router's load gauges for the shard.
+	QueueMass int64 `json:"queue_mass"`
+	FreeSlots int64 `json:"free_slots"`
+	// Robustness[class] is the shard's expected on-time probability for
+	// the task class (EWMA of admission-time chances of success).
+	Robustness []float64 `json:"robustness_by_class"`
+	// Decision counters since start.
+	Requests int64 `json:"requests"`
+	Mapped   int64 `json:"mapped"`
+	Deferred int64 `json:"deferred"`
+	Dropped  int64 `json:"dropped"`
+}
+
+// StatsResponse is the body returned by GET /v1/stats.
+type StatsResponse struct {
+	Router string          `json:"router"`
+	Shards []ShardSnapshot `json:"shards"`
 }
 
 // Validate checks one task spec against the served system.

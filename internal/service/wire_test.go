@@ -60,6 +60,9 @@ func TestWireTagsAreSnakeCase(t *testing.T) {
 		reflect.TypeOf(DrainResponse{}),
 		reflect.TypeOf(StatusResponse{}),
 		reflect.TypeOf(Snapshot{}),
+		reflect.TypeOf(ShardSnapshot{}),
+		reflect.TypeOf(StatsResponse{}),
+		reflect.TypeOf(ShardLatency{}),
 		reflect.TypeOf(ReplayReport{}),
 	} {
 		for i := 0; i < typ.NumField(); i++ {

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// PartitionMachines deals the matrix's physical machines round-robin into
+// n shards: global machine i goes to shard i mod n. Because the flattened
+// machine list is grouped by type, the deal spreads every machine type as
+// evenly across shards as the counts allow, so each shard remains a
+// heterogeneous mini-cluster. It returns the per-shard machine specs
+// re-indexed to shard-local positions, plus the local→global index
+// translation (global[s][local] is the matrix-wide machine index).
+//
+// The partition is deterministic, covering and disjoint; with n = 1 it is
+// the identity, which is what makes a 1-shard cluster bit-identical to
+// the unsharded engine.
+func PartitionMachines(m *pet.Matrix, n int) (shards [][]pet.MachineSpec, global [][]int) {
+	all := m.Machines()
+	if n < 1 || n > len(all) {
+		panic(fmt.Sprintf("sim: %d shards for %d machines, want 1..%d", n, len(all), len(all)))
+	}
+	shards = make([][]pet.MachineSpec, n)
+	global = make([][]int, n)
+	for i, spec := range all {
+		s := i % n
+		spec.Index = len(shards[s]) // shard-local position
+		shards[s] = append(shards[s], spec)
+		global[s] = append(global[s], i)
+	}
+	return shards, global
+}
+
+// NewOpenShard builds an open (incrementally-fed) engine owning only the
+// given machine subset of the matrix — one shard of a Cluster. The engine
+// runs the full event pipeline of the simulator over its machines alone;
+// because a task's completion-time PMF depends only on the queues of the
+// machines it may run on, the calculus inside a shard is exactly the
+// paper's calculus on a smaller system. Specs are re-indexed to local
+// positions; callers that need matrix-wide indexes keep the translation
+// (see PartitionMachines).
+func NewOpenShard(m *pet.Matrix, machines []pet.MachineSpec, mapper Mapper, dropper core.Policy, cfg Config) *Engine {
+	local := make([]pet.MachineSpec, len(machines))
+	copy(local, machines)
+	for i := range local {
+		local[i].Index = i
+	}
+	e := newEngineWith(m, local, mapper, dropper, cfg)
+	e.open = true
+	e.initFailures()
+	return e
+}
+
+// QueuedSuccessProbability returns the chance of success (Eq. 2) the
+// engine currently forecasts for an admitted task: the mass of its
+// completion-time PMF (Eq. 1 chained over its machine's queue up to the
+// task) before its deadline. It is 0 for tasks that are not queued or
+// running. Calling it right after Feed is cheap: the mapping event that
+// placed the task evaluated the same chain prefixes in the same calculus
+// epoch, so the walk is trie lookups, not convolutions.
+func (e *Engine) QueuedSuccessProbability(ts *TaskState) float64 {
+	if ts.Status != StatusQueued && ts.Status != StatusRunning {
+		return 0
+	}
+	m := e.machines[ts.Machine]
+	q := m.coreQueue(e.clock)
+	s, start := e.calc.ChainStart(m.Type(), e.clock, q)
+	if start == 1 && m.queue[0] == ts {
+		return s.PMF().MassBefore(ts.Task.Deadline)
+	}
+	for i := start; i < len(q); i++ {
+		s = s.AppendTask(q[i])
+		if m.queue[i] == ts {
+			return s.PMF().MassBefore(ts.Task.Deadline)
+		}
+	}
+	return 0
+}
+
+// PublishLoad stores the engine's load gauges into a router view: deferred
+// batch size, tasks in machine queues (including running), and open queue
+// slots.
+func (e *Engine) PublishLoad(v *router.ShardView) {
+	inQueues := e.live.Queued + e.live.Running
+	v.SetLoad(e.live.Batch, inQueues, e.totalSlots-inQueues)
+}
+
+// ObserveDecision publishes the engine's router-visible state after one
+// admission decision: the load gauges, and the task's forecast chance of
+// success folded into the per-class robustness EWMA (0 when the task was
+// deferred or dropped — the shard could not give the class a timely slot).
+func (e *Engine) ObserveDecision(v *router.ShardView, ts *TaskState) {
+	v.ObserveAdmission(int(ts.Task.Type), e.QueuedSuccessProbability(ts))
+	e.PublishLoad(v)
+}
+
+// ShardBuilder supplies one shard's mapper and dropping policy. Shard
+// engines must not share stateful components across concurrently-advancing
+// loops, so the Cluster constructs each shard through this hook; builders
+// typically resolve the same registry specs once per shard.
+type ShardBuilder func(shard int) (Mapper, core.Policy, error)
+
+// Cluster is a set of shard-scoped open engines behind a routing policy —
+// the sharded form of the admission system. The machines are partitioned
+// round-robin (PartitionMachines); every arriving task is routed to one
+// shard and admitted through that shard's full pipeline; shard results
+// merge into one cluster Result at drain.
+//
+// The Cluster itself is a single-goroutine driver (Feed/Drain) used by the
+// offline simulator and tests; the online service (internal/service) runs
+// one single-writer loop per shard instead and uses the Cluster as the
+// shared topology: partition, shard engines, router views and the
+// lock-free Route helper.
+type Cluster struct {
+	matrix  *pet.Matrix
+	engines []*Engine
+	views   []*router.ShardView
+	global  [][]int
+	policy  router.Policy
+}
+
+// NewCluster partitions the matrix's machines into n shards and builds one
+// open engine per shard. Per-shard configuration is derived from cfg: the
+// boundary-exclusion window is split evenly across shards (each shard
+// excludes BoundaryExclusion/n of its first and last tasks, keeping the
+// excluded total comparable to the unsharded run), and failure seeds are
+// offset by the shard index so shards fail independently. With n = 1 the
+// single shard is configured exactly as cfg, machine for machine — a
+// 1-shard cluster is bit-identical to the unsharded open engine.
+func NewCluster(m *pet.Matrix, n int, pol router.Policy, build ShardBuilder, cfg Config) (*Cluster, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sim: cluster over nil matrix")
+	}
+	if n < 1 || n > len(m.Machines()) {
+		return nil, fmt.Errorf("sim: %d shards for %d machines, want 1..%d", n, len(m.Machines()), len(m.Machines()))
+	}
+	if pol == nil && n > 1 {
+		return nil, fmt.Errorf("sim: multi-shard cluster without a routing policy")
+	}
+	parts, global := PartitionMachines(m, n)
+	cl := &Cluster{
+		matrix:  m,
+		engines: make([]*Engine, n),
+		views:   make([]*router.ShardView, n),
+		global:  global,
+		policy:  pol,
+	}
+	for s := 0; s < n; s++ {
+		mapper, dropper, err := build(s)
+		if err != nil {
+			return nil, err
+		}
+		shardCfg := cfg
+		shardCfg.BoundaryExclusion = cfg.BoundaryExclusion / n
+		if shardCfg.Failures.Enabled() {
+			shardCfg.Failures.Seed += int64(s)
+		}
+		cl.engines[s] = NewOpenShard(m, parts[s], mapper, dropper, shardCfg)
+		cl.views[s] = router.NewShardView(m.NumTaskTypes())
+		cl.engines[s].PublishLoad(cl.views[s])
+	}
+	return cl, nil
+}
+
+// NumShards returns the number of shards.
+func (cl *Cluster) NumShards() int { return len(cl.engines) }
+
+// Shards exposes the shard engines in shard order (read-only for callers
+// that do not own the corresponding decision loop).
+func (cl *Cluster) Shards() []*Engine { return cl.engines }
+
+// View returns shard s's router-visible state.
+func (cl *Cluster) View(s int) *router.ShardView { return cl.views[s] }
+
+// GlobalMachine translates shard s's local machine index to the
+// matrix-wide machine index.
+func (cl *Cluster) GlobalMachine(s, local int) int { return cl.global[s][local] }
+
+// GlobalMachines returns shard s's machines as matrix-wide indexes, in
+// shard-local order.
+func (cl *Cluster) GlobalMachines(s int) []int { return cl.global[s] }
+
+// Route picks the shard an arriving task is admitted through. It reads
+// only the policy's own state and the shard views' atomics, so any number
+// of goroutines may route concurrently with the shard loops.
+func (cl *Cluster) Route(class pet.TaskType, arrival, deadline pmf.Tick) int {
+	if len(cl.engines) == 1 {
+		return 0
+	}
+	s := cl.policy.Route(router.Task{Class: int(class), Arrival: arrival, Deadline: deadline}, cl.views)
+	if s < 0 || s >= len(cl.engines) {
+		panic(fmt.Sprintf("sim: router %q returned shard %d of %d", cl.policy.Name(), s, len(cl.engines)))
+	}
+	return s
+}
+
+// Feed routes one arriving task and admits it through the chosen shard's
+// pipeline, returning the shard and the task's state (see Engine.Feed for
+// how the state encodes the decision). Arrivals must be fed in
+// non-decreasing time order. Feed is single-goroutine: it is the offline
+// cluster driver; the online service feeds shard engines from per-shard
+// loops instead.
+func (cl *Cluster) Feed(t *workload.Task) (shard int, ts *TaskState) {
+	shard = cl.Route(t.Type, t.Arrival, t.Deadline)
+	eng := cl.engines[shard]
+	ts = eng.Feed(t)
+	eng.ObserveDecision(cl.views[shard], ts)
+	return shard, ts
+}
+
+// Drain runs every shard's remaining events to completion and merges the
+// shard results into the cluster Result. The cluster is not reusable
+// afterwards.
+func (cl *Cluster) Drain() *Result {
+	parts := make([]*Result, len(cl.engines))
+	for s, eng := range cl.engines {
+		parts[s] = eng.Drain()
+	}
+	return MergeResults(parts, len(cl.matrix.Machines()))
+}

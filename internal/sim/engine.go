@@ -120,13 +120,28 @@ func New(m *pet.Matrix, tr *workload.Trace, mapper Mapper, dropper core.Policy, 
 }
 
 // newEngine builds the trace-independent engine core shared by New and
-// NewOpen.
+// NewOpen, owning every machine of the matrix.
 func newEngine(m *pet.Matrix, mapper Mapper, dropper core.Policy, cfg Config) *Engine {
+	if m == nil {
+		panic("sim: nil PET matrix")
+	}
+	return newEngineWith(m, m.Machines(), mapper, dropper, cfg)
+}
+
+// newEngineWith builds an engine over an explicit machine set — the full
+// matrix for the classic engine, a shard's partition for a shard-scoped
+// one (see NewOpenShard). The specs' Index fields must equal their
+// positions so queue bookkeeping, failure state and mapper-visible indexes
+// agree.
+func newEngineWith(m *pet.Matrix, specs []pet.MachineSpec, mapper Mapper, dropper core.Policy, cfg Config) *Engine {
 	if m == nil || mapper == nil {
 		panic("sim: nil PET matrix or mapper")
 	}
 	if cfg.QueueCap < 1 {
 		panic(fmt.Sprintf("sim: queue capacity %d, want >= 1", cfg.QueueCap))
+	}
+	if len(specs) == 0 {
+		panic("sim: engine with no machines")
 	}
 	if dropper == nil {
 		dropper = core.ReactiveOnly{}
@@ -138,9 +153,11 @@ func newEngine(m *pet.Matrix, mapper Mapper, dropper core.Policy, cfg Config) *E
 		calc:    core.NewCalculus(m),
 		cfg:     cfg,
 	}
-	specs := m.Machines()
 	e.machines = make([]*Machine, len(specs))
 	for i, s := range specs {
+		if s.Index != i {
+			panic(fmt.Sprintf("sim: machine spec %q has index %d at position %d", s.Name, s.Index, i))
+		}
 		e.machines[i] = &Machine{Spec: s, completeAt: noCompletion}
 	}
 	e.totalSlots = len(specs) * cfg.QueueCap

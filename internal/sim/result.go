@@ -142,6 +142,58 @@ func (e *Engine) buildResult() *Result {
 	return r
 }
 
+// MergeResults folds per-shard trial Results into one cluster Result.
+// Counts and costs sum; the makespan is the slowest shard's clock; rate
+// metrics are recomputed from the merged counts (robustness from merged
+// measured counts, utility as the measured-task-weighted mean, utilization
+// against totalMachines across the whole cluster). With a single part the
+// result is returned unchanged — the identity that keeps a 1-shard
+// cluster bit-identical to the unsharded engine.
+func MergeResults(parts []*Result, totalMachines int) *Result {
+	if len(parts) == 0 {
+		panic("sim: MergeResults of no parts")
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	r := &Result{}
+	var utilityWeighted float64
+	for _, p := range parts {
+		r.Total += p.Total
+		r.Measured += p.Measured
+		r.OnTime += p.OnTime
+		r.Late += p.Late
+		r.DroppedReactive += p.DroppedReactive
+		r.DroppedProactive += p.DroppedProactive
+		r.Failed += p.Failed
+		r.MOnTime += p.MOnTime
+		r.MLate += p.MLate
+		r.MDroppedReactive += p.MDroppedReactive
+		r.MDroppedProactive += p.MDroppedProactive
+		r.MFailed += p.MFailed
+		r.TotalCostUSD += p.TotalCostUSD
+		r.BusyTicks += p.BusyTicks
+		if p.Makespan > r.Makespan {
+			r.Makespan = p.Makespan
+		}
+		utilityWeighted += p.UtilityPct * float64(p.Measured)
+	}
+	if r.Measured > 0 {
+		r.RobustnessPct = 100 * float64(r.MOnTime) / float64(r.Measured)
+		r.UtilityPct = utilityWeighted / float64(r.Measured)
+	}
+	if r.RobustnessPct > 0 {
+		r.CostPerRobustness = r.TotalCostUSD / r.RobustnessPct
+	}
+	if r.Makespan > 0 && totalMachines > 0 {
+		r.UtilizationPct = 100 * float64(r.BusyTicks) / (float64(r.Makespan) * float64(totalMachines))
+	}
+	if err := r.Validate(); err != nil {
+		panic(err)
+	}
+	return r
+}
+
 // TaskStates exposes a snapshot of the per-task records (in arrival order)
 // after Run, for tests and trace analysis tools.
 func (e *Engine) TaskStates() []TaskState {

@@ -4,6 +4,7 @@ import (
 	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/router"
 )
 
 // Unified registries. Every named component of the system — mapping
@@ -44,6 +45,20 @@ func NewDropper(spec string) (DropPolicy, error) { return core.PolicyFromSpec(sp
 // "homog" (aliases homogeneous, homo).
 func NewProfile(spec string) (Profile, error) { return pet.ProfileFromSpec(spec) }
 
+// NewRouter resolves a shard-routing-policy spec (see WithShards /
+// WithRouter). Recognized components:
+//
+//	rr (aliases: roundrobin, round-robin)
+//	mass (aliases: leastmass, least-queue-mass, lqm)
+//	p2c:seed=<int64> (aliases: poweroftwo, power-of-two)
+//
+// "rr" cycles shards; "mass" routes to the least outstanding work; "p2c"
+// samples two shards and admits through the one whose robustness estimate
+// for the task's class — the expected on-time probability it recently
+// delivered — is higher. Policies carry routing state (cursor, RNG), so
+// each call constructs a fresh instance.
+func NewRouter(spec string) (RouterPolicy, error) { return router.FromSpec(spec) }
+
 // MapperNames lists the built-in mapping heuristics.
 func MapperNames() []string { return mapping.Names() }
 
@@ -52,6 +67,9 @@ func DropperNames() []string { return core.PolicyNames() }
 
 // ProfileNames lists the built-in system profiles.
 func ProfileNames() []string { return pet.ProfileNames() }
+
+// RouterNames lists the built-in shard-routing policies.
+func RouterNames() []string { return router.Names() }
 
 // MapperByName constructs a mapping heuristic from a name or spec.
 //

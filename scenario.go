@@ -8,6 +8,7 @@ import (
 	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/runner"
 	"github.com/hpcclab/taskdrop/internal/sim"
 	"github.com/hpcclab/taskdrop/internal/workload"
@@ -47,6 +48,8 @@ type Scenario struct {
 	failures    FailureConfig
 	workers     int
 	maxImpulses int
+	shards      int
+	routerSpec  string
 	onTrial     func(trial int, res *Result)
 
 	// genTrace, when set, replaces workload.Generate for trace creation —
@@ -155,6 +158,29 @@ func WithMaxImpulses(n int) ScenarioOption {
 	return func(s *Scenario) { s.maxImpulses = n }
 }
 
+// WithShards partitions the system's machines into n independent
+// admission shards (round-robin by machine, so each shard keeps a
+// proportional mix of machine types) with a routing policy in front —
+// the sharded cluster architecture (default 1 = the paper's single
+// global scheduler; n must not exceed the machine count). Probabilistic
+// pruning is shard-local by construction, so the calculus inside each
+// shard is the paper's calculus on a smaller system; with n > 1 the
+// boundary-exclusion window is split evenly across shards and failure
+// seeds are offset per shard. A 1-shard scenario runs the classic engine
+// bit-identically.
+func WithShards(n int) ScenarioOption {
+	return func(s *Scenario) { s.shards = n }
+}
+
+// WithRouter selects the shard-routing policy by registry spec: "rr"
+// (round-robin), "mass" (least queue mass) or "p2c[:seed=..]"
+// (power-of-two-choices over per-class robustness estimates; see
+// NewRouter for the grammar). The default is "rr"; irrelevant unless
+// WithShards(n > 1).
+func WithRouter(spec string) ScenarioOption {
+	return func(s *Scenario) { s.routerSpec = spec }
+}
+
 // OnTrialDone registers a progress hook invoked once per completed trial,
 // possibly concurrently from several workers. The hook must not mutate
 // the Result.
@@ -179,6 +205,8 @@ func NewScenario(profile string, opts ...ScenarioOption) (*Scenario, error) {
 		window:      StandardWindow,
 		gamma:       DefaultGammaSlack,
 		queueCap:    6,
+		shards:      1,
+		routerSpec:  "rr",
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -192,7 +220,15 @@ func NewScenario(profile string, opts ...ScenarioOption) (*Scenario, error) {
 // validate resolves every registry spec and checks numeric ranges, so a
 // malformed scenario fails at construction instead of mid-run.
 func (s *Scenario) validate() error {
-	if _, err := pet.ProfileFromSpec(s.profileSpec); err != nil {
+	prof, err := pet.ProfileFromSpec(s.profileSpec)
+	if err != nil {
+		return err
+	}
+	if s.shards < 1 || s.shards > prof.TotalMachines() {
+		return fmt.Errorf("taskdrop: WithShards(%d) for %d machines, want 1..%d",
+			s.shards, prof.TotalMachines(), prof.TotalMachines())
+	}
+	if _, err := router.FromSpec(s.routerSpec); err != nil {
 		return err
 	}
 	if s.mapperSpecSet && s.mapperImplSet {
@@ -309,7 +345,9 @@ func (s *Scenario) trace(trial int) *workload.Trace {
 
 // Engine builds the simulation engine for one trial of the scenario, for
 // callers that need post-run introspection (per-task states, per-type and
-// per-machine breakdowns) beyond what Result carries.
+// per-machine breakdowns) beyond what Result carries. The engine is
+// always the classic unsharded one — it ignores WithShards; sharded
+// introspection goes through sim.Cluster (see WithShards).
 func (s *Scenario) Engine(trial int) (*Engine, error) {
 	if trial < 0 || trial >= s.trials {
 		return nil, fmt.Errorf("taskdrop: trial %d out of range [0,%d)", trial, s.trials)
@@ -325,13 +363,21 @@ func (s *Scenario) Engine(trial int) (*Engine, error) {
 	return eng, nil
 }
 
-// runTrial executes one seeded trial.
+// runTrial executes one seeded trial: the classic trace-driven engine for
+// the default single-shard scenario, the sharded cluster otherwise.
 func (s *Scenario) runTrial(ctx context.Context, trial int) (*Result, error) {
-	eng, err := s.Engine(trial)
-	if err != nil {
-		return nil, err
+	var res *Result
+	var err error
+	if s.shards > 1 {
+		res, err = s.runClusterTrial(ctx, trial)
+	} else {
+		var eng *Engine
+		eng, err = s.Engine(trial)
+		if err != nil {
+			return nil, err
+		}
+		res, err = eng.RunContext(ctx)
 	}
-	res, err := eng.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -339,6 +385,47 @@ func (s *Scenario) runTrial(ctx context.Context, trial int) (*Result, error) {
 		s.onTrial(trial, res)
 	}
 	return res, nil
+}
+
+// runClusterTrial executes one trial on a sharded cluster: the trace is
+// routed task-by-task across shard-scoped open engines by the scenario's
+// routing policy, then the shards drain and their results merge. The run
+// is single-goroutine and fully deterministic for a fixed (seed, shard
+// count, router spec); trial-level parallelism still comes from the
+// worker pool.
+func (s *Scenario) runClusterTrial(ctx context.Context, trial int) (*Result, error) {
+	pol, err := router.FromSpec(s.routerSpec)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := sim.NewCluster(s.Matrix(), s.shards, pol, func(int) (sim.Mapper, core.Policy, error) {
+		m, err := s.newMapper()
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, s.dropper, nil
+	}, s.simConfig(trial))
+	if err != nil {
+		return nil, err
+	}
+	if s.maxImpulses > 0 {
+		for _, eng := range cl.Shards() {
+			eng.Calc().MaxImpulses = s.maxImpulses
+		}
+	}
+	tr := s.trace(trial)
+	done := ctx.Done()
+	for i := range tr.Tasks {
+		if done != nil && i%256 == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		cl.Feed(&tr.Tasks[i])
+	}
+	return cl.Drain(), nil
 }
 
 // RunResult is the outcome of Scenario.Run: the raw per-trial results in

@@ -227,6 +227,27 @@ func Budgets(ns ...int) Axis {
 	return a
 }
 
+// Shards declares the cluster-sharding axis (see WithShards), for
+// charting robustness against shard count.
+func Shards(ns ...int) Axis {
+	a := Axis{name: "shards"}
+	for _, n := range ns {
+		label := strconv.Itoa(n)
+		a.values = append(a.values, AxisValue{label: label, spec: label, opts: []ScenarioOption{WithShards(n)}})
+	}
+	return a
+}
+
+// Routers declares the shard-routing-policy axis from registry specs (see
+// NewRouter and WithRouter).
+func Routers(specs ...string) Axis {
+	a := Axis{name: "router"}
+	for _, sp := range specs {
+		a.values = append(a.values, AxisValue{label: sp, spec: sp, opts: []ScenarioOption{WithRouter(sp)}})
+	}
+	return a
+}
+
 // FailurePlans declares the machine-failure-injection axis. A zero
 // FailureConfig labels "none"; enabled configs label "mtbf=<ticks>".
 func FailurePlans(fcs ...FailureConfig) Axis {

@@ -19,7 +19,14 @@
 //   - a concurrent, cancellable Scenario API for repeated-trial
 //     experiments, and a declarative Sweep API expanding axis grids into
 //     paired scenarios with paired-difference statistics — the form in
-//     which every figure of §V is declared.
+//     which every figure of §V is declared;
+//   - a sharded cluster architecture (WithShards / WithRouter, the
+//     Shards and Routers sweep axes, hcserve -shards): machines
+//     partition into shard-scoped engines behind pluggable routing
+//     policies (round-robin, least-queue-mass, power-of-two-choices over
+//     per-class robustness estimates), multiplying decision throughput
+//     while preserving the calculus — pruning is shard-local by
+//     construction.
 //
 // # Quick start
 //
@@ -93,6 +100,7 @@ import (
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/runner"
 	"github.com/hpcclab/taskdrop/internal/sim"
 	"github.com/hpcclab/taskdrop/internal/stats"
@@ -156,6 +164,13 @@ type (
 	DropContext = core.Context
 	// Calculus evaluates completion-time PMFs and chances of success.
 	Calculus = core.Calculus
+	// RouterPolicy picks the admission shard for each arriving task of a
+	// sharded cluster (see WithShards / WithRouter / NewRouter).
+	RouterPolicy = router.Policy
+	// ShardView is the lock-free state a RouterPolicy consults per shard.
+	ShardView = router.ShardView
+	// Cluster is a set of shard-scoped engines behind a routing policy.
+	Cluster = sim.Cluster
 )
 
 // Workload and tuning constants of the paper's evaluation.
