@@ -44,6 +44,8 @@ func main() {
 		scale       = flag.Float64("scale", 1.0, "shrink factor in (0,1]: scales tasks and window together")
 		batch       = flag.Int("batch", 16, "tasks per decide request")
 		speed       = flag.Float64("speed", 0, "arrival-rate multiplier vs the trace clock (1 = real time, 0 = as fast as possible)")
+		from        = flag.Int("from", 0, "replay trace tasks starting at this index (resume after a server restart)")
+		to          = flag.Int("to", 0, "replay trace tasks up to (excluding) this index; 0 = the end")
 		noDrain     = flag.Bool("no-drain", false, "skip POST /v1/drain (leave the server running)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	)
@@ -84,6 +86,8 @@ func main() {
 		BatchSize: *batch,
 		Speed:     *speed,
 		Drain:     !*noDrain,
+		From:      *from,
+		To:        *to,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -22,8 +22,15 @@
 //	GET  /metrics     Prometheus text (decisions/s, drop rate, queue depths,
 //	                  decision-latency histogram, per-shard series)
 //
+// With -journal-dir every admission decision is event-sourced to a
+// per-shard write-ahead log (fsync policy -fsync always|interval|never,
+// checkpoints every -snapshot-every records): a killed server restarted on
+// the same directory recovers its exact pre-crash state by replay, and
+// cmd/hcreplay audits or verifies the log offline.
+//
 // On SIGTERM/SIGINT the server stops accepting work, drains the virtual
-// system, and prints the final robustness accounting before exiting.
+// system (flushing a final journal checkpoint so a later restart replays
+// nothing), and prints the final robustness accounting before exiting.
 package main
 
 import (
@@ -58,6 +65,10 @@ func main() {
 		boundary      = flag.Int("boundary", 0, "exclude first/last N tasks from the drain result's measured metrics")
 		backlog       = flag.Int("backlog", 256, "decide requests buffered behind the decision loop")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		journalDir    = flag.String("journal-dir", "", "enable the decision journal: per-shard WAL + snapshots under this directory (crash recovery, hcreplay)")
+		fsync         = flag.String("fsync", "interval", "journal durability policy: always | interval | never")
+		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
+		snapshotEvery = flag.Int("snapshot-every", 5000, "checkpoint a shard after this many WAL records in a segment (negative: only at drain)")
 	)
 	flag.Parse()
 
@@ -72,6 +83,10 @@ func main() {
 		DropOnArrival:     *dropOnArrival,
 		BoundaryExclusion: *boundary,
 		Backlog:           *backlog,
+		JournalDir:        *journalDir,
+		Fsync:             *fsync,
+		FsyncInterval:     *fsyncInterval,
+		SnapshotEvery:     *snapshotEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,6 +94,9 @@ func main() {
 	m := ctrl.Matrix()
 	log.Printf("serving profile=%s mapper=%s dropper=%s: %d machines, %d task types, %d shard(s) routed by %s",
 		*profileSpec, *mapperSpec, *dropperSpec, len(m.Machines()), m.NumTaskTypes(), ctrl.NumShards(), *routerSpec)
+	if *journalDir != "" {
+		log.Printf("journaling decisions to %s (fsync=%s, checkpoint every %d records)", *journalDir, *fsync, *snapshotEvery)
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(ctrl)}
 	errCh := make(chan error, 1)

@@ -1,0 +1,328 @@
+package journal
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+// sampleRecords builds a deterministic mixed-kind record sequence.
+func sampleRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Record, n)
+	for i := range out {
+		switch rng.Intn(5) {
+		case 0:
+			out[i] = Record{Kind: KindBatch, NTasks: int32(1 + rng.Intn(32))}
+		case 1:
+			exec := make([]pmf.Tick, 1+rng.Intn(4))
+			for j := range exec {
+				exec[j] = pmf.Tick(1 + rng.Intn(1000))
+			}
+			out[i] = Record{
+				Kind: KindArrive, Seq: int64(i), Type: int32(rng.Intn(30)),
+				Tick: pmf.Tick(rng.Intn(100000)), Deadline: pmf.Tick(rng.Intn(200000)),
+				Exec: exec, ID: "t-abc",
+			}
+		case 2:
+			out[i] = Record{Kind: KindDecision, Seq: int64(i), Action: uint8(rng.Intn(3)),
+				Machine: int32(rng.Intn(8) - 1), Tick: pmf.Tick(rng.Intn(100000))}
+		case 3:
+			out[i] = Record{Kind: KindEvent, Seq: int64(i), Action: uint8(3 + rng.Intn(5)),
+				Tick: pmf.Tick(rng.Intn(100000))}
+		default:
+			out[i] = Record{Kind: KindDrain, Tick: pmf.Tick(rng.Intn(100000))}
+		}
+	}
+	return out
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	for _, r := range sampleRecords(200, 1) {
+		buf := AppendRecord(nil, &r)
+		got, err := DecodeRecord(buf[frameHeader:])
+		if err != nil {
+			t.Fatalf("decode %v: %v", r.Kind, err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("round trip mismatch:\n in %+v\nout %+v", r, got)
+		}
+	}
+}
+
+func TestWriterAppendScan(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, WriterOptions{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(100, 2)
+	for i := range recs {
+		if err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := ReplayAll(dir, func(r *Record) error { got = append(got, *r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, got) {
+		t.Fatalf("scan mismatch: %d in, %d out", len(recs), len(got))
+	}
+	if w.Lag() != 0 {
+		t.Fatalf("lag %d after Close, want 0", w.Lag())
+	}
+}
+
+// TestTornTailRecovery cuts a segment at every possible byte length and
+// checks that (a) the scan recovers exactly the records whose frames
+// survived intact and (b) a writer reopening the cut log truncates the
+// tail and appends cleanly after it.
+func TestTornTailRecovery(t *testing.T) {
+	recs := sampleRecords(12, 3)
+	var full []byte
+	var bounds []int // byte offset after each record
+	for i := range recs {
+		full = AppendRecord(full, &recs[i])
+		bounds = append(bounds, len(full))
+	}
+	wholeAt := func(cut int) int {
+		n := 0
+		for _, b := range bounds {
+			if b <= cut {
+				n++
+			}
+		}
+		return n
+	}
+	for cut := 0; cut <= len(full); cut += 7 {
+		dir := t.TempDir()
+		path := SegmentPath(dir, 0)
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		if err := ScanSegment(path, func(r *Record) error { got = append(got, *r); return nil }); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := wholeAt(cut)
+		if len(got) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		if !reflect.DeepEqual(got, recs[:want]) && want > 0 {
+			t.Fatalf("cut %d: recovered wrong prefix", cut)
+		}
+
+		// Reopen for append: the torn bytes must be truncated, and a fresh
+		// record must land right after the valid prefix.
+		w, err := OpenWriter(dir, WriterOptions{Policy: SyncNever})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		extra := Record{Kind: KindDrain, Tick: 42}
+		if err := w.Append(&extra); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got = got[:0]
+		if err := ScanSegment(path, func(r *Record) error { got = append(got, *r); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != want+1 || !reflect.DeepEqual(got[want], extra) {
+			t.Fatalf("cut %d: after reopen got %d records, want %d + drain", cut, len(got), want+1)
+		}
+	}
+}
+
+// TestCorruptedMiddleStopsScan flips a byte inside an early record: the
+// scan must stop at the corruption and surface only the prefix.
+func TestCorruptedMiddleStopsScan(t *testing.T) {
+	recs := sampleRecords(10, 4)
+	var full []byte
+	firstLen := 0
+	for i := range recs {
+		full = AppendRecord(full, &recs[i])
+		if i == 0 {
+			firstLen = len(full)
+		}
+	}
+	full[firstLen+frameHeader+1] ^= 0xFF // corrupt record 1's payload
+	dir := t.TempDir()
+	path := SegmentPath(dir, 0)
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got []Record
+	if err := ScanSegment(path, func(r *Record) error { got = append(got, *r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("scan past corruption: got %d records, want 1", len(got))
+	}
+}
+
+func TestCheckpointRotationAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, WriterOptions{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := sampleRecords(30, 5)
+	for i := 0; i < 10; i++ {
+		if err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Checkpoint([]byte("state-after-10")); err != nil {
+		t.Fatal(err)
+	}
+	if w.Segment() != 1 || w.RecordsInSegment() != 0 {
+		t.Fatalf("after checkpoint: seg %d recs %d, want 1/0", w.Segment(), w.RecordsInSegment())
+	}
+	for i := 10; i < 20; i++ {
+		if err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Checkpoint([]byte("state-after-20")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 30; i++ {
+		if err := w.Append(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "state-after-20" || rec.SnapshotSeg != 1 {
+		t.Fatalf("recover picked snapshot %d %q", rec.SnapshotSeg, rec.Snapshot)
+	}
+	var tail []Record
+	if err := rec.Replay(dir, func(r *Record) error { tail = append(tail, *r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tail, recs[20:30]) {
+		t.Fatalf("tail replay got %d records, want 10", len(tail))
+	}
+
+	// Corrupt the newest snapshot: recovery must fall back to the older
+	// one and replay a longer tail.
+	if err := os.WriteFile(SnapshotPath(dir, 1), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "state-after-10" || rec.SnapshotSeg != 0 {
+		t.Fatalf("fallback picked snapshot %d %q", rec.SnapshotSeg, rec.Snapshot)
+	}
+	tail = tail[:0]
+	if err := rec.Replay(dir, func(r *Record) error { tail = append(tail, *r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tail, recs[10:30]) {
+		t.Fatalf("fallback tail got %d records, want 20", len(tail))
+	}
+
+	// From-scratch replay sees everything.
+	var all []Record
+	if err := ReplayAll(dir, func(r *Record) error { all = append(all, *r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(all, recs) {
+		t.Fatalf("ReplayAll got %d records, want %d", len(all), len(recs))
+	}
+}
+
+// TestReopenAfterSnapshotWithoutSuccessor models a crash between writing
+// snapshot K and opening segment K+1: the writer must start K+1 itself.
+func TestReopenAfterSnapshotWithoutSuccessor(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWriter(dir, WriterOptions{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Kind: KindDrain, Tick: 1}
+	if err := w.Append(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint([]byte("s0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: remove the successor segment the rotation made.
+	if err := os.Remove(SegmentPath(dir, 1)); err != nil {
+		t.Fatal(err)
+	}
+	w, err = OpenWriter(dir, WriterOptions{Policy: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Segment() != 1 {
+		t.Fatalf("reopened into segment %d, want 1", w.Segment())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotFileCRC(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSnapshotFile(dir, 0, []byte("hello snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(SnapshotPath(dir, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hello snapshot")) {
+		t.Fatalf("snapshot payload %q", got)
+	}
+	// Flip one payload byte: the CRC must catch it.
+	raw, _ := os.ReadFile(SnapshotPath(dir, 0))
+	raw[frameHeader] ^= 1
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(bad); err == nil {
+		t.Fatal("corrupted snapshot read back without error")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

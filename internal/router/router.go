@@ -114,6 +114,16 @@ func (v *ShardView) ObserveAdmission(class int, p float64) {
 	v.robustness[class].Store(math.Float64bits(next))
 }
 
+// SetClassRobustness overwrites one class's robustness estimate — the
+// recovery path restoring a persisted EWMA after a restart. Single writer:
+// the shard's decision loop (or its constructor, before the loop starts).
+func (v *ShardView) SetClassRobustness(class int, p float64) {
+	if class < 0 || class >= len(v.robustness) {
+		return
+	}
+	v.robustness[class].Store(math.Float64bits(math.Max(0, math.Min(1, p))))
+}
+
 // ClassRobustness returns the shard's current expected on-time probability
 // for the given task class (1.0 before any observation, or for an unknown
 // class).

@@ -108,6 +108,47 @@ func BenchmarkServiceDecide(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceDecideJournal is BenchmarkServiceDecide/shards=1 with
+// the decision journal on: every decision appends its WAL records and
+// commits before acknowledging. The fsync=interval sub-run is the deployed
+// default (buffered flush per ack, background fdatasync) and carries the
+// acceptance bar: <= 15% over the unjournaled baseline. fsync=always pays
+// an fdatasync inside every ack and is bounded by the storage device, not
+// the calculus; it is recorded for the durability-cost table, not gated.
+// Checkpoint cost (engine-snapshot marshal every SnapshotEvery records)
+// amortizes into the per-op figure at the default cadence.
+func BenchmarkServiceDecideJournal(b *testing.B) {
+	for _, fsync := range []string{"interval", "always"} {
+		b.Run("fsync="+fsync, func(b *testing.B) {
+			c, err := New(Config{
+				Profile: "video", Mapper: "PAM", Dropper: "heuristic", Shards: 1, Router: "rr",
+				JournalDir: b.TempDir(), Fsync: fsync,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			tasks := benchTasks(b, b.N)
+			var idx atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				for pb.Next() {
+					t := &tasks[int(idx.Add(1)-1)]
+					req := DecideRequest{Tasks: []TaskSpec{{
+						Type: int(t.Type), Arrival: t.Arrival,
+						Deadline: t.Deadline, ExecByType: t.ExecByType,
+					}}}
+					if _, err := c.Decide(ctx, &req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 func benchDecide(b *testing.B, batch int) {
 	c, err := New(Config{Profile: "video", Mapper: "PAM", Dropper: "heuristic"})
 	if err != nil {

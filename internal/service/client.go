@@ -25,6 +25,12 @@ type ReplayConfig struct {
 	// Drain issues POST /v1/drain after the last task and collects the
 	// final Result (default on through cmd/hcload).
 	Drain bool
+	// From and To bound the replay to trace tasks [From, To) (To <= 0 means
+	// the end). Splitting one trace across a server restart — replay -to N,
+	// restart, replay -from N — feeds the journaled server the same total
+	// stream as one uninterrupted replay, which is how the crash-recovery
+	// smoke proves recovered state equals live state.
+	From, To int
 }
 
 // ShardLatency is the client-observed decide latency attributed to one
@@ -79,18 +85,26 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 	if cfg.BatchSize < 1 {
 		cfg.BatchSize = 16
 	}
-	rep := &ReplayReport{Tasks: tr.Len()}
-	lats := make([]time.Duration, 0, (tr.Len()+cfg.BatchSize-1)/cfg.BatchSize)
+	tasks := tr.Tasks
+	if cfg.To > 0 && cfg.To < len(tasks) {
+		tasks = tasks[:cfg.To]
+	}
+	if cfg.From < 0 || cfg.From > len(tasks) {
+		return nil, fmt.Errorf("service: replay window [%d,%d) outside trace of %d tasks", cfg.From, len(tasks), tr.Len())
+	}
+	tasks = tasks[cfg.From:]
+	rep := &ReplayReport{Tasks: len(tasks)}
+	lats := make([]time.Duration, 0, (len(tasks)+cfg.BatchSize-1)/cfg.BatchSize)
 	shardLats := map[int][]time.Duration{}
 	start := time.Now()
 
-	for lo := 0; lo < len(tr.Tasks); lo += cfg.BatchSize {
+	for lo := 0; lo < len(tasks); lo += cfg.BatchSize {
 		hi := lo + cfg.BatchSize
-		if hi > len(tr.Tasks) {
-			hi = len(tr.Tasks)
+		if hi > len(tasks) {
+			hi = len(tasks)
 		}
 		req := DecideRequest{Tasks: make([]TaskSpec, hi-lo)}
-		for i, t := range tr.Tasks[lo:hi] {
+		for i, t := range tasks[lo:hi] {
 			req.Tasks[i] = TaskSpec{
 				ID:         fmt.Sprintf("t%d", t.ID),
 				Type:       int(t.Type),
@@ -101,7 +115,7 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 		}
 		if cfg.Speed > 0 {
 			// Pace so the batch's first arrival lands on the scaled clock.
-			due := start.Add(time.Duration(float64(tr.Tasks[lo].Arrival-tr.Tasks[0].Arrival) / cfg.Speed * float64(time.Millisecond)))
+			due := start.Add(time.Duration(float64(tasks[lo].Arrival-tasks[0].Arrival) / cfg.Speed * float64(time.Millisecond)))
 			if wait := time.Until(due); wait > 0 {
 				select {
 				case <-time.After(wait):

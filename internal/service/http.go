@@ -76,6 +76,9 @@ func NewHandler(c *Controller) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.metrics.WritePrometheus(w)
 		writeShardGauges(w, c)
+		if c.jmetrics != nil {
+			writeJournalMetrics(w, c)
+		}
 		// Engine gauges come from the decision loops; skip them once drained
 		// (counters above still tell the whole story).
 		if snap, err := c.Stats(r.Context()); err == nil {

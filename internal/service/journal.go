@@ -1,0 +1,429 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/journal"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// Journal layout under Config.JournalDir:
+//
+//	manifest.json      the served configuration (validated on reopen)
+//	shard-000/         shard 0's segmented WAL + snapshots (internal/journal)
+//	shard-001/         ...
+//
+// Every shard loop appends its admission events (batch boundaries,
+// arrivals, decisions, terminal task events, drain) to its own WAL and
+// commits before acknowledging a decide sub-batch. Because a shard engine
+// is deterministic, the arrive records alone reconstruct its exact state
+// by replay; decision and event records make the log auditable
+// (cmd/hcreplay re-derives and compares them).
+
+// manifestName is the manifest file inside the journal root.
+const manifestName = "manifest.json"
+
+// Manifest pins the configuration a journal was written under. Reopening
+// a journal with a different engine configuration would replay arrivals
+// into a different system and silently diverge, so New refuses a manifest
+// mismatch on every field that shapes decisions. Router is recorded for
+// hcreplay but not matched: it only affects how future arrivals are
+// routed, never how logged ones replay (each shard's log is already
+// routed).
+type Manifest struct {
+	Profile           string   `json:"profile"`
+	Mapper            string   `json:"mapper"`
+	Dropper           string   `json:"dropper"`
+	Shards            int      `json:"shards"`
+	Router            string   `json:"router"`
+	QueueCap          int      `json:"queue_cap"`
+	Grace             pmf.Tick `json:"grace"`
+	DropOnArrival     bool     `json:"drop_on_arrival"`
+	BoundaryExclusion int      `json:"boundary_exclusion"`
+}
+
+// manifestFor derives the manifest of a resolved configuration.
+func manifestFor(cfg Config) Manifest {
+	return Manifest{
+		Profile:           cfg.Profile,
+		Mapper:            cfg.Mapper,
+		Dropper:           cfg.Dropper,
+		Shards:            cfg.Shards,
+		Router:            cfg.Router,
+		QueueCap:          cfg.QueueCap,
+		Grace:             cfg.Grace,
+		DropOnArrival:     cfg.DropOnArrival,
+		BoundaryExclusion: cfg.BoundaryExclusion,
+	}
+}
+
+// matches reports whether two manifests agree on every decision-shaping
+// field (Router intentionally excluded).
+func (m Manifest) matches(o Manifest) bool {
+	m.Router, o.Router = "", ""
+	return m == o
+}
+
+// LoadManifest reads the manifest of a journal root directory.
+func LoadManifest(root string) (Manifest, error) {
+	var m Manifest
+	blob, err := os.ReadFile(filepath.Join(root, manifestName))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return m, fmt.Errorf("service: journal manifest: %w", err)
+	}
+	return m, nil
+}
+
+// ShardJournalDir returns shard s's log directory under a journal root.
+func ShardJournalDir(root string, s int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", s))
+}
+
+// ShardCheckpoint is the snapshot payload a shard writes at every journal
+// checkpoint: the full engine snapshot plus the shard-level state replay
+// cannot re-derive from the engine alone (sequence watermark, decision
+// counters, router robustness EWMAs).
+type ShardCheckpoint struct {
+	Shard int `json:"shard"`
+	// SeqWatermark is the highest cluster-wide sequence number the shard
+	// has decided; a restart resumes issuing from max(watermarks)+1 so
+	// decision sequence numbers are never reused.
+	SeqWatermark int64 `json:"seq_watermark"`
+	Requests     int64 `json:"requests"`
+	Mapped       int64 `json:"mapped"`
+	Deferred     int64 `json:"deferred"`
+	Dropped      int64 `json:"dropped"`
+	// Robustness[class] is the router view's per-class EWMA.
+	Robustness []float64 `json:"robustness_by_class"`
+	// Drained marks the final checkpoint of a graceful drain: the log is
+	// complete and recovery needs no tail replay.
+	Drained bool                `json:"drained,omitempty"`
+	Engine  *sim.EngineSnapshot `json:"engine"`
+}
+
+// journalFsyncBuckets are the upper bounds (seconds) of the fsync-latency
+// histogram — fdatasync on a local disk lands between tens of
+// microseconds (NVMe, battery-backed cache) and tens of milliseconds
+// (spinning rust, saturated device).
+var journalFsyncBuckets = []float64{
+	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 100e-3, 1,
+}
+
+// journalMetrics aggregates journal observability across shards. The
+// fsync histogram is fed by writer callbacks (decide loops under
+// SyncAlways, background syncers under SyncInterval); totals are read
+// straight off the writers at scrape time.
+type journalMetrics struct {
+	histogram []atomic.Int64
+	sumNS     atomic.Int64
+}
+
+func newJournalMetrics() *journalMetrics {
+	return &journalMetrics{histogram: make([]atomic.Int64, len(journalFsyncBuckets)+1)}
+}
+
+// observeFsync records one fdatasync duration (concurrency-safe).
+func (jm *journalMetrics) observeFsync(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for ; i < len(journalFsyncBuckets); i++ {
+		if s <= journalFsyncBuckets[i] {
+			break
+		}
+	}
+	jm.histogram[i].Add(1)
+	jm.sumNS.Add(int64(d))
+}
+
+// writeJournalMetrics renders the journal's Prometheus series.
+func writeJournalMetrics(w io.Writer, c *Controller) {
+	var records, bytes, fsyncs, snaps, lag int64
+	for _, sh := range c.shards {
+		records += sh.jw.Appended()
+		bytes += sh.jw.Bytes()
+		fsyncs += sh.jw.Fsyncs()
+		snaps += sh.jw.Checkpoints()
+		lag += sh.jw.Lag()
+	}
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP taskdrop_journal_records_total Journal records appended across shards.\n")
+	p("# TYPE taskdrop_journal_records_total counter\n")
+	p("taskdrop_journal_records_total %d\n", records)
+	p("# HELP taskdrop_journal_bytes_total Journal bytes appended across shards.\n")
+	p("# TYPE taskdrop_journal_bytes_total counter\n")
+	p("taskdrop_journal_bytes_total %d\n", bytes)
+	p("# HELP taskdrop_journal_fsyncs_total Completed journal fdatasyncs.\n")
+	p("# TYPE taskdrop_journal_fsyncs_total counter\n")
+	p("taskdrop_journal_fsyncs_total %d\n", fsyncs)
+	p("# HELP taskdrop_journal_snapshots_total Journal checkpoints written.\n")
+	p("# TYPE taskdrop_journal_snapshots_total counter\n")
+	p("taskdrop_journal_snapshots_total %d\n", snaps)
+	p("# HELP taskdrop_journal_lag_records Appended records not yet covered by an fsync.\n")
+	p("# TYPE taskdrop_journal_lag_records gauge\n")
+	p("taskdrop_journal_lag_records %d\n", lag)
+	jm := c.jmetrics
+	p("# HELP taskdrop_journal_fsync_latency_seconds Journal fdatasync latency.\n")
+	p("# TYPE taskdrop_journal_fsync_latency_seconds histogram\n")
+	var cum int64
+	for i, le := range journalFsyncBuckets {
+		cum += jm.histogram[i].Load()
+		p("taskdrop_journal_fsync_latency_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += jm.histogram[len(journalFsyncBuckets)].Load()
+	p("taskdrop_journal_fsync_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("taskdrop_journal_fsync_latency_seconds_sum %g\n", float64(jm.sumNS.Load())/1e9)
+	p("taskdrop_journal_fsync_latency_seconds_count %d\n", cum)
+}
+
+// initJournal brings the controller's journal up before the shard loops
+// start: validate (or create) the manifest, recover every shard from its
+// log — restore the newest checkpoint, then re-feed the tail's arrive
+// records through the deterministic engine — and only then open the
+// writers and install the terminal-event hooks. Returns an error rather
+// than serving over a log it cannot continue safely.
+func (c *Controller) initJournal() error {
+	root := c.cfg.JournalDir
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return err
+	}
+	want := manifestFor(c.cfg)
+	switch have, err := LoadManifest(root); {
+	case err == nil:
+		if !have.matches(want) {
+			return fmt.Errorf("service: journal %s was written under a different configuration (%+v); refusing to continue it with %+v", root, have, want)
+		}
+	case os.IsNotExist(err):
+		blob, merr := json.MarshalIndent(want, "", "  ")
+		if merr != nil {
+			return merr
+		}
+		if werr := os.WriteFile(filepath.Join(root, manifestName), append(blob, '\n'), 0o644); werr != nil {
+			return werr
+		}
+	default:
+		return err
+	}
+
+	policy, err := journal.ParseSyncPolicy(c.cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	c.jmetrics = newJournalMetrics()
+
+	maxSeq := int64(-1)
+	for _, sh := range c.shards {
+		if err := sh.recover(); err != nil {
+			return fmt.Errorf("service: shard %d recovery: %w", sh.id, err)
+		}
+		if sh.watermark > maxSeq {
+			maxSeq = sh.watermark
+		}
+	}
+	c.seq.Store(maxSeq + 1)
+
+	// Aggregate counters: decision counts re-derive exactly from the shard
+	// recoveries; the aggregate request counter is approximated by the sum
+	// of shard sub-batches (a multi-shard batch counted once per shard).
+	var reqs, mapped, deferred, dropped int64
+	for _, sh := range c.shards {
+		reqs += sh.metrics.requests.Load()
+		mapped += sh.metrics.mapped.Load()
+		deferred += sh.metrics.deferred.Load()
+		dropped += sh.metrics.dropped.Load()
+	}
+	c.metrics.requests.Store(reqs)
+	c.metrics.mapped.Store(mapped)
+	c.metrics.deferred.Store(deferred)
+	c.metrics.dropped.Store(dropped)
+	c.metrics.tasks.Store(mapped + deferred + dropped)
+
+	// Writers open after recovery: OpenWriter truncates any torn tail, so
+	// it must not run until the replay has consumed the valid prefix.
+	for _, sh := range c.shards {
+		w, err := journal.OpenWriter(ShardJournalDir(root, sh.id), journal.WriterOptions{
+			Policy:   policy,
+			Interval: c.cfg.FsyncInterval,
+			OnFsync:  c.jmetrics.observeFsync,
+		})
+		if err != nil {
+			return err
+		}
+		sh.jw = w
+		sh.installJournalHook()
+	}
+	return nil
+}
+
+// recover rebuilds one shard's state from its log: restore the newest
+// checkpoint (engine snapshot, counters, robustness EWMAs, watermark),
+// then re-feed the tail segments' arrive records through the engine —
+// decisions re-derive deterministically, so the engine, the router view
+// and the counters land exactly where the crash left them. Runs before
+// the shard loop starts; no synchronization needed.
+func (sh *shard) recover() error {
+	dir := ShardJournalDir(sh.c.cfg.JournalDir, sh.id)
+	rec, err := journal.Recover(dir)
+	if err != nil {
+		return err
+	}
+	sh.watermark = -1
+	if rec.Snapshot != nil {
+		var cp ShardCheckpoint
+		if err := json.Unmarshal(rec.Snapshot, &cp); err != nil {
+			return fmt.Errorf("checkpoint decode: %w", err)
+		}
+		if cp.Engine == nil {
+			return fmt.Errorf("checkpoint without engine snapshot")
+		}
+		if err := sh.eng.RestoreSnapshot(cp.Engine); err != nil {
+			return err
+		}
+		sh.watermark = cp.SeqWatermark
+		sh.metrics.requests.Store(cp.Requests)
+		sh.metrics.mapped.Store(cp.Mapped)
+		sh.metrics.deferred.Store(cp.Deferred)
+		sh.metrics.dropped.Store(cp.Dropped)
+		sh.metrics.tasks.Store(cp.Mapped + cp.Deferred + cp.Dropped)
+		for class, p := range cp.Robustness {
+			sh.view.SetClassRobustness(class, p)
+		}
+		sh.eng.PublishLoad(sh.view)
+	}
+	return rec.Replay(dir, func(r *journal.Record) error {
+		switch r.Kind {
+		case journal.KindBatch:
+			sh.metrics.requests.Add(1)
+		case journal.KindArrive:
+			ts := sh.eng.Feed(&workload.Task{
+				ID:         int(r.Seq),
+				Type:       pet.TaskType(r.Type),
+				Arrival:    r.Tick,
+				Deadline:   r.Deadline,
+				ExecByType: r.Exec,
+			})
+			sh.metrics.countDecision(actionOf(ts.Status))
+			sh.eng.ObserveDecision(sh.view, ts)
+			if r.Seq > sh.watermark {
+				sh.watermark = r.Seq
+			}
+		}
+		// Decision, event and drain records re-derive from the arrives;
+		// hcreplay -verify consumes them, recovery does not.
+		return nil
+	})
+}
+
+// actionOf maps a just-fed task's status onto the wire admission action —
+// the same mapping decide() applies.
+func actionOf(st sim.Status) Action {
+	switch st {
+	case sim.StatusQueued, sim.StatusRunning:
+		return ActionMap
+	case sim.StatusBatch:
+		return ActionDefer
+	default:
+		return ActionDrop
+	}
+}
+
+// installJournalHook wires the engine's terminal transitions (completion,
+// failure, reactive/proactive drop) into the shard's WAL. The hook runs
+// inside the decision loop (Feed, checkpointed drains), so appends are
+// single-writer like every other journal write.
+func (sh *shard) installJournalHook() {
+	sh.eng.SetJournal(func(ts *sim.TaskState, now pmf.Tick) {
+		_ = sh.jw.Append(&journal.Record{
+			Kind:   journal.KindEvent,
+			Seq:    int64(ts.Task.ID),
+			Action: uint8(ts.Status),
+			Tick:   now,
+		})
+	})
+}
+
+// journalBatch logs a decide sub-batch boundary.
+func (sh *shard) journalBatch(n int) {
+	_ = sh.jw.Append(&journal.Record{Kind: journal.KindBatch, NTasks: int32(n)})
+}
+
+// journalArrive logs one admitted arrival before it is fed.
+func (sh *shard) journalArrive(seq int64, t *workload.Task, id string) {
+	_ = sh.jw.Append(&journal.Record{
+		Kind:     journal.KindArrive,
+		Seq:      seq,
+		Type:     int32(t.Type),
+		Tick:     t.Arrival,
+		Deadline: t.Deadline,
+		Exec:     t.ExecByType,
+		ID:       id,
+	})
+}
+
+// journalDecision logs the acknowledged admission outcome (machine index
+// shard-local, matching what replay re-derives).
+func (sh *shard) journalDecision(seq int64, a Action, localMachine int) {
+	act := journal.ActDrop
+	switch a {
+	case ActionMap:
+		act = journal.ActMap
+	case ActionDefer:
+		act = journal.ActDefer
+	}
+	_ = sh.jw.Append(&journal.Record{
+		Kind:    journal.KindDecision,
+		Seq:     seq,
+		Action:  act,
+		Machine: int32(localMachine),
+		Tick:    sh.eng.Now(),
+	})
+}
+
+// commitJournal makes the sub-batch durable per the fsync policy and
+// checkpoints when the segment has grown past the snapshot cadence. Called
+// on the decision loop before the sub-batch is acknowledged.
+func (sh *shard) commitJournal() error {
+	if err := sh.jw.Commit(); err != nil {
+		return err
+	}
+	if every := sh.c.cfg.SnapshotEvery; every > 0 && sh.jw.RecordsInSegment() >= every {
+		return sh.checkpoint(false)
+	}
+	return nil
+}
+
+// checkpoint writes the shard's full state as a journal snapshot and
+// rotates the segment. Runs on the decision loop.
+func (sh *shard) checkpoint(drained bool) error {
+	nt := sh.c.matrix.NumTaskTypes()
+	cp := ShardCheckpoint{
+		Shard:        sh.id,
+		SeqWatermark: sh.watermark,
+		Requests:     sh.metrics.requests.Load(),
+		Mapped:       sh.metrics.mapped.Load(),
+		Deferred:     sh.metrics.deferred.Load(),
+		Dropped:      sh.metrics.dropped.Load(),
+		Robustness:   make([]float64, nt),
+		Drained:      drained,
+		Engine:       sh.eng.Snapshot(),
+	}
+	for class := 0; class < nt; class++ {
+		cp.Robustness[class] = sh.view.ClassRobustness(class)
+	}
+	blob, err := json.Marshal(&cp)
+	if err != nil {
+		return err
+	}
+	return sh.jw.Checkpoint(blob)
+}

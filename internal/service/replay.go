@@ -1,0 +1,482 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/journal"
+	"github.com/hpcclab/taskdrop/internal/mapping"
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// Offline journal replay (cmd/hcreplay).
+//
+// The journal's arrive records are the ground truth: a shard engine is
+// deterministic, so feeding them through a fresh engine built from the
+// manifest re-derives every decision and terminal event. The logged
+// decision/event records and the checkpoints are therefore redundant by
+// construction — which is exactly what makes the log auditable: VerifyShard
+// recomputes the derived stream from scratch and fails on the first record
+// where the recomputation and the recording disagree.
+
+// robustnessTol bounds the acceptable divergence when comparing replayed
+// router EWMAs against checkpointed ones. Both sides run the same float
+// operations in the same order, so anything beyond noise is a real
+// divergence.
+const robustnessTol = 1e-9
+
+// shardReplayer drives a from-scratch deterministic replay of one shard's
+// journal: a fresh engine (built from the manifest exactly as service.New
+// builds it), the shard's router view, and the derived records the replay
+// generates for comparison against the log.
+type shardReplayer struct {
+	man    Manifest
+	matrix *pet.Matrix
+	eng    *sim.Engine
+	view   *router.ShardView
+	global []int
+
+	watermark                 int64
+	requests                  int64
+	mapped, deferred, dropped int64
+	drained                   bool
+
+	// gen holds the derived records (decisions, terminal events, drain
+	// markers) the replay produces, awaiting match against logged ones.
+	gen []journal.Record
+}
+
+// newShardReplayer rebuilds shard s's engine from a journal root's
+// manifest. The construction mirrors service.New: same cluster partition,
+// same per-shard mapper/dropper instances, same config split.
+func newShardReplayer(root string, s int) (*shardReplayer, error) {
+	man, err := LoadManifest(root)
+	if err != nil {
+		return nil, err
+	}
+	if s < 0 || s >= man.Shards {
+		return nil, fmt.Errorf("service: shard %d out of range [0,%d)", s, man.Shards)
+	}
+	matrix, err := pet.CachedMatrix(man.Profile)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := router.FromSpec(man.Router)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := sim.Config{
+		QueueCap:          man.QueueCap,
+		BoundaryExclusion: man.BoundaryExclusion,
+		DropOnArrival:     man.DropOnArrival,
+		ReactiveGrace:     man.Grace,
+	}
+	cl, err := sim.NewCluster(matrix, man.Shards, policy, func(int) (sim.Mapper, core.Policy, error) {
+		m, err := mapping.FromSpec(man.Mapper)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := core.PolicyFromSpec(man.Dropper)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, d, nil
+	}, simCfg)
+	if err != nil {
+		return nil, err
+	}
+	r := &shardReplayer{
+		man:       man,
+		matrix:    matrix,
+		eng:       cl.Shards()[s],
+		view:      cl.View(s),
+		global:    cl.GlobalMachines(s),
+		watermark: -1,
+	}
+	r.eng.SetJournal(func(ts *sim.TaskState, now pmf.Tick) {
+		r.gen = append(r.gen, journal.Record{
+			Kind:   journal.KindEvent,
+			Seq:    int64(ts.Task.ID),
+			Action: uint8(ts.Status),
+			Tick:   now,
+		})
+	})
+	return r, nil
+}
+
+// task reconstructs the engine task of one arrive record — the inverse of
+// journalArrive + makeTask (the recorded Exec already carries the resolved
+// execution times, so no PET fallback is needed).
+func (r *shardReplayer) task(rec *journal.Record) *workload.Task {
+	return &workload.Task{
+		ID:         int(rec.Seq),
+		Type:       pet.TaskType(rec.Type),
+		Arrival:    rec.Tick,
+		Deadline:   rec.Deadline,
+		ExecByType: rec.Exec,
+	}
+}
+
+// feed replays one arrive record through the engine, generating the
+// decision record the live service would have logged (the engine hook
+// generates the terminal events as a side effect of Feed).
+func (r *shardReplayer) feed(rec *journal.Record) *sim.TaskState {
+	ts := r.eng.Feed(r.task(rec))
+	r.eng.ObserveDecision(r.view, ts)
+	switch actionOf(ts.Status) {
+	case ActionMap:
+		r.mapped++
+	case ActionDefer:
+		r.deferred++
+	default:
+		r.dropped++
+	}
+	act := journal.ActDrop
+	switch actionOf(ts.Status) {
+	case ActionMap:
+		act = journal.ActMap
+	case ActionDefer:
+		act = journal.ActDefer
+	}
+	r.gen = append(r.gen, journal.Record{
+		Kind:    journal.KindDecision,
+		Seq:     rec.Seq,
+		Action:  act,
+		Machine: int32(ts.Machine),
+		Tick:    r.eng.Now(),
+	})
+	if rec.Seq > r.watermark {
+		r.watermark = rec.Seq
+	}
+	return ts
+}
+
+// drain replays a graceful drain: run the engine to completion (the hook
+// streams the terminal events) and generate the drain marker.
+func (r *shardReplayer) drain() {
+	r.eng.Drain()
+	r.drained = true
+	r.gen = append(r.gen, journal.Record{Kind: journal.KindDrain, Tick: r.eng.Now()})
+}
+
+// VerifyStats summarizes one shard's verified log.
+type VerifyStats struct {
+	Shard       int
+	Records     int // logged records consumed
+	Arrives     int
+	Derived     int // logged decision/event/drain records matched
+	Checkpoints int // snapshots compared against the replayed state
+	// Unflushed counts derived records the replay produced past the end of
+	// the log — the suffix a crash cut off before it was committed.
+	Unflushed int
+	// FinalSeqWatermark is the replayed shard's highest decided sequence.
+	FinalSeqWatermark int64
+}
+
+// VerifyShard replays shard s's journal from scratch and proves the log
+// self-consistent: every logged decision, terminal event and drain marker
+// must equal the one the deterministic re-execution derives, and every
+// checkpoint must equal the replayed state at its segment boundary. A
+// truncated tail (crash) is tolerated — the log is then a prefix of the
+// derived stream — but any interior disagreement is an error.
+func VerifyShard(root string, s int) (*VerifyStats, error) {
+	r, err := newShardReplayer(root, s)
+	if err != nil {
+		return nil, err
+	}
+	dir := ShardJournalDir(root, s)
+	segs, err := journal.Segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	snaps, err := journal.Snapshots(dir)
+	if err != nil {
+		return nil, err
+	}
+	hasSnap := make(map[int]bool, len(snaps))
+	for _, k := range snaps {
+		hasSnap[k] = true
+	}
+
+	st := &VerifyStats{Shard: s}
+	var logged []journal.Record // unmatched logged derived records
+	match := func() error {
+		for len(logged) > 0 && len(r.gen) > 0 {
+			want, got := logged[0], r.gen[0]
+			logged, r.gen = logged[1:], r.gen[1:]
+			if want.Kind != got.Kind || want.Seq != got.Seq || want.Tick != got.Tick ||
+				want.Action != got.Action || want.Machine != got.Machine {
+				return fmt.Errorf("shard %d: record %d: log has %s, replay derives %s",
+					s, st.Records, want.String(), got.String())
+			}
+			st.Derived++
+		}
+		return nil
+	}
+
+	for _, seg := range segs {
+		err := journal.ScanSegment(journal.SegmentPath(dir, seg), func(rec *journal.Record) error {
+			st.Records++
+			switch rec.Kind {
+			case journal.KindBatch:
+				r.requests++
+			case journal.KindArrive:
+				st.Arrives++
+				r.feed(rec)
+			case journal.KindDrain:
+				// Logged drain: the derived events for it may still be queued
+				// in `logged` (they precede the marker in the log); draining
+				// now generates their counterparts.
+				r.drain()
+				logged = append(logged, *rec)
+			default:
+				logged = append(logged, *rec)
+			}
+			return match()
+		})
+		if err != nil {
+			return st, err
+		}
+		if !hasSnap[seg] {
+			continue
+		}
+		// Snapshot seg captures the state after every record of segment seg
+		// (the writer rotates at the checkpoint): compare it field by field
+		// against the replayed state at this exact boundary.
+		payload, err := journal.ReadSnapshotFile(journal.SnapshotPath(dir, seg))
+		if err != nil {
+			// A torn snapshot is not a log defect — recovery falls back to an
+			// older one and replays a longer tail. Skip it like Recover does.
+			continue
+		}
+		if err := r.compareCheckpoint(payload, s, seg); err != nil {
+			return st, err
+		}
+		st.Checkpoints++
+	}
+
+	// A crash may have cut the log after the engine advanced: derived
+	// records the replay produced but the log never committed are the
+	// expected torn suffix. Logged records the replay cannot explain are
+	// not.
+	if err := match(); err != nil {
+		return st, err
+	}
+	if len(logged) > 0 {
+		return st, fmt.Errorf("shard %d: %d logged records beyond what replay derives (first: %s)",
+			s, len(logged), logged[0].String())
+	}
+	st.Unflushed = len(r.gen)
+	st.FinalSeqWatermark = r.watermark
+	return st, nil
+}
+
+// compareCheckpoint matches one checkpoint payload against the replayed
+// state. Engine snapshots are compared through their canonical JSON so
+// both sides share one serialization (the stored one already did the
+// round trip).
+func (r *shardReplayer) compareCheckpoint(payload []byte, s, seg int) error {
+	var cp ShardCheckpoint
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return fmt.Errorf("shard %d: snapshot %d: %w", s, seg, err)
+	}
+	if cp.SeqWatermark != r.watermark {
+		return fmt.Errorf("shard %d: snapshot %d: watermark %d, replay at %d", s, seg, cp.SeqWatermark, r.watermark)
+	}
+	if cp.Requests != r.requests || cp.Mapped != r.mapped || cp.Deferred != r.deferred || cp.Dropped != r.dropped {
+		return fmt.Errorf("shard %d: snapshot %d: counters (req %d map %d defer %d drop %d), replay (req %d map %d defer %d drop %d)",
+			s, seg, cp.Requests, cp.Mapped, cp.Deferred, cp.Dropped, r.requests, r.mapped, r.deferred, r.dropped)
+	}
+	for class, p := range cp.Robustness {
+		if got := r.view.ClassRobustness(class); math.Abs(got-p) > robustnessTol {
+			return fmt.Errorf("shard %d: snapshot %d: class %d robustness %g, replay %g", s, seg, class, p, got)
+		}
+	}
+	if cp.Engine == nil {
+		return fmt.Errorf("shard %d: snapshot %d: no engine snapshot", s, seg)
+	}
+	want, err := json.Marshal(cp.Engine)
+	if err != nil {
+		return err
+	}
+	got, err := json.Marshal(r.eng.Snapshot())
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("shard %d: snapshot %d: engine state diverged from replay", s, seg)
+	}
+	return nil
+}
+
+// VerifyAll verifies every shard of a journal root, in shard order.
+func VerifyAll(root string) ([]*VerifyStats, error) {
+	man, err := LoadManifest(root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*VerifyStats, 0, man.Shards)
+	for s := 0; s < man.Shards; s++ {
+		st, err := VerifyShard(root, s)
+		if st != nil {
+			out = append(out, st)
+		}
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// errAuditStop aborts the audit's replay scan once the target decision is
+// reached.
+var errAuditStop = errors.New("audit: stop")
+
+// AuditDecision replays shard s's journal up to (but not including)
+// decision seq, then explains that decision: the queue state the admission
+// saw, the Eq. 1 completion-time forecast of every queued task and of the
+// arriving candidate on every machine, the dropping policy's verdict over
+// each queue, and finally the re-derived decision next to the logged one.
+// verbose additionally prints the candidate's full completion-time PMFs.
+func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) error {
+	r, err := newShardReplayer(root, s)
+	if err != nil {
+		return err
+	}
+	dir := ShardJournalDir(root, s)
+
+	// First pass: find the target arrive and capture the logged derived
+	// records for it (they follow the arrive in the log).
+	var target *journal.Record
+	var loggedDecision *journal.Record
+	var loggedEvents []journal.Record
+	err = journal.ReplayAll(dir, func(rec *journal.Record) error {
+		switch rec.Kind {
+		case journal.KindArrive:
+			if rec.Seq == seq {
+				c := *rec
+				target = &c
+			}
+		case journal.KindDecision:
+			if rec.Seq == seq {
+				c := *rec
+				loggedDecision = &c
+			}
+		case journal.KindEvent:
+			if target != nil && loggedDecision == nil {
+				// Terminal events logged between the arrive and its decision:
+				// the side effects of admitting this task.
+				loggedEvents = append(loggedEvents, *rec)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if target == nil {
+		return fmt.Errorf("service: no arrive record with seq %d in shard %d of %s", seq, s, root)
+	}
+
+	// Second pass: replay every earlier arrive, stopping just before the
+	// target so the engine holds the exact pre-decision state.
+	err = journal.ReplayAll(dir, func(rec *journal.Record) error {
+		switch rec.Kind {
+		case journal.KindArrive:
+			if rec.Seq == seq {
+				return errAuditStop
+			}
+			r.feed(rec)
+		case journal.KindDrain:
+			r.drain()
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, errAuditStop) {
+		return err
+	}
+
+	t := r.task(target)
+	fmt.Fprintf(w, "decision seq %d (shard %d of %s)\n", seq, s, root)
+	fmt.Fprintf(w, "task: type=%d arrival=%d deadline=%d exec_by_type=%v\n", t.Type, t.Arrival, t.Deadline, t.ExecByType)
+
+	// The admission pipeline advances the clock to the arrival, runs the
+	// reactive sweep and the mapping event; advancing here (without feeding)
+	// exposes the queue state the dropper and mapper then consulted.
+	r.eng.AdvanceTo(t.Arrival)
+	now := r.eng.Now()
+	fmt.Fprintf(w, "clock at decision: %d\n", now)
+
+	dropper, err := core.PolicyFromSpec(r.man.Dropper)
+	if err != nil {
+		return err
+	}
+	live := r.eng.LiveCounts()
+	totalSlots := r.man.QueueCap * len(r.global)
+	pressure := float64(live.Batch) / float64(totalSlots)
+	machines := r.matrix.Machines()
+	calc := r.eng.Calc()
+
+	fmt.Fprintf(w, "queues and Eq. 1 forecasts (deferred batch %d, pressure %.3f):\n", live.Batch, pressure)
+	for i, g := range r.global {
+		mt := machines[g].Type
+		q := r.eng.CoreQueue(i)
+		fmt.Fprintf(w, "  machine %d %q (local %d):\n", g, machines[g].Name, i)
+		probs := calc.SuccessProbs(mt, now, q)
+		for j, qt := range q {
+			state := "pending"
+			if qt.Running {
+				state = fmt.Sprintf("running %d ticks", qt.Elapsed)
+			}
+			fmt.Fprintf(w, "    slot %d: type=%d deadline=%d %s  P(on time)=%.4f\n", j, qt.Type, qt.Deadline, state, probs[j])
+		}
+		// The candidate appended at the tail: its Eq. 1 completion-time PMF
+		// chained over the queue, and the Eq. 2 mass before its deadline.
+		cq := append(append([]core.QueueTask(nil), q...), core.QueueTask{Type: t.Type, Deadline: t.Deadline})
+		cs := calc.CompletionPMFs(mt, now, cq)
+		cand := cs[len(cs)-1]
+		fmt.Fprintf(w, "    candidate: P(on time)=%.4f mean=%.1f span=[%d,%d]\n",
+			cand.MassBefore(t.Deadline), cand.Mean(), cand.Min(), cand.Max())
+		if verbose {
+			fmt.Fprintf(w, "    candidate PMF: %s\n", cand.String())
+		}
+		verdict := dropper.Decide(&core.Context{
+			Calc: calc, Machine: mt, Now: now, Queue: q,
+			BatchPressure: pressure, Grace: r.man.Grace,
+		})
+		if len(verdict) > 0 {
+			fmt.Fprintf(w, "    dropper %q would drop slots %v\n", dropper.Name(), verdict)
+		}
+	}
+
+	// Re-derive the decision and set it against the logged record.
+	ts := r.feed(target)
+	d := Decision{Seq: int(seq), Shard: s, Machine: -1, Action: actionOf(ts.Status)}
+	if d.Action == ActionMap {
+		d.Machine = r.global[ts.Machine]
+		d.MachineName = machines[d.Machine].Name
+	}
+	if d.Action == ActionMap {
+		fmt.Fprintf(w, "replayed decision: %s -> machine %d %q\n", d.Action, d.Machine, d.MachineName)
+	} else {
+		fmt.Fprintf(w, "replayed decision: %s\n", d.Action)
+	}
+	for _, ev := range loggedEvents {
+		fmt.Fprintf(w, "logged side effect: %s\n", ev.String())
+	}
+	if loggedDecision != nil {
+		fmt.Fprintf(w, "logged decision:   %s\n", loggedDecision.String())
+	} else {
+		fmt.Fprintf(w, "logged decision:   (not committed — the log ends before it)\n")
+	}
+	return nil
+}

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/journal"
 	"github.com/hpcclab/taskdrop/internal/mapping"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
@@ -94,6 +95,22 @@ type Config struct {
 	// Backlog bounds decide requests queued behind each shard's decision
 	// loop before submitters block (default 256).
 	Backlog int
+	// JournalDir enables the event-sourced decision journal: every shard
+	// appends its admission events to a per-shard WAL under this directory
+	// and commits before acknowledging, so a crashed server recovers its
+	// exact pre-crash state by replay. Empty disables journaling.
+	JournalDir string
+	// Fsync is the journal durability policy: "always" (fsync before every
+	// ack), "interval" (background fsync every FsyncInterval; the default),
+	// or "never" (flush to the OS only).
+	Fsync string
+	// FsyncInterval is the background fsync period under the "interval"
+	// policy (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotEvery checkpoints a shard's full state after this many
+	// records in the current WAL segment, bounding recovery replay
+	// (default 5000). Negative checkpoints only at drain.
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +135,12 @@ func (c Config) withDefaults() Config {
 	if c.Backlog == 0 {
 		c.Backlog = 256
 	}
+	if c.Fsync == "" {
+		c.Fsync = "interval"
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 5000
+	}
 	return c
 }
 
@@ -136,6 +159,10 @@ type Controller struct {
 
 	// seq issues cluster-wide arrival sequence numbers at routing time.
 	seq atomic.Int64
+
+	// jmetrics aggregates journal observability; nil when journaling is
+	// off (Config.JournalDir empty).
+	jmetrics *journalMetrics
 
 	mu       sync.Mutex // guards draining flag and final result
 	draining bool
@@ -171,6 +198,14 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Backlog < 1 {
 		return nil, fmt.Errorf("service: backlog %d, want >= 1", cfg.Backlog)
 	}
+	if cfg.JournalDir != "" {
+		if _, err := journal.ParseSyncPolicy(cfg.Fsync); err != nil {
+			return nil, err
+		}
+		if cfg.FsyncInterval < 0 {
+			return nil, fmt.Errorf("service: fsync interval %v, want >= 0", cfg.FsyncInterval)
+		}
+	}
 	simCfg := sim.Config{
 		QueueCap:          cfg.QueueCap,
 		BoundaryExclusion: cfg.BoundaryExclusion,
@@ -204,16 +239,27 @@ func New(cfg Config) (*Controller, error) {
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		sh := &shard{
-			id:       s,
-			c:        c,
-			eng:      cl.Shards()[s],
-			view:     cl.View(s),
-			global:   cl.GlobalMachines(s),
-			metrics:  newMetrics(),
-			cmds:     make(chan func(), cfg.Backlog),
-			loopDone: make(chan struct{}),
+			id:        s,
+			c:         c,
+			eng:       cl.Shards()[s],
+			view:      cl.View(s),
+			global:    cl.GlobalMachines(s),
+			metrics:   newMetrics(),
+			cmds:      make(chan func(), cfg.Backlog),
+			loopDone:  make(chan struct{}),
+			watermark: -1,
 		}
 		c.shards[s] = sh
+	}
+	// Recovery runs before the loops start: each shard restores its newest
+	// checkpoint and replays its log tail single-threaded, then the writers
+	// open (truncating any torn tail) and the loops take over.
+	if cfg.JournalDir != "" {
+		if err := c.initJournal(); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range c.shards {
 		go sh.loop()
 	}
 	return c, nil

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 
+	"github.com/hpcclab/taskdrop/internal/journal"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/sim"
@@ -26,9 +27,18 @@ type shard struct {
 	cmds     chan func()
 	loopDone chan struct{}
 
+	// jw is the shard's write-ahead log; nil when journaling is off.
+	// Written only by the shard loop (and recovery, before the loop
+	// starts); the writer synchronizes its background syncer internally.
+	jw *journal.Writer
+
 	// Loop-owned state: touched only by the goroutine running loop().
 	stopped bool
 	final   *sim.Result
+	// watermark is the highest cluster-wide sequence number this shard has
+	// decided (-1 before the first decision). Journal checkpoints persist
+	// it so a restart never reissues a sequence number.
+	watermark int64
 }
 
 // loop is the shard's single writer: it executes submitted closures in
@@ -77,6 +87,7 @@ func (sh *shard) do(ctx context.Context, fn func()) error {
 // sub-batch, and ErrDraining if the shard drained before processing.
 func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideResponse, idxs []int, seqs []int64) (pmf.Tick, error) {
 	var now pmf.Tick
+	var jerr error
 	committed := false
 	err := sh.do(ctx, func() {
 		if sh.stopped || ctx.Err() != nil {
@@ -85,10 +96,23 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 			return
 		}
 		sh.metrics.requests.Add(1)
+		if sh.jw != nil {
+			n := len(idxs)
+			if idxs == nil {
+				n = len(req.Tasks)
+			}
+			sh.journalBatch(n)
+		}
 		machines := sh.c.matrix.Machines()
 		decideOne := func(i int) {
 			spec := &req.Tasks[i]
-			ts := sh.eng.Feed(sh.c.makeTask(spec, int(seqs[i])))
+			task := sh.c.makeTask(spec, int(seqs[i]))
+			if sh.jw != nil {
+				// The arrive record precedes Feed so the terminal events the
+				// feed triggers (via the engine hook) land after it in the log.
+				sh.journalArrive(seqs[i], task, spec.ID)
+			}
+			ts := sh.eng.Feed(task)
 			d := Decision{ID: spec.ID, Seq: int(seqs[i]), Shard: sh.id, Machine: -1}
 			switch st := ts.Status; {
 			case st == sim.StatusQueued || st == sim.StatusRunning:
@@ -103,6 +127,12 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 			sh.eng.ObserveDecision(sh.view, ts)
 			sh.metrics.countDecision(d.Action)
 			sh.c.metrics.countDecision(d.Action)
+			if sh.jw != nil {
+				sh.journalDecision(seqs[i], d.Action, ts.Machine)
+			}
+			if seqs[i] > sh.watermark {
+				sh.watermark = seqs[i]
+			}
 			resp.Decisions[i] = d
 		}
 		if idxs == nil {
@@ -114,11 +144,21 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 				decideOne(i)
 			}
 		}
+		if sh.jw != nil {
+			// Durability before acknowledgement: the sub-batch is committed
+			// (and fsynced, under SyncAlways) before the client sees it. A
+			// journal failure fails the request — the decisions happened, but
+			// the service must not keep acking onto a log losing writes.
+			jerr = sh.commitJournal()
+		}
 		now = sh.eng.Now()
 		committed = true
 	})
 	if err != nil {
 		return 0, err
+	}
+	if jerr != nil {
+		return 0, jerr
 	}
 	if !committed {
 		// The closure skipped: either the submitter's ctx was cancelled as
@@ -141,11 +181,12 @@ func (sh *shard) snapshot(ctx context.Context) (ShardSnapshot, error) {
 			return
 		}
 		snap = ShardSnapshot{
-			Shard:       sh.id,
-			Now:         sh.eng.Now(),
-			Live:        sh.eng.LiveCounts(),
-			QueueDepths: sh.eng.QueueDepths(),
-			Machines:    sh.global,
+			Shard:        sh.id,
+			Now:          sh.eng.Now(),
+			Live:         sh.eng.LiveCounts(),
+			QueueDepths:  sh.eng.QueueDepths(),
+			Machines:     sh.global,
+			SeqWatermark: sh.watermark,
 		}
 		ok = true
 	})
@@ -171,8 +212,18 @@ func (sh *shard) snapshot(ctx context.Context) (ShardSnapshot, error) {
 }
 
 // drainCmd runs the shard's virtual system to completion on the loop and
-// stops it. Executed as the loop's final command.
+// stops it. Executed as the loop's final command. With journaling on, the
+// drain's terminal events stream into the WAL (via the engine hook), a
+// drain marker and a final checkpoint make the log self-contained —
+// recovery after a graceful shutdown restores the checkpoint and replays
+// nothing — and the writer closes with a last fsync.
 func (sh *shard) drainCmd() {
 	sh.final = sh.eng.Drain()
+	if sh.jw != nil {
+		_ = sh.jw.Append(&journal.Record{Kind: journal.KindDrain, Tick: sh.eng.Now()})
+		_ = sh.jw.Commit()
+		_ = sh.checkpoint(true)
+		_ = sh.jw.Close()
+	}
 	sh.stopped = true
 }

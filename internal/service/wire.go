@@ -117,6 +117,11 @@ type ShardSnapshot struct {
 	Mapped   int64 `json:"mapped"`
 	Deferred int64 `json:"deferred"`
 	Dropped  int64 `json:"dropped"`
+	// SeqWatermark is the highest cluster-wide sequence number the shard
+	// has decided (-1 before the first decision). It survives restarts:
+	// the journal checkpoints it so recovered servers never reissue a
+	// sequence number.
+	SeqWatermark int64 `json:"seq_watermark"`
 }
 
 // StatsResponse is the body returned by GET /v1/stats.

@@ -83,6 +83,15 @@ func (e *Engine) QueuedSuccessProbability(ts *TaskState) float64 {
 	return 0
 }
 
+// CoreQueue returns machine i's queue as the calculus' view at the
+// engine's current clock (running head marked with its elapsed time) —
+// what the dropper and mapper saw at the last event. The slice aliases the
+// machine's reusable buffer: valid until the engine next advances. Audit
+// tooling (cmd/hcreplay) uses it to re-derive Eq. 1 forecasts offline.
+func (e *Engine) CoreQueue(i int) []core.QueueTask {
+	return e.machines[i].coreQueue(e.clock)
+}
+
 // PublishLoad stores the engine's load gauges into a router view: deferred
 // batch size, tasks in machine queues (including running), and open queue
 // slots.

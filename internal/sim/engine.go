@@ -82,7 +82,17 @@ type Engine struct {
 	// service reads it on every metrics scrape without stalling the
 	// decision loop.
 	live Live
+	// journal, when set, observes every terminal transition (completion,
+	// failure, drop) with the tick it happened at — the admission service's
+	// WAL hook (see SetJournal).
+	journal func(*TaskState, pmf.Tick)
 }
+
+// SetJournal installs (or clears, with nil) the terminal-transition hook:
+// fn fires inside every transition to a terminal status, in event order,
+// before the transition's mapping pipeline continues. The hook must not
+// mutate the engine.
+func (e *Engine) SetJournal(fn func(*TaskState, pmf.Tick)) { e.journal = fn }
 
 // arrive registers a task entering the system in the batch queue.
 func (e *Engine) arrive(ts *TaskState) {
@@ -98,6 +108,9 @@ func (e *Engine) transition(ts *TaskState, to Status) {
 	e.live.add(ts.Status, -1)
 	ts.Status = to
 	e.live.add(to, 1)
+	if e.journal != nil && to.Terminal() {
+		e.journal(ts, e.clock)
+	}
 }
 
 // New builds an engine. A nil dropper defaults to core.ReactiveOnly. The

@@ -31,6 +31,11 @@ type machineFailureState struct {
 	nextFailAt pmf.Tick
 	// repairAt is when the current outage ends (noCompletion = healthy).
 	repairAt pmf.Tick
+	// draws counts exponential samples consumed from rng. math/rand state
+	// cannot be serialized, so a snapshot stores this count instead and
+	// restore re-seeds the stream and discards draws-1 samples (the
+	// sample count ExpFloat64 consumes is independent of the mean).
+	draws int64
 }
 
 // initFailures seeds per-machine failure processes. It is idempotent: an
@@ -48,6 +53,7 @@ func (e *Engine) initFailures() {
 			rng:        rng,
 			nextFailAt: pmf.Tick(rng.Exponential(float64(e.cfg.Failures.MTBF))),
 			repairAt:   noCompletion,
+			draws:      1,
 		}
 	}
 }
@@ -92,6 +98,7 @@ func (e *Engine) handleFailure(i int) {
 	}
 	fs.repairAt = e.clock + 1 + pmf.Tick(fs.rng.Exponential(float64(e.cfg.Failures.MeanRepair)))
 	fs.nextFailAt = noCompletion
+	fs.draws++
 	// The failure frees no capacity but changes completion forecasts; let
 	// the pipeline reassess queues and mappings.
 	e.mappingEvent(true)
@@ -102,5 +109,6 @@ func (e *Engine) handleRepair(i int) {
 	fs := &e.failures[i]
 	fs.repairAt = noCompletion
 	fs.nextFailAt = e.clock + 1 + pmf.Tick(fs.rng.Exponential(float64(e.cfg.Failures.MTBF)))
+	fs.draws++
 	e.mappingEvent(true)
 }
