@@ -18,7 +18,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -27,13 +26,11 @@ import (
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/service"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hcload: ")
-
 	var (
 		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the hcserve instance")
 		profileSpec = flag.String("profile", "spec", "system profile spec; must match the server's")
@@ -48,15 +45,26 @@ func main() {
 		to          = flag.Int("to", 0, "replay trace tasks up to (excluding) this index; 0 = the end")
 		noDrain     = flag.Bool("no-drain", false, "skip POST /v1/drain (leave the server running)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		logFormat   = flag.String("log-format", "text", "log output format: text | json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcload:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "hcload")
+
 	if err := workload.CheckScale(*scale); err != nil {
-		log.Fatalf("-scale: %v", err)
+		logger.Error("bad -scale", "err", err)
+		os.Exit(1)
 	}
 	cfg := workload.Config{TotalTasks: *tasks, Window: pmf.Tick(*window), GammaSlack: *gamma}
 	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
+		logger.Error("bad workload config", "err", err)
+		os.Exit(1)
 	}
 	if *scale != 1.0 {
 		cfg = cfg.Scaled(*scale)
@@ -66,7 +74,8 @@ func main() {
 	// PET build, so (profile, seed) alone pins the workload.
 	m, err := pet.CachedMatrix(*profileSpec)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("profile resolution failed", "profile", *profileSpec, "err", err)
+		os.Exit(1)
 	}
 	tr := workload.Generate(m, cfg, *seed)
 	rate := tr.ArrivalRate() * 1000
@@ -90,7 +99,8 @@ func main() {
 		To:        *to,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("replay failed", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
 
 	fmt.Printf("decisions             %d in %s (%.0f tasks/s achieved)\n",

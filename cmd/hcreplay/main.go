@@ -16,41 +16,54 @@
 // candidate on every machine, the dropping policy's verdict, and the
 // re-derived decision next to the logged one:
 //
+// Audit output includes the decision's recorded stage timings (route,
+// mailbox wait, calculus, dropper, journal, ack) when the server traced it
+// (hcserve -trace-sample).
+//
 //	hcreplay -dir /var/lib/hcserve/journal -shard 0 -decision 421 -v
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"github.com/hpcclab/taskdrop/internal/service"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hcreplay: ")
-
 	var (
-		dir      = flag.String("dir", "", "journal root directory (hcserve -journal-dir)")
-		shard    = flag.Int("shard", -1, "shard to operate on (-1 = all shards, verify mode only)")
-		verify   = flag.Bool("verify", false, "replay the log from scratch and check it against the recorded decisions, events and checkpoints")
-		decision = flag.Int64("decision", -1, "audit this decision sequence number (requires -shard)")
-		verbose  = flag.Bool("v", false, "audit mode: print full completion-time PMFs")
+		dir       = flag.String("dir", "", "journal root directory (hcserve -journal-dir)")
+		shard     = flag.Int("shard", -1, "shard to operate on (-1 = all shards, verify mode only)")
+		verify    = flag.Bool("verify", false, "replay the log from scratch and check it against the recorded decisions, events and checkpoints")
+		decision  = flag.Int64("decision", -1, "audit this decision sequence number (requires -shard)")
+		verbose   = flag.Bool("v", false, "audit mode: print full completion-time PMFs")
+		logFormat = flag.String("log-format", "text", "log output format: text | json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
 
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcreplay:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "hcreplay")
+
 	if *dir == "" {
-		log.Fatal("missing -dir (the journal root hcserve wrote)")
+		logger.Error("missing -dir (the journal root hcserve wrote)")
+		os.Exit(1)
 	}
 	switch {
 	case *decision >= 0:
 		if *shard < 0 {
-			log.Fatal("-decision requires -shard (a sequence number is decided by exactly one shard)")
+			logger.Error("-decision requires -shard (a sequence number is decided by exactly one shard)")
+			os.Exit(1)
 		}
 		if err := service.AuditDecision(os.Stdout, *dir, *shard, *decision, *verbose); err != nil {
-			log.Fatal(err)
+			logger.Error("audit failed", "shard", *shard, "decision", *decision, "err", err)
+			os.Exit(1)
 		}
 	case *verify:
 		var stats []*service.VerifyStats
@@ -67,16 +80,21 @@ func main() {
 		for _, st := range stats {
 			fmt.Printf("shard %d: %d records (%d arrives, %d derived matched), %d checkpoints verified, watermark %d",
 				st.Shard, st.Records, st.Arrives, st.Derived, st.Checkpoints, st.FinalSeqWatermark)
+			if st.Traces > 0 {
+				fmt.Printf(", %d stage traces skipped", st.Traces)
+			}
 			if st.Unflushed > 0 {
 				fmt.Printf(", %d derived records past the torn tail", st.Unflushed)
 			}
 			fmt.Println()
 		}
 		if err != nil {
-			log.Fatalf("verification FAILED: %v", err)
+			logger.Error("verification FAILED", "err", err)
+			os.Exit(1)
 		}
 		fmt.Println("journal verified: every logged decision, event and checkpoint matches the deterministic replay")
 	default:
-		log.Fatal("nothing to do: pass -verify, or -shard and -decision to audit one decision")
+		logger.Error("nothing to do: pass -verify, or -shard and -decision to audit one decision")
+		os.Exit(1)
 	}
 }

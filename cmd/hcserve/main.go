@@ -20,7 +20,24 @@
 //	GET  /v1/stats    per-shard queue depths, robustness estimates, drop counts
 //	GET  /healthz     liveness + served configuration
 //	GET  /metrics     Prometheus text (decisions/s, drop rate, queue depths,
-//	                  decision-latency histogram, per-shard series)
+//	                  decision-latency histogram, per-shard series, calculus
+//	                  introspection, Go runtime gauges)
+//	GET  /debug/traces  retained stage-timed decision traces (JSON)
+//
+// With -trace-sample N every Nth decision is traced through its stages
+// (route → shard mailbox wait → Eq. 1 calculus → dropper verdict → journal
+// commit → ack); completed traces land on /debug/traces, feed the
+// per-stage latency histograms on /metrics, and — when journaling — are
+// appended to the WAL so `hcreplay -decision N` prints the live stage
+// timings next to the replayed audit. Sampling off (the default) costs the
+// decide path nothing.
+//
+// With -debug-addr a second HTTP server exposes net/http/pprof under
+// /debug/pprof/ plus the same /metrics and /debug/traces, so profiling
+// traffic never competes with admission traffic on the main listener.
+//
+// Logs are structured (log/slog): -log-format text|json, -log-level
+// debug|info|warn|error.
 //
 // With -journal-dir every admission decision is event-sourced to a
 // per-shard write-ahead log (fsync policy -fsync always|interval|never,
@@ -37,8 +54,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,14 +63,13 @@ import (
 
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/service"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("hcserve: ")
-
 	var (
 		addr          = flag.String("addr", ":8080", "listen address")
+		debugAddr     = flag.String("debug-addr", "", "debug listen address: net/http/pprof, /metrics and /debug/traces on a separate server (empty disables)")
 		profileSpec   = flag.String("profile", "spec", "system profile spec: spec | video | homog (e.g. spec:seed=7)")
 		mapperSpec    = flag.String("mapper", "PAM", "mapping heuristic spec (MinMin, MSD, PAM, FCFS, SJF, EDF, kpb:percent=30, ...)")
 		dropperSpec   = flag.String("dropper", "heuristic", "dropping policy spec: reactdrop | heuristic[:beta=..,eta=..] | optimal | threshold[:base=..,adaptive] | approx[:grace=..]")
@@ -69,8 +85,19 @@ func main() {
 		fsync         = flag.String("fsync", "interval", "journal durability policy: always | interval | never")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
 		snapshotEvery = flag.Int("snapshot-every", 5000, "checkpoint a shard after this many WAL records in a segment (negative: only at drain)")
+		traceSample   = flag.Int("trace-sample", 0, "stage-trace every Nth decision by sequence number (0 disables tracing)")
+		traceRing     = flag.Int("trace-ring", telemetry.DefaultRingSize, "completed traces retained per shard for /debug/traces")
+		logFormat     = flag.String("log-format", "text", "log output format: text | json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcserve:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "hcserve")
 
 	ctrl, err := service.New(service.Config{
 		Profile:           *profileSpec,
@@ -87,28 +114,67 @@ func main() {
 		Fsync:             *fsync,
 		FsyncInterval:     *fsyncInterval,
 		SnapshotEvery:     *snapshotEvery,
+		TraceSample:       *traceSample,
+		TraceRing:         *traceRing,
+		Logger:            logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
 	}
 	m := ctrl.Matrix()
-	log.Printf("serving profile=%s mapper=%s dropper=%s: %d machines, %d task types, %d shard(s) routed by %s",
-		*profileSpec, *mapperSpec, *dropperSpec, len(m.Machines()), m.NumTaskTypes(), ctrl.NumShards(), *routerSpec)
+	logger.Info("serving",
+		"profile", *profileSpec,
+		"mapper", *mapperSpec,
+		"dropper", *dropperSpec,
+		"machines", len(m.Machines()),
+		"task_types", m.NumTaskTypes(),
+		"shards", ctrl.NumShards(),
+		"router", *routerSpec,
+		"addr", *addr)
 	if *journalDir != "" {
-		log.Printf("journaling decisions to %s (fsync=%s, checkpoint every %d records)", *journalDir, *fsync, *snapshotEvery)
+		logger.Info("journaling decisions",
+			"dir", *journalDir, "fsync", *fsync, "snapshot_every", *snapshotEvery)
+	}
+	if *traceSample > 0 {
+		logger.Info("stage tracing enabled", "sample_every", *traceSample, "ring", *traceRing)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(ctrl)}
-	errCh := make(chan error, 1)
+	handler := service.NewHandler(ctrl)
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	errCh := make(chan error, 2)
 	go func() { errCh <- srv.ListenAndServe() }()
+
+	// The debug server shares the controller's observability surface and
+	// adds the pprof handlers. A separate listener keeps profile captures
+	// (which can run for tens of seconds) off the admission port.
+	var dbg *http.Server
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/traces", handler)
+		mux.Handle("/metrics", handler)
+		dbg = &http.Server{Addr: *debugAddr, Handler: mux}
+		logger.Info("debug server listening", "addr", *debugAddr)
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errCh <- err
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
-		log.Printf("signal received; draining")
+		logger.Info("signal received; draining")
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
 
 	// Graceful drain: stop accepting connections, then run the virtual
@@ -116,14 +182,20 @@ func main() {
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
+	}
+	if dbg != nil {
+		if err := dbg.Shutdown(shCtx); err != nil {
+			logger.Warn("debug server shutdown", "err", err)
+		}
 	}
 	// If a client already drained via POST /v1/drain, this returns the
 	// stored result immediately; the only failure mode left is the
 	// drain-timeout budget expiring.
 	res, err := ctrl.Drain(shCtx)
 	if err != nil {
-		log.Fatalf("drain: %v", err)
+		logger.Error("drain failed", "err", err)
+		os.Exit(1)
 	}
 	mm := ctrl.Metrics()
 	fmt.Printf("drained: %d tasks decided (%.1f/s mean), drop rate %.2f %%\n",

@@ -1,0 +1,152 @@
+// Command obslint asserts the observability surface of a running hcserve
+// instance from CI: it lints the /metrics exposition against the
+// Prometheus text-format grammar (HELP/TYPE present, families contiguous,
+// histograms cumulative and complete) and checks /debug/traces for
+// complete, monotone stage-timed traces.
+//
+//	obslint -metrics http://127.0.0.1:9090/metrics
+//	obslint -traces http://127.0.0.1:9090/debug/traces -min-traces 1
+//
+// Exit status 0 means every requested check passed; failures list each
+// violation on stderr.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/telemetry"
+)
+
+// traceSnapshot mirrors the service's /debug/traces payload.
+type traceSnapshot struct {
+	SampleEvery int               `json:"sample_every"`
+	Traces      []telemetry.Trace `json:"traces"`
+}
+
+// completeStages are the spans every fully traced decision must carry.
+// Dropper is legitimately absent (no mapping event fired during the feed)
+// and journal is absent on unjournaled servers.
+var completeStages = []telemetry.Stage{
+	telemetry.StageRoute, telemetry.StageWait, telemetry.StageCalculus, telemetry.StageAck,
+}
+
+// checkTrace validates one trace's span geometry: offsets non-negative,
+// every span well-formed (start <= end), spans sorted by start offset.
+// Returns the problems found.
+func checkTrace(t *telemetry.Trace) []string {
+	var issues []string
+	prevStart := int64(-1)
+	for _, sp := range t.Spans {
+		if sp.StartNS < 0 {
+			issues = append(issues, fmt.Sprintf("seq %d: span %s starts before the trace origin (%d ns)", t.Seq, sp.Stage, sp.StartNS))
+		}
+		if sp.EndNS < sp.StartNS {
+			issues = append(issues, fmt.Sprintf("seq %d: span %s ends before it starts [%d, %d]", t.Seq, sp.Stage, sp.StartNS, sp.EndNS))
+		}
+		if sp.StartNS < prevStart {
+			issues = append(issues, fmt.Sprintf("seq %d: span %s out of order (start %d after a span starting at %d)", t.Seq, sp.Stage, sp.StartNS, prevStart))
+		}
+		prevStart = sp.StartNS
+	}
+	return issues
+}
+
+// isComplete reports whether the trace carries every mandatory stage.
+func isComplete(t *telemetry.Trace) bool {
+	have := make(map[telemetry.Stage]bool, len(t.Spans))
+	for _, sp := range t.Spans {
+		have[sp.Stage] = true
+	}
+	for _, st := range completeStages {
+		if !have[st] {
+			return false
+		}
+	}
+	return true
+}
+
+func main() {
+	var (
+		metricsURL = flag.String("metrics", "", "lint this Prometheus exposition URL")
+		tracesURL  = flag.String("traces", "", "check this /debug/traces URL")
+		minTraces  = flag.Int("min-traces", 1, "minimum complete traces required at -traces")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	if *metricsURL == "" && *tracesURL == "" {
+		fmt.Fprintln(os.Stderr, "obslint: nothing to do: pass -metrics and/or -traces")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: *timeout}
+	failed := false
+
+	if *metricsURL != "" {
+		resp, err := client.Get(*metricsURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obslint: GET %s: %v\n", *metricsURL, err)
+			os.Exit(1)
+		}
+		issues := telemetry.Lint(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "obslint: GET %s: status %d\n", *metricsURL, resp.StatusCode)
+			failed = true
+		}
+		for _, is := range issues {
+			fmt.Fprintf(os.Stderr, "obslint: metrics: %s\n", is)
+		}
+		if len(issues) > 0 {
+			failed = true
+		} else if resp.StatusCode == http.StatusOK {
+			fmt.Printf("metrics lint clean: %s\n", *metricsURL)
+		}
+	}
+
+	if *tracesURL != "" {
+		resp, err := client.Get(*tracesURL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obslint: GET %s: %v\n", *tracesURL, err)
+			os.Exit(1)
+		}
+		var snap traceSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obslint: decode %s: %v\n", *tracesURL, err)
+			os.Exit(1)
+		}
+		complete := 0
+		for i := range snap.Traces {
+			t := &snap.Traces[i]
+			issues := checkTrace(t)
+			for _, is := range issues {
+				fmt.Fprintf(os.Stderr, "obslint: traces: %s\n", is)
+			}
+			if len(issues) > 0 {
+				failed = true
+				continue
+			}
+			if isComplete(t) {
+				complete++
+			}
+		}
+		if complete < *minTraces {
+			fmt.Fprintf(os.Stderr, "obslint: traces: %d complete traces (of %d retained), want >= %d\n",
+				complete, len(snap.Traces), *minTraces)
+			failed = true
+		} else {
+			fmt.Printf("traces ok: %d complete of %d retained (sample_every=%d)\n",
+				complete, len(snap.Traces), snap.SampleEvery)
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

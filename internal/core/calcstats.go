@@ -1,0 +1,80 @@
+package core
+
+import mathbits "math/bits"
+
+// Calculus introspection: cheap always-on counters behind the service's
+// /metrics series (chain-cache effectiveness, PMF impulse widths, arena
+// high-water). They are the before-picture any calculus optimization —
+// per-machine chain invalidation in particular — will be judged against.
+
+// NumWidthBuckets is the number of impulse-width histogram buckets:
+// powers of two 1,2,4,8,16,32 plus an overflow bucket. The default
+// compaction budget (pmf.DefaultMaxImpulses = 32) means steady-state
+// chains should never land in the overflow bucket.
+const NumWidthBuckets = 7
+
+// WidthBucketBound returns the inclusive upper bound of width bucket i,
+// or -1 for the overflow (+Inf) bucket.
+func WidthBucketBound(i int) int {
+	if i >= NumWidthBuckets-1 {
+		return -1
+	}
+	return 1 << i
+}
+
+// widthBucket maps an impulse count onto its histogram bucket.
+func widthBucket(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := mathbits.Len(uint(n - 1)) // 2->1, 3..4->2, 5..8->3, 9..16->4, 17..32->5, 33..64->6
+	if b >= NumWidthBuckets {
+		b = NumWidthBuckets - 1
+	}
+	return b
+}
+
+// observeWidth records the impulse count of one freshly computed (not
+// memoized) Eq. 1 completion PMF.
+func (c *Calculus) observeWidth(n int) {
+	c.widths[widthBucket(n)].Add(1)
+	c.widthSum.Add(uint64(n))
+}
+
+// CalcStats is a point-in-time snapshot of a calculus' introspection
+// counters. Counts are cumulative since construction (Recycle does not
+// reset them).
+type CalcStats struct {
+	// ChainHits/ChainMisses count Eq. 1 chain transitions served from the
+	// shared-prefix trie vs freshly convolved (ChainState.Append).
+	ChainHits   uint64
+	ChainMisses uint64
+	// RootHits/RootMisses count availability-root lookups (ChainStart).
+	RootHits   uint64
+	RootMisses uint64
+	// Widths[i] counts freshly computed completion PMFs whose impulse
+	// count fell in bucket i (see WidthBucketBound); WidthSum is the total
+	// impulse count over all of them.
+	Widths   [NumWidthBuckets]uint64
+	WidthSum uint64
+	// ArenaHighWaterBytes is the convolution workspace's peak committed
+	// arena footprint (see pmf.Workspace.HighWaterBytes).
+	ArenaHighWaterBytes int64
+}
+
+// Stats snapshots the calculus' introspection counters. Safe to call from
+// any goroutine while the owning loop keeps deciding.
+func (c *Calculus) Stats() CalcStats {
+	st := CalcStats{
+		ChainHits:           c.chainHits.Load(),
+		ChainMisses:         c.chainMisses.Load(),
+		RootHits:            c.rootHits.Load(),
+		RootMisses:          c.rootMisses.Load(),
+		WidthSum:            c.widthSum.Load(),
+		ArenaHighWaterBytes: c.ws.HighWaterBytes(),
+	}
+	for i := range st.Widths {
+		st.Widths[i] = c.widths[i].Load()
+	}
+	return st
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+func TestWidthBucketBounds(t *testing.T) {
+	cases := []struct{ n, bucket int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3},
+		{9, 4}, {16, 4}, {17, 5}, {32, 5}, {33, 6}, {1000, 6},
+	}
+	for _, c := range cases {
+		if got := widthBucket(c.n); got != c.bucket {
+			t.Fatalf("widthBucket(%d) = %d, want %d", c.n, got, c.bucket)
+		}
+		b := widthBucket(c.n)
+		if bound := WidthBucketBound(b); bound >= 0 && c.n > bound {
+			t.Fatalf("width %d landed in bucket %d with bound %d", c.n, b, bound)
+		}
+	}
+	if WidthBucketBound(NumWidthBuckets-1) != -1 {
+		t.Fatal("last bucket is not +Inf")
+	}
+	if WidthBucketBound(5) != 32 {
+		t.Fatalf("bucket 5 bound = %d, want 32 (= pmf.DefaultMaxImpulses)", WidthBucketBound(5))
+	}
+}
+
+// TestCalcStatsCountsChainReuse drives the same chain twice within one
+// epoch and checks the hit/miss accounting: first walk misses (fresh
+// convolutions, widths observed), second walk hits edge for edge.
+func TestCalcStatsCountsChainReuse(t *testing.T) {
+	m := testMatrix(t, [][]pmf.PMF{{twoPoint(10, 0.5, 20)}, {twoPoint(30, 0.25, 40)}})
+	c := NewCalculus(m)
+	q := []QueueTask{
+		{Type: 0, Deadline: 1000},
+		{Type: 1, Deadline: 1000},
+		{Type: 0, Deadline: 900},
+	}
+
+	if st := c.Stats(); st != (CalcStats{}) {
+		t.Fatalf("fresh calculus has non-zero stats: %+v", st)
+	}
+
+	c.SuccessProbs(0, 100, q)
+	st1 := c.Stats()
+	if st1.RootMisses != 1 || st1.RootHits != 0 {
+		t.Fatalf("after first walk: root hits/misses = %d/%d, want 0/1", st1.RootHits, st1.RootMisses)
+	}
+	if st1.ChainMisses != uint64(len(q)) || st1.ChainHits != 0 {
+		t.Fatalf("after first walk: chain hits/misses = %d/%d, want 0/%d", st1.ChainHits, st1.ChainMisses, len(q))
+	}
+	var widthObs uint64
+	for _, w := range st1.Widths {
+		widthObs += w
+	}
+	if widthObs != uint64(len(q)) || st1.WidthSum == 0 {
+		t.Fatalf("after first walk: %d width observations (sum %d), want %d fresh PMFs", widthObs, st1.WidthSum, len(q))
+	}
+	if st1.ArenaHighWaterBytes <= 0 {
+		t.Fatalf("arena high-water = %d after convolutions", st1.ArenaHighWaterBytes)
+	}
+
+	// Same queue, same epoch: everything is memoized.
+	c.SuccessProbs(0, 100, q)
+	st2 := c.Stats()
+	if st2.RootHits != 1 || st2.ChainHits != uint64(len(q)) {
+		t.Fatalf("after second walk: root hits %d chain hits %d, want 1 and %d", st2.RootHits, st2.ChainHits, len(q))
+	}
+	if st2.ChainMisses != st1.ChainMisses || st2.WidthSum != st1.WidthSum {
+		t.Fatalf("second walk convolved freshly: %+v vs %+v", st2, st1)
+	}
+
+	// Recycle starts a new epoch but preserves the cumulative counters.
+	c.Recycle()
+	st3 := c.Stats()
+	if st3.ChainHits != st2.ChainHits || st3.ChainMisses != st2.ChainMisses {
+		t.Fatalf("Recycle reset the counters: %+v", st3)
+	}
+	c.SuccessProbs(0, 100, q)
+	st4 := c.Stats()
+	if st4.ChainMisses != st2.ChainMisses+uint64(len(q)) {
+		t.Fatalf("post-recycle walk should re-convolve: misses %d, want %d", st4.ChainMisses, st2.ChainMisses+uint64(len(q)))
+	}
+}

@@ -7,6 +7,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 )
@@ -65,6 +67,17 @@ type Calculus struct {
 	// Policy scratch, reused across Decide calls (see heuristicWalk).
 	scratchQ []QueueTask
 	scratchI []int
+
+	// Introspection counters (see Stats). Atomics because metrics scrapes
+	// read them while the owning decision loop writes; uncontended adds on
+	// the single writer cost a few nanoseconds against microseconds per
+	// convolution.
+	chainHits   atomic.Uint64
+	chainMisses atomic.Uint64
+	rootHits    atomic.Uint64
+	rootMisses  atomic.Uint64
+	widths      [NumWidthBuckets]atomic.Uint64
+	widthSum    atomic.Uint64
 }
 
 // chainKey identifies one Eq. 1 transition out of a chain node: appending
@@ -149,7 +162,9 @@ func (c *Calculus) exec(t pet.TaskType, mt pet.MachineType) pmf.PMF {
 // appendPMF chains Eq. 1 once through the workspace kernel and compacts
 // the result (in place when freshly produced) to the calculus budget.
 func (c *Calculus) appendPMF(prev pmf.PMF, t pet.TaskType, dl pmf.Tick, mt pet.MachineType) pmf.PMF {
-	return c.ws.NextCompletionCompact(prev, c.exec(t, mt), dl, c.MaxImpulses)
+	cp := c.ws.NextCompletionCompact(prev, c.exec(t, mt), dl, c.MaxImpulses)
+	c.observeWidth(cp.Len())
+	return cp
 }
 
 // Append chains Eq. 1 once: the completion PMF of a task of type t with
@@ -172,9 +187,11 @@ func (c *Calculus) availability(key chainRootKey) pmf.PMF {
 func (c *Calculus) rootFor(key chainRootKey) int32 {
 	for _, r := range c.roots {
 		if r.key == key {
+			c.rootHits.Add(1)
 			return r.node
 		}
 	}
+	c.rootMisses.Add(1)
 	id := c.newNode(c.availability(key))
 	c.roots = append(c.roots, chainRoot{key: key, node: id})
 	return id
@@ -217,9 +234,11 @@ func (s ChainState) Append(t pet.TaskType, dl pmf.Tick) ChainState {
 	key := chainKey{t: t, dl: dl}
 	for _, e := range c.nodes[s.node].edges {
 		if e.key == key {
+			c.chainHits.Add(1)
 			return ChainState{c: c, mt: s.mt, node: e.node}
 		}
 	}
+	c.chainMisses.Add(1)
 	cp := c.appendPMF(c.nodes[s.node].cp, t, dl, s.mt)
 	id := c.newNode(cp) // may grow c.nodes; re-take the parent below
 	nd := &c.nodes[s.node]

@@ -16,7 +16,7 @@ func sampleRecords(n int, seed int64) []Record {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]Record, n)
 	for i := range out {
-		switch rng.Intn(5) {
+		switch rng.Intn(6) {
 		case 0:
 			out[i] = Record{Kind: KindBatch, NTasks: int32(1 + rng.Intn(32))}
 		case 1:
@@ -35,6 +35,16 @@ func sampleRecords(n int, seed int64) []Record {
 		case 3:
 			out[i] = Record{Kind: KindEvent, Seq: int64(i), Action: uint8(3 + rng.Intn(5)),
 				Tick: pmf.Tick(rng.Intn(100000))}
+		case 4:
+			spans := make([]SpanRec, 1+rng.Intn(6))
+			off := uint64(0)
+			for j := range spans {
+				start := off + uint64(rng.Intn(1000))
+				end := start + uint64(rng.Intn(100000))
+				spans[j] = SpanRec{Stage: uint8(j), StartNS: start, EndNS: end}
+				off = start
+			}
+			out[i] = Record{Kind: KindTrace, Seq: int64(i), Spans: spans}
 		default:
 			out[i] = Record{Kind: KindDrain, Tick: pmf.Tick(rng.Intn(100000))}
 		}
@@ -52,6 +62,48 @@ func TestRecordRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(r, got) {
 			t.Fatalf("round trip mismatch:\n in %+v\nout %+v", r, got)
 		}
+	}
+}
+
+// TestTraceRecordBounds pins the span-count cap: the encoder accepts
+// exactly maxSpans, panics past it, and the decoder rejects both an
+// oversized count byte and a payload truncated mid-span.
+func TestTraceRecordBounds(t *testing.T) {
+	spans := make([]SpanRec, maxSpans)
+	for i := range spans {
+		spans[i] = SpanRec{Stage: uint8(i), StartNS: uint64(i * 10), EndNS: uint64(i*10 + 5)}
+	}
+	r := Record{Kind: KindTrace, Seq: 9, Spans: spans}
+	buf := AppendRecord(nil, &r)
+	got, err := DecodeRecord(buf[frameHeader:])
+	if err != nil {
+		t.Fatalf("decode at cap: %v", err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatal("round trip at cap mismatched")
+	}
+
+	over := Record{Kind: KindTrace, Seq: 1, Spans: make([]SpanRec, maxSpans+1)}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AppendRecord accepted a trace past the span cap")
+			}
+		}()
+		AppendRecord(nil, &over)
+	}()
+
+	small := Record{Kind: KindTrace, Seq: 2, Spans: []SpanRec{{Stage: 1, StartNS: 10, EndNS: 20}}}
+	payload := AppendRecord(nil, &small)[frameHeader:]
+	if _, err := DecodeRecord(payload[:len(payload)-5]); err == nil {
+		t.Fatal("truncated trace payload decoded")
+	}
+	// Patch the count byte (version u8 + kind u8 + seq u64 = offset 10)
+	// past the cap.
+	forged := append([]byte(nil), payload...)
+	forged[10] = maxSpans + 1
+	if _, err := DecodeRecord(forged); err == nil {
+		t.Fatal("forged span count decoded")
 	}
 }
 

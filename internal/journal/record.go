@@ -37,6 +37,13 @@ const (
 	// completion at Tick and wrote a final snapshot. A log ending in a
 	// drain record never needs tail replay.
 	KindDrain Kind = 5
+	// KindTrace is the observational stage timing of one sampled decision
+	// (internal/telemetry): per-stage [start, end) wall-clock offsets in
+	// nanoseconds from the decision's request receipt. Purely diagnostic —
+	// wall time is not derivable from replay, so recovery ignores these
+	// records and hcreplay -verify skips them; the audit mode prints them
+	// next to the replayed decision.
+	KindTrace Kind = 6
 )
 
 // Decision actions on the wire (KindDecision.Action).
@@ -73,6 +80,17 @@ type Record struct {
 	Exec []pmf.Tick
 	// ID is the optional client-chosen decision label (arrive records).
 	ID string
+	// Spans is the per-stage timing of a sampled decision (trace records).
+	Spans []SpanRec
+}
+
+// SpanRec is one stage span of a trace record: the stage code (the
+// numeric value of internal/telemetry.Stage) and its [start, end) offsets
+// in nanoseconds from the decision's request receipt.
+type SpanRec struct {
+	Stage   uint8
+	StartNS uint64
+	EndNS   uint64
 }
 
 // Frame and payload limits. A record payload is tiny (an arrive with
@@ -83,6 +101,7 @@ const (
 	maxPayload    = 1 << 20 // 1 MiB
 	maxExecTypes  = 4096
 	maxIDLen      = 1 << 16
+	maxSpans      = 64
 	recordVersion = 1 // payload leading byte, bumped on incompatible change
 )
 
@@ -122,6 +141,17 @@ func AppendRecord(buf []byte, r *Record) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tick))
 	case KindDrain:
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tick))
+	case KindTrace:
+		if len(r.Spans) > maxSpans {
+			panic(fmt.Sprintf("journal: trace record with %d spans, cap %d", len(r.Spans), maxSpans))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
+		buf = append(buf, uint8(len(r.Spans)))
+		for _, sp := range r.Spans {
+			buf = append(buf, sp.Stage)
+			buf = binary.LittleEndian.AppendUint64(buf, sp.StartNS)
+			buf = binary.LittleEndian.AppendUint64(buf, sp.EndNS)
+		}
 	default:
 		panic(fmt.Sprintf("journal: encoding unknown record kind %d", r.Kind))
 	}
@@ -183,6 +213,21 @@ func DecodeRecord(payload []byte) (Record, error) {
 		r.Tick = pmf.Tick(d.u64())
 	case KindDrain:
 		r.Tick = pmf.Tick(d.u64())
+	case KindTrace:
+		r.Seq = int64(d.u64())
+		n := int(d.u8())
+		if n > maxSpans {
+			return r, fmt.Errorf("journal: trace record with %d spans", n)
+		}
+		if d.err == nil && n > 0 {
+			if d.remaining() < 17*n {
+				return r, fmt.Errorf("journal: trace record truncated in spans")
+			}
+			r.Spans = make([]SpanRec, n)
+			for i := range r.Spans {
+				r.Spans[i] = SpanRec{Stage: d.u8(), StartNS: d.u64(), EndNS: d.u64()}
+			}
+		}
 	default:
 		return r, fmt.Errorf("journal: unknown record kind %d", r.Kind)
 	}
@@ -279,6 +324,8 @@ func (r *Record) String() string {
 		return fmt.Sprintf("event seq=%d status=%d t=%d", r.Seq, r.Action, r.Tick)
 	case KindDrain:
 		return fmt.Sprintf("drain t=%d", r.Tick)
+	case KindTrace:
+		return fmt.Sprintf("trace seq=%d spans=%d", r.Seq, len(r.Spans))
 	default:
 		return fmt.Sprintf("record kind=%d", r.Kind)
 	}

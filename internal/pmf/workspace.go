@@ -1,6 +1,9 @@
 package pmf
 
-import mathbits "math/bits"
+import (
+	mathbits "math/bits"
+	"sync/atomic"
+)
 
 // Workspace provides allocation-free convolution for the hot paths of the
 // completion-time calculus. It owns an arena of impulse storage: every
@@ -40,7 +43,22 @@ type Workspace struct {
 	touched []uint64  // bitmap of written dense cells, so harvest skips zero runs
 	curs    []cursor  // merge cursors, reused across calls
 	heap    []int32   // k-way merge heap of cursor indexes, reused
+
+	// peakBytes tracks the arena high-water mark: the largest committed
+	// footprint of the current block across the workspace's lifetime (an
+	// atomic so metrics scrapes can read it while the owning loop
+	// convolves). Because a Workspace embeds an atomic it must not be
+	// copied after first use; owners hold it by pointer.
+	peakBytes atomic.Int64
 }
+
+// impulseBytes is the arena accounting unit: one Impulse (Tick + float64).
+const impulseBytes = 16
+
+// HighWaterBytes returns the peak committed arena footprint in bytes —
+// how much impulse storage the busiest decision epoch actually used.
+// Safe to call concurrently with kernel operations.
+func (w *Workspace) HighWaterBytes() int64 { return w.peakBytes.Load() }
 
 // Arena block sizing, in impulses (16 B each). Blocks double until the cap;
 // a workspace that is never Reset then degrades to one block allocation per
@@ -89,6 +107,9 @@ func (w *Workspace) ensure(n int) {
 func (w *Workspace) commit(base, n int) PMF {
 	w.lastOff = base
 	w.used = base + n
+	if b := int64(w.used) * impulseBytes; b > w.peakBytes.Load() {
+		w.peakBytes.Store(b)
+	}
 	return PMF{imp: w.block[base : base+n : base+n]}
 }
 

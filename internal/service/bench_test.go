@@ -149,6 +149,43 @@ func BenchmarkServiceDecideJournal(b *testing.B) {
 	}
 }
 
+// BenchmarkServiceDecideTelemetry is BenchmarkServiceDecide/shards=1
+// under the three tracing regimes: sample=0 (telemetry compiled in but
+// disabled — the deployed default, gated at <= 2% over the PR-6 baseline),
+// sample=128 (the hcserve flag's suggested production cadence) and
+// sample=1 (trace everything; the worst case, recorded not gated). The
+// journal stays off so the delta isolates tracing cost: clock reads, one
+// Active allocation per sampled decision, span marks and the ring store.
+func BenchmarkServiceDecideTelemetry(b *testing.B) {
+	for _, sample := range []int{0, 128, 1} {
+		b.Run(fmt.Sprintf("sample=%d", sample), func(b *testing.B) {
+			c, err := New(Config{Profile: "video", Mapper: "PAM", Dropper: "heuristic",
+				Shards: 1, Router: "rr", TraceSample: sample})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			tasks := benchTasks(b, b.N)
+			var idx atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				for pb.Next() {
+					t := &tasks[int(idx.Add(1)-1)]
+					req := DecideRequest{Tasks: []TaskSpec{{
+						Type: int(t.Type), Arrival: t.Arrival,
+						Deadline: t.Deadline, ExecByType: t.ExecByType,
+					}}}
+					if _, err := c.Decide(ctx, &req); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
 func benchDecide(b *testing.B, batch int) {
 	c, err := New(Config{Profile: "video", Mapper: "PAM", Dropper: "heuristic"})
 	if err != nil {

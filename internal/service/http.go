@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 )
 
 // maxDecideBody bounds a decide request body (a 10k-task batch is ~1 MB).
@@ -21,6 +23,8 @@ const maxDecideBody = 16 << 20
 //	GET  /healthz    — liveness + served (profile, mapper, dropper,
 //	                   shards, router)
 //	GET  /metrics    — Prometheus text exposition (aggregate + per-shard)
+//	GET  /debug/traces — retained stage-timed decision traces (JSON; empty
+//	                   unless Config.TraceSample > 0)
 func NewHandler(c *Controller) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
@@ -72,10 +76,16 @@ func NewHandler(c *Controller) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, &st)
 	})
+	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Traces())
+	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.metrics.WritePrometheus(w)
 		writeShardGauges(w, c)
+		writeCalcMetrics(w, c)
+		c.tel.WritePrometheus(w)
+		telemetry.WriteRuntimeMetrics(w)
 		if c.jmetrics != nil {
 			writeJournalMetrics(w, c)
 		}

@@ -13,6 +13,7 @@ import (
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
@@ -224,9 +225,16 @@ func (c *Controller) initJournal() error {
 
 	maxSeq := int64(-1)
 	for _, sh := range c.shards {
+		start := time.Now()
 		if err := sh.recover(); err != nil {
+			c.log.Error("journal recovery failed", "shard", sh.id, "dir", ShardJournalDir(root, sh.id), "err", err)
 			return fmt.Errorf("service: shard %d recovery: %w", sh.id, err)
 		}
+		c.log.Info("shard recovered from journal",
+			"shard", sh.id,
+			"seq_watermark", sh.watermark,
+			"clock", int64(sh.eng.Now()),
+			"elapsed", time.Since(start))
 		if sh.watermark > maxSeq {
 			maxSeq = sh.watermark
 		}
@@ -388,6 +396,23 @@ func (sh *shard) journalDecision(seq int64, a Action, localMachine int) {
 		Machine: int32(localMachine),
 		Tick:    sh.eng.Now(),
 	})
+}
+
+// journalTrace logs one completed stage trace. It runs after the
+// sub-batch's commit (the trace's journal span must include the fsync),
+// so the record rides the next commit — or the writer's closing flush —
+// one batch later. Traces are observational; losing a tail of them in a
+// crash loses nothing recovery or verification needs.
+func (sh *shard) journalTrace(tr *telemetry.Trace) {
+	rec := journal.Record{
+		Kind:  journal.KindTrace,
+		Seq:   tr.Seq,
+		Spans: make([]journal.SpanRec, len(tr.Spans)),
+	}
+	for i, sp := range tr.Spans {
+		rec.Spans[i] = journal.SpanRec{Stage: uint8(sp.Stage), StartNS: uint64(sp.StartNS), EndNS: uint64(sp.EndNS)}
+	}
+	_ = sh.jw.Append(&rec)
 }
 
 // commitJournal makes the sub-batch durable per the fsync policy and

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/journal"
@@ -15,6 +16,7 @@ import (
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
@@ -175,6 +177,9 @@ type VerifyStats struct {
 	Arrives     int
 	Derived     int // logged decision/event/drain records matched
 	Checkpoints int // snapshots compared against the replayed state
+	// Traces counts stage-timing trace records skipped: they carry
+	// wall-clock observations replay cannot re-derive.
+	Traces int
 	// Unflushed counts derived records the replay produced past the end of
 	// the log — the suffix a crash cut off before it was committed.
 	Unflushed int
@@ -238,6 +243,10 @@ func VerifyShard(root string, s int) (*VerifyStats, error) {
 				// now generates their counterparts.
 				r.drain()
 				logged = append(logged, *rec)
+			case journal.KindTrace:
+				// Stage timings are wall-clock observations — replay cannot
+				// re-derive them, so verification skips them by design.
+				st.Traces++
 			default:
 				logged = append(logged, *rec)
 			}
@@ -355,9 +364,11 @@ func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) err
 	dir := ShardJournalDir(root, s)
 
 	// First pass: find the target arrive and capture the logged derived
-	// records for it (they follow the arrive in the log).
+	// records for it (they follow the arrive in the log), plus its stage
+	// trace if the decision was sampled (trace records trail by a commit).
 	var target *journal.Record
 	var loggedDecision *journal.Record
+	var loggedTrace *journal.Record
 	var loggedEvents []journal.Record
 	err = journal.ReplayAll(dir, func(rec *journal.Record) error {
 		switch rec.Kind {
@@ -370,6 +381,11 @@ func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) err
 			if rec.Seq == seq {
 				c := *rec
 				loggedDecision = &c
+			}
+		case journal.KindTrace:
+			if rec.Seq == seq {
+				c := *rec
+				loggedTrace = &c
 			}
 		case journal.KindEvent:
 			if target != nil && loggedDecision == nil {
@@ -477,6 +493,21 @@ func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) err
 		fmt.Fprintf(w, "logged decision:   %s\n", loggedDecision.String())
 	} else {
 		fmt.Fprintf(w, "logged decision:   (not committed — the log ends before it)\n")
+	}
+
+	// Stage timings of the live decision, if it was sampled: the one part
+	// of the audit replay cannot re-derive (wall clocks do not replay).
+	if loggedTrace != nil {
+		fmt.Fprintf(w, "recorded stage timings (offsets from request receipt):\n")
+		for _, sp := range loggedTrace.Spans {
+			fmt.Fprintf(w, "  %-8s %12s  [+%s, +%s]\n",
+				telemetry.Stage(sp.Stage).String(),
+				time.Duration(sp.EndNS-sp.StartNS),
+				time.Duration(sp.StartNS),
+				time.Duration(sp.EndNS))
+		}
+	} else {
+		fmt.Fprintf(w, "recorded stage timings: none (trace sampling off, seq unsampled, or the trace record was not committed)\n")
 	}
 	return nil
 }

@@ -44,6 +44,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,7 @@ import (
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
 
@@ -111,6 +113,19 @@ type Config struct {
 	// records in the current WAL segment, bounding recovery replay
 	// (default 5000). Negative checkpoints only at drain.
 	SnapshotEvery int
+	// TraceSample enables stage-timed decision tracing: every Nth decision
+	// (by cluster-wide sequence number) is traced through route, mailbox
+	// wait, calculus, dropper, journal and ack. 0 (the default) disables
+	// tracing — the decide path then reads no clock and allocates nothing
+	// for telemetry.
+	TraceSample int
+	// TraceRing bounds retained completed traces per shard (default
+	// telemetry.DefaultRingSize).
+	TraceRing int
+	// Logger receives the controller's structured diagnostics (journal
+	// recovery, drain). Defaults to a discard logger; the CLIs pass their
+	// telemetry.NewLogger.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -141,6 +156,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 5000
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 	return c
 }
 
@@ -156,6 +174,8 @@ type Controller struct {
 	policy  router.Policy
 	cl      *sim.Cluster
 	shards  []*shard
+	tel     *telemetry.Telemetry
+	log     *slog.Logger
 
 	// seq issues cluster-wide arrival sequence numbers at routing time.
 	seq atomic.Int64
@@ -198,6 +218,12 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Backlog < 1 {
 		return nil, fmt.Errorf("service: backlog %d, want >= 1", cfg.Backlog)
 	}
+	if cfg.TraceSample < 0 {
+		return nil, fmt.Errorf("service: trace sample %d, want >= 0", cfg.TraceSample)
+	}
+	if cfg.TraceRing < 0 {
+		return nil, fmt.Errorf("service: trace ring %d, want >= 0", cfg.TraceRing)
+	}
 	if cfg.JournalDir != "" {
 		if _, err := journal.ParseSyncPolicy(cfg.Fsync); err != nil {
 			return nil, err
@@ -212,9 +238,13 @@ func New(cfg Config) (*Controller, error) {
 		DropOnArrival:     cfg.DropOnArrival,
 		ReactiveGrace:     cfg.Grace,
 	}
+	tel := telemetry.New(cfg.Shards, cfg.TraceSample, cfg.TraceRing)
 	// Each shard resolves its own mapper and dropper instances: shard loops
-	// advance concurrently and must not share stateful components.
-	cl, err := sim.NewCluster(matrix, cfg.Shards, policy, func(int) (sim.Mapper, core.Policy, error) {
+	// advance concurrently and must not share stateful components. The
+	// dropper is wrapped with the shard's trace recorder so a sampled
+	// decision attributes the verdict time to its dropper span (a pure
+	// pass-through; verdicts are unchanged).
+	cl, err := sim.NewCluster(matrix, cfg.Shards, policy, func(s int) (sim.Mapper, core.Policy, error) {
 		m, err := mapping.FromSpec(cfg.Mapper)
 		if err != nil {
 			return nil, nil, err
@@ -223,7 +253,7 @@ func New(cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return m, d, nil
+		return m, telemetry.TimedPolicy{Inner: d, Rec: tel.Shard(s)}, nil
 	}, simCfg)
 	if err != nil {
 		return nil, err
@@ -235,6 +265,8 @@ func New(cfg Config) (*Controller, error) {
 		policy:  policy,
 		cl:      cl,
 		shards:  make([]*shard, cfg.Shards),
+		tel:     tel,
+		log:     cfg.Logger,
 		drained: make(chan struct{}),
 	}
 	for s := 0; s < cfg.Shards; s++ {
@@ -245,6 +277,7 @@ func New(cfg Config) (*Controller, error) {
 			view:      cl.View(s),
 			global:    cl.GlobalMachines(s),
 			metrics:   newMetrics(),
+			rec:       tel.Shard(s),
 			cmds:      make(chan func(), cfg.Backlog),
 			loopDone:  make(chan struct{}),
 			watermark: -1,
@@ -317,8 +350,25 @@ func (c *Controller) Decide(ctx context.Context, req *DecideRequest) (*DecideRes
 	}
 	resp := &DecideResponse{Decisions: make([]Decision, n)}
 
+	// Stage tracing: sampled requests get an Active trace whose origin is
+	// taken once per batch (one clock read amortized over the sub-batches).
+	// traces stays nil when sampling is off or no sequence hit the period —
+	// the common path carries a nil slice and nothing else.
+	var traces []*telemetry.Active
+	if c.tel.Enabled() {
+		origin := time.Now()
+		for i := range seqs {
+			if a := c.tel.Begin(seqs[i], origin); a != nil {
+				if traces == nil {
+					traces = make([]*telemetry.Active, n)
+				}
+				traces[i] = a
+			}
+		}
+	}
+
 	if len(c.shards) == 1 {
-		now, err := c.shards[0].decide(ctx, req, resp, nil, seqs)
+		now, err := c.shards[0].decide(ctx, req, resp, nil, seqs, traces)
 		if err != nil {
 			return nil, err
 		}
@@ -347,7 +397,7 @@ func (c *Controller) Decide(ctx context.Context, req *DecideRequest) (*DecideRes
 		wg.Add(1)
 		go func(s int, idxs []int) {
 			defer wg.Done()
-			now, err := c.shards[s].decide(ctx, req, resp, idxs, seqs)
+			now, err := c.shards[s].decide(ctx, req, resp, idxs, seqs, traces)
 			results[s] = result{now: now, err: err}
 		}(s, idxs)
 	}
@@ -473,6 +523,7 @@ func (c *Controller) Drain(ctx context.Context) (*sim.Result, error) {
 	c.mu.Unlock()
 
 	if first {
+		c.log.Info("drain initiated", "shards", len(c.shards))
 		// The sends are unbounded-blocking by design: each loop is consuming
 		// its queue, so it always eventually accepts, and only this command
 		// can stop it. Goroutines decouple the waits from ctx and drain the

@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"time"
 
 	"github.com/hpcclab/taskdrop/internal/journal"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/router"
 	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
 )
 
 // shard is one admission shard: a shard-scoped open engine owned by one
@@ -23,6 +25,9 @@ type shard struct {
 	// for wire decisions and merged gauges.
 	global  []int
 	metrics *Metrics
+	// rec is the shard's trace recorder (always non-nil; inert when
+	// sampling is off).
+	rec *telemetry.ShardRecorder
 
 	cmds     chan func()
 	loopDone chan struct{}
@@ -83,17 +88,30 @@ func (sh *shard) do(ctx context.Context, fn func()) error {
 // decide admits the request tasks selected by idxs (nil = all, the
 // single-shard fast path) through this shard's engine, writing each
 // decision into its request slot of resp. seqs carries the cluster-wide
-// sequence number per request index. Returns the shard clock after the
-// sub-batch, and ErrDraining if the shard drained before processing.
-func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideResponse, idxs []int, seqs []int64) (pmf.Tick, error) {
+// sequence number per request index; traces the sampled in-flight traces
+// (nil when tracing is off — the loop then reads no clock for telemetry).
+// Returns the shard clock after the sub-batch, and ErrDraining if the
+// shard drained before processing.
+func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideResponse, idxs []int, seqs []int64, traces []*telemetry.Active) (pmf.Tick, error) {
 	var now pmf.Tick
 	var jerr error
 	committed := false
+	var submit time.Time
+	if traces != nil {
+		// Route span: origin (request receipt) to shard-loop submission.
+		submit = time.Now()
+		markRoute(traces, idxs, len(req.Tasks), submit)
+	}
 	err := sh.do(ctx, func() {
 		if sh.stopped || ctx.Err() != nil {
 			// Drained, or the submitter already gave up: leave the engine
 			// untouched so the failed request has no effect.
 			return
+		}
+		if traces != nil {
+			// Wait span: submission until the single-writer loop picked the
+			// sub-batch up.
+			markSpans(traces, idxs, len(req.Tasks), telemetry.StageWait, submit, time.Now())
 		}
 		sh.metrics.requests.Add(1)
 		if sh.jw != nil {
@@ -106,13 +124,31 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 		machines := sh.c.matrix.Machines()
 		decideOne := func(i int) {
 			spec := &req.Tasks[i]
+			a := traceAt(traces, i)
 			task := sh.c.makeTask(spec, int(seqs[i]))
 			if sh.jw != nil {
 				// The arrive record precedes Feed so the terminal events the
 				// feed triggers (via the engine hook) land after it in the log.
-				sh.journalArrive(seqs[i], task, spec.ID)
+				if a != nil {
+					js := time.Now()
+					sh.journalArrive(seqs[i], task, spec.ID)
+					a.Extend(telemetry.StageJournal, js, time.Now())
+				} else {
+					sh.journalArrive(seqs[i], task, spec.ID)
+				}
+			}
+			var feedStart time.Time
+			if a != nil {
+				// Publish the trace to nested instrumentation (TimedPolicy
+				// carves the dropper span out of the feed).
+				sh.rec.Begin(a)
+				feedStart = time.Now()
 			}
 			ts := sh.eng.Feed(task)
+			if a != nil {
+				a.Mark(telemetry.StageCalculus, feedStart, time.Now())
+				sh.rec.End()
+			}
 			d := Decision{ID: spec.ID, Seq: int(seqs[i]), Shard: sh.id, Machine: -1}
 			switch st := ts.Status; {
 			case st == sim.StatusQueued || st == sim.StatusRunning:
@@ -128,7 +164,13 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 			sh.metrics.countDecision(d.Action)
 			sh.c.metrics.countDecision(d.Action)
 			if sh.jw != nil {
-				sh.journalDecision(seqs[i], d.Action, ts.Machine)
+				if a != nil {
+					js := time.Now()
+					sh.journalDecision(seqs[i], d.Action, ts.Machine)
+					a.Extend(telemetry.StageJournal, js, time.Now())
+				} else {
+					sh.journalDecision(seqs[i], d.Action, ts.Machine)
+				}
 			}
 			if seqs[i] > sh.watermark {
 				sh.watermark = seqs[i]
@@ -149,10 +191,19 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 			// (and fsynced, under SyncAlways) before the client sees it. A
 			// journal failure fails the request — the decisions happened, but
 			// the service must not keep acking onto a log losing writes.
-			jerr = sh.commitJournal()
+			if traces != nil {
+				cs := time.Now()
+				jerr = sh.commitJournal()
+				extendSpans(traces, idxs, len(req.Tasks), telemetry.StageJournal, cs, time.Now())
+			} else {
+				jerr = sh.commitJournal()
+			}
 		}
 		now = sh.eng.Now()
 		committed = true
+		if traces != nil && jerr == nil {
+			sh.finishTraces(resp, idxs, len(req.Tasks), traces)
+		}
 	})
 	if err != nil {
 		return 0, err

@@ -1,0 +1,155 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/core"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
+)
+
+// Stage-trace plumbing between the controller and internal/telemetry.
+//
+// traces is always a full-length slice indexed by request slot (nil when
+// nothing in the batch is sampled), so the shard helpers below walk the
+// same idxs selection decide() uses and skip unsampled slots. All of this
+// runs only on the sampled path — the unsampled path carries a nil slice
+// through one pointer check.
+
+// traceAt returns request slot i's in-flight trace, nil-safe.
+func traceAt(traces []*telemetry.Active, i int) *telemetry.Active {
+	if traces == nil {
+		return nil
+	}
+	return traces[i]
+}
+
+// eachTrace applies fn to every sampled trace of the sub-batch selected
+// by idxs (nil = the first n request slots, the single-shard fast path).
+func eachTrace(traces []*telemetry.Active, idxs []int, n int, fn func(*telemetry.Active)) {
+	if idxs == nil {
+		for i := 0; i < n; i++ {
+			if a := traces[i]; a != nil {
+				fn(a)
+			}
+		}
+		return
+	}
+	for _, i := range idxs {
+		if a := traces[i]; a != nil {
+			fn(a)
+		}
+	}
+}
+
+// markRoute closes the route span of every sampled trace in the
+// sub-batch: trace origin (request receipt) to shard-loop submission.
+func markRoute(traces []*telemetry.Active, idxs []int, n int, end time.Time) {
+	eachTrace(traces, idxs, n, func(a *telemetry.Active) {
+		a.Mark(telemetry.StageRoute, a.Origin(), end)
+	})
+}
+
+// markSpans records stage st as [start, end) on every sampled trace of
+// the sub-batch.
+func markSpans(traces []*telemetry.Active, idxs []int, n int, st telemetry.Stage, start, end time.Time) {
+	eachTrace(traces, idxs, n, func(a *telemetry.Active) { a.Mark(st, start, end) })
+}
+
+// extendSpans widens stage st by [start, end) on every sampled trace of
+// the sub-batch (the journal span accumulates appends and the commit).
+func extendSpans(traces []*telemetry.Active, idxs []int, n int, st telemetry.Stage, start, end time.Time) {
+	eachTrace(traces, idxs, n, func(a *telemetry.Active) { a.Extend(st, start, end) })
+}
+
+// finishTraces seals the sub-batch's sampled traces after the commit:
+// marks the ack span, publishes each into the shard's ring and appends
+// its journal trace record. Runs on the decision loop.
+func (sh *shard) finishTraces(resp *DecideResponse, idxs []int, n int, traces []*telemetry.Active) {
+	ackStart := time.Now()
+	finish := func(i int) {
+		a := traceAt(traces, i)
+		if a == nil {
+			return
+		}
+		a.Mark(telemetry.StageAck, ackStart, time.Now())
+		tr := sh.rec.Finish(a, sh.id, string(resp.Decisions[i].Action))
+		if sh.jw != nil {
+			sh.journalTrace(tr)
+		}
+	}
+	if idxs == nil {
+		for i := 0; i < n; i++ {
+			finish(i)
+		}
+		return
+	}
+	for _, i := range idxs {
+		finish(i)
+	}
+}
+
+// TraceSnapshot is the GET /debug/traces payload: the sampling period and
+// the retained completed traces, newest decision first.
+type TraceSnapshot struct {
+	SampleEvery int                `json:"sample_every"`
+	Traces      []*telemetry.Trace `json:"traces"`
+}
+
+// Telemetry returns the controller's tracer.
+func (c *Controller) Telemetry() *telemetry.Telemetry { return c.tel }
+
+// Traces snapshots the retained stage-timed traces across all shards.
+// Lock-free: reads the per-shard rings only.
+func (c *Controller) Traces() TraceSnapshot {
+	return TraceSnapshot{SampleEvery: c.tel.SampleEvery(), Traces: c.tel.Traces()}
+}
+
+// writeCalcMetrics renders the completion-time calculus' introspection
+// series, aggregated across the shard calculi (chain-trie effectiveness,
+// impulse-width distribution) plus the per-shard arena high-water gauge.
+// Reads only atomics — never goes through a decision loop.
+func writeCalcMetrics(w io.Writer, c *Controller) {
+	var agg core.CalcStats
+	shardHW := make([]int64, len(c.shards))
+	for s, sh := range c.shards {
+		st := sh.eng.Calc().Stats()
+		agg.ChainHits += st.ChainHits
+		agg.ChainMisses += st.ChainMisses
+		agg.RootHits += st.RootHits
+		agg.RootMisses += st.RootMisses
+		agg.WidthSum += st.WidthSum
+		for i := range st.Widths {
+			agg.Widths[i] += st.Widths[i]
+		}
+		shardHW[s] = st.ArenaHighWaterBytes
+	}
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP taskdrop_chain_cache_hits_total Eq. 1 chain evaluations served from the shared-prefix trie, by node kind.\n")
+	p("# TYPE taskdrop_chain_cache_hits_total counter\n")
+	p("taskdrop_chain_cache_hits_total{kind=\"edge\"} %d\n", agg.ChainHits)
+	p("taskdrop_chain_cache_hits_total{kind=\"root\"} %d\n", agg.RootHits)
+	p("# HELP taskdrop_chain_cache_misses_total Eq. 1 chain evaluations freshly convolved, by node kind.\n")
+	p("# TYPE taskdrop_chain_cache_misses_total counter\n")
+	p("taskdrop_chain_cache_misses_total{kind=\"edge\"} %d\n", agg.ChainMisses)
+	p("taskdrop_chain_cache_misses_total{kind=\"root\"} %d\n", agg.RootMisses)
+	p("# HELP taskdrop_arena_high_water_bytes Peak committed impulse-arena footprint per shard calculus.\n")
+	p("# TYPE taskdrop_arena_high_water_bytes gauge\n")
+	for s, hw := range shardHW {
+		p("taskdrop_arena_high_water_bytes{shard=\"%d\"} %d\n", s, hw)
+	}
+	p("# HELP taskdrop_pmf_impulse_width Impulse count of freshly computed Eq. 1 completion PMFs (post-compaction).\n")
+	p("# TYPE taskdrop_pmf_impulse_width histogram\n")
+	var cum uint64
+	for i := 0; i < core.NumWidthBuckets; i++ {
+		cum += agg.Widths[i]
+		if b := core.WidthBucketBound(i); b >= 0 {
+			p("taskdrop_pmf_impulse_width_bucket{le=\"%d\"} %d\n", b, cum)
+		} else {
+			p("taskdrop_pmf_impulse_width_bucket{le=\"+Inf\"} %d\n", cum)
+		}
+	}
+	p("taskdrop_pmf_impulse_width_sum %d\n", agg.WidthSum)
+	p("taskdrop_pmf_impulse_width_count %d\n", cum)
+}

@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger the CLIs share: format is "text"
+// (the default, human-first key=value lines) or "json" (one object per
+// line, for log shippers); level is "debug", "info" (default), "warn" or
+// "error". Components attach their identifying attributes (shard,
+// decision seq, journal dir) at the call site.
+func NewLogger(w io.Writer, format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text|json)", format)
+	}
+}

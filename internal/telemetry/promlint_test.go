@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func lintString(t *testing.T, s string) []string {
+	t.Helper()
+	return Lint(strings.NewReader(s))
+}
+
+// wantIssue asserts at least one issue mentions every given fragment.
+func wantIssue(t *testing.T, issues []string, fragment string) {
+	t.Helper()
+	for _, is := range issues {
+		if strings.Contains(is, fragment) {
+			return
+		}
+	}
+	t.Fatalf("no issue mentions %q in:\n%s", fragment, strings.Join(issues, "\n"))
+}
+
+func TestLintCleanExposition(t *testing.T) {
+	good := `# HELP taskdrop_requests_total Requests served.
+# TYPE taskdrop_requests_total counter
+taskdrop_requests_total 42
+# HELP taskdrop_queue_depth Tasks queued per machine.
+# TYPE taskdrop_queue_depth gauge
+taskdrop_queue_depth{machine="0",name="m-a"} 3
+taskdrop_queue_depth{machine="1",name="m \"q\" b"} 0
+# HELP taskdrop_latency_seconds Decide latency.
+# TYPE taskdrop_latency_seconds histogram
+taskdrop_latency_seconds_bucket{le="0.001"} 10
+taskdrop_latency_seconds_bucket{le="0.01"} 15
+taskdrop_latency_seconds_bucket{le="+Inf"} 20
+taskdrop_latency_seconds_sum 0.33
+taskdrop_latency_seconds_count 20
+`
+	if issues := lintString(t, good); len(issues) != 0 {
+		t.Fatalf("clean exposition flagged:\n%s", strings.Join(issues, "\n"))
+	}
+}
+
+func TestLintLabeledHistogram(t *testing.T) {
+	good := `# HELP h Stage latency.
+# TYPE h histogram
+h_bucket{stage="route",le="0.001"} 1
+h_bucket{stage="route",le="+Inf"} 2
+h_sum{stage="route"} 0.01
+h_count{stage="route"} 2
+h_bucket{stage="ack",le="0.001"} 5
+h_bucket{stage="ack",le="+Inf"} 5
+h_sum{stage="ack"} 0.002
+h_count{stage="ack"} 5
+`
+	if issues := lintString(t, good); len(issues) != 0 {
+		t.Fatalf("labeled histogram flagged:\n%s", strings.Join(issues, "\n"))
+	}
+}
+
+func TestLintMissingMetadata(t *testing.T) {
+	issues := lintString(t, "orphan_total 3\n")
+	wantIssue(t, issues, "no preceding # TYPE")
+	wantIssue(t, issues, "no preceding # HELP")
+
+	issues = lintString(t, "# HELP x docs\n# TYPE x gauge\nx 1\n# HELP y\n# TYPE y gauge\ny 2\n")
+	wantIssue(t, issues, "empty docstring")
+
+	issues = lintString(t, "# HELP x docs\n# TYPE x widget\nx 1\n")
+	wantIssue(t, issues, "unknown type")
+}
+
+func TestLintStructuralViolations(t *testing.T) {
+	split := `# HELP a docs
+# TYPE a gauge
+a{k="1"} 1
+# HELP b docs
+# TYPE b gauge
+b 1
+a{k="2"} 2
+`
+	wantIssue(t, lintString(t, split), "split across the exposition")
+
+	dup := "# HELP a docs\n# TYPE a gauge\na{k=\"1\"} 1\na{k=\"1\"} 2\n"
+	wantIssue(t, lintString(t, dup), "duplicate series")
+
+	neg := "# HELP a docs\n# TYPE a counter\na -1\n"
+	wantIssue(t, lintString(t, neg), "negative value")
+
+	badVal := "# HELP a docs\n# TYPE a gauge\na one\n"
+	wantIssue(t, lintString(t, badVal), "unparseable value")
+
+	badLabel := "# HELP a docs\n# TYPE a gauge\na{k=unquoted} 1\n"
+	wantIssue(t, lintString(t, badLabel), "not quoted")
+}
+
+func TestLintHistogramViolations(t *testing.T) {
+	noInf := `# HELP h docs
+# TYPE h histogram
+h_bucket{le="1"} 1
+h_sum 1
+h_count 1
+`
+	wantIssue(t, lintString(t, noInf), "lacks a +Inf bucket")
+
+	notCumulative := `# HELP h docs
+# TYPE h histogram
+h_bucket{le="1"} 5
+h_bucket{le="2"} 3
+h_bucket{le="+Inf"} 5
+h_sum 1
+h_count 5
+`
+	wantIssue(t, lintString(t, notCumulative), "not cumulative")
+
+	noSum := `# HELP h docs
+# TYPE h histogram
+h_bucket{le="+Inf"} 1
+h_count 1
+`
+	wantIssue(t, lintString(t, noSum), "lacks _sum")
+
+	countMismatch := `# HELP h docs
+# TYPE h histogram
+h_bucket{le="+Inf"} 4
+h_sum 1
+h_count 5
+`
+	wantIssue(t, lintString(t, countMismatch), "_count 5 != +Inf bucket 4")
+}

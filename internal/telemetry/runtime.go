@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+)
+
+// gcPauseBuckets collapses the runtime's fine-grained GC pause histogram
+// into fixed Prometheus bounds (seconds): sub-10µs pauses are the
+// expected steady state, anything beyond 10ms is worth an alert.
+var gcPauseBuckets = [...]float64{1e-5, 1e-4, 1e-3, 1e-2, 1e-1}
+
+// runtimeSampleNames are the runtime/metrics series the exposition reads.
+// Indexes match the switch in WriteRuntimeMetrics.
+var runtimeSampleNames = [...]string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+}
+
+// WriteRuntimeMetrics renders Go runtime health series (goroutines, heap,
+// GC cycles and pauses) from runtime/metrics in Prometheus text format.
+// It allocates its sample slice per call so concurrent scrapes never
+// share buffers. Series whose runtime counterpart is unavailable are
+// omitted rather than emitted empty.
+func WriteRuntimeMetrics(w io.Writer) {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, name := range runtimeSampleNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	emitUint := func(i int, name, typ, help string) {
+		if samples[i].Value.Kind() != metrics.KindUint64 {
+			return
+		}
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s %s\n", name, typ)
+		p("%s %d\n", name, samples[i].Value.Uint64())
+	}
+	emitUint(0, "taskdrop_go_goroutines", "gauge", "Live goroutines.")
+	emitUint(1, "taskdrop_go_heap_objects_bytes", "gauge", "Bytes occupied by live and unswept heap objects.")
+	emitUint(2, "taskdrop_go_memory_total_bytes", "gauge", "Total bytes of memory mapped by the Go runtime.")
+	emitUint(3, "taskdrop_go_gc_cycles_total", "counter", "Completed GC cycles.")
+
+	if samples[4].Value.Kind() != metrics.KindFloat64Histogram {
+		return
+	}
+	h := samples[4].Value.Float64Histogram()
+	if h == nil {
+		return
+	}
+	var counts [len(gcPauseBuckets) + 1]uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		// Bucket i covers [Buckets[i], Buckets[i+1]); fold its count into
+		// the first fixed bound that contains its upper edge, and
+		// approximate the sum with that edge (lower edge for the +Inf
+		// bucket) — an upper bound on total pause time.
+		ub := h.Buckets[i+1]
+		j := 0
+		for ; j < len(gcPauseBuckets); j++ {
+			if ub <= gcPauseBuckets[j] {
+				break
+			}
+		}
+		counts[j] += c
+		if math.IsInf(ub, 1) {
+			ub = h.Buckets[i]
+		}
+		sum += float64(c) * ub
+	}
+	p("# HELP taskdrop_go_gc_pause_seconds Stop-the-world GC pause latency (runtime/metrics /gc/pauses, rebinned; sum approximated by bucket upper bounds).\n")
+	p("# TYPE taskdrop_go_gc_pause_seconds histogram\n")
+	var cum uint64
+	for i, le := range gcPauseBuckets {
+		cum += counts[i]
+		p("taskdrop_go_gc_pause_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += counts[len(gcPauseBuckets)]
+	p("taskdrop_go_gc_pause_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	p("taskdrop_go_gc_pause_seconds_sum %g\n", sum)
+	p("taskdrop_go_gc_pause_seconds_count %d\n", cum)
+}
