@@ -44,7 +44,9 @@ func main() {
 		from        = flag.Int("from", 0, "replay trace tasks starting at this index (resume after a server restart)")
 		to          = flag.Int("to", 0, "replay trace tasks up to (excluding) this index; 0 = the end")
 		noDrain     = flag.Bool("no-drain", false, "skip POST /v1/drain (leave the server running)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-attempt request timeout")
+		retries     = flag.Int("retries", 0, "retry budget per request (transport errors, 5xx and 429); stamps idempotent decision IDs on every request")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "first retry delay, doubling per attempt with jitter (server Retry-After wins)")
 		logFormat   = flag.String("log-format", "text", "log output format: text | json")
 		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
@@ -90,13 +92,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	client := &http.Client{Timeout: *timeout}
-	rep, err := service.Replay(ctx, client, *addr, tr, service.ReplayConfig{
-		BatchSize: *batch,
-		Speed:     *speed,
-		Drain:     !*noDrain,
-		From:      *from,
-		To:        *to,
+	// The retrying client owns per-attempt deadlines; a time-nonced ID
+	// prefix keeps separate hcload runs against one server from colliding
+	// in its dedup window.
+	rep, err := service.Replay(ctx, &http.Client{}, *addr, tr, service.ReplayConfig{
+		BatchSize:        *batch,
+		Speed:            *speed,
+		Drain:            !*noDrain,
+		From:             *from,
+		To:               *to,
+		Timeout:          *timeout,
+		Retries:          *retries,
+		Backoff:          *backoff,
+		DecisionIDPrefix: fmt.Sprintf("load-%x", time.Now().UnixNano()),
 	})
 	if err != nil {
 		logger.Error("replay failed", "addr", *addr, "err", err)
@@ -110,6 +118,10 @@ func main() {
 	fmt.Printf("  dropped at arrival  %d\n", rep.Dropped)
 	fmt.Printf("decide latency        p50 %s   p99 %s\n",
 		rep.LatencyP50.Round(time.Microsecond), rep.LatencyP99.Round(time.Microsecond))
+	if *retries > 0 {
+		fmt.Printf("retried requests      %d\n", rep.Retried)
+		fmt.Printf("duplicate acks        %d\n", rep.DuplicateAcks)
+	}
 	if len(rep.PerShard) > 1 {
 		for _, sl := range rep.PerShard {
 			fmt.Printf("  shard %-3d           p50 %s   p99 %s   (%d requests)\n",

@@ -1,0 +1,132 @@
+// Command hcrouter is the router tier of a multi-process deployment: a
+// standalone front-end that speaks the same HTTP protocol as a single
+// hcserve and fans every decide batch out across N shard-server
+// processes, each owning one machine partition of the profile.
+//
+//	hcserve -addr :8081 -partition 0/2 -journal-dir /var/lib/taskdrop/b0 &
+//	hcserve -addr :8082 -partition 1/2 -journal-dir /var/lib/taskdrop/b1 &
+//	hcrouter -addr :8080 -backends http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The router polls each backend's /readyz and /v1/stats: a backend joins
+// the rotation once ready and its live load and per-class robustness
+// estimates feed the routing policy (-router hash|rr|mass|p2c; default
+// hash — task-class partitioning). Every proxied sub-request carries a
+// router-generated decision ID, so retrying a timed-out-but-committed
+// sub-batch against a journaling backend replays the original decisions
+// instead of double-admitting; a backend that stays down has its
+// sub-batches rerouted to a survivor. Per-backend in-flight windows
+// (-window) shed excess load with 429 + Retry-After instead of queueing.
+//
+// Endpoints match hcserve: POST /v1/decide, POST /v1/drain (fleet drain,
+// merged Result), GET /v1/stats (per-backend rotation state), /healthz,
+// /readyz (200 once >= 1 backend is in rotation), /metrics
+// (taskdrop_router_* families), /debug/traces.
+//
+// On SIGTERM/SIGINT the router stops its listener and pollers and exits.
+// It does NOT drain the backends — a router restart must not destroy
+// fleet state; drain explicitly via POST /v1/drain (hcload -drain).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/front"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		backends    = flag.String("backends", "", "comma-separated backend base URLs (required), e.g. http://127.0.0.1:8081,http://127.0.0.1:8082")
+		profileSpec = flag.String("profile", "spec", "system profile spec; must match every backend's")
+		routerSpec  = flag.String("router", "hash", "backend-routing policy spec: hash | rr | mass | p2c[:seed=..]")
+		window      = flag.Int("window", 32, "max in-flight decide sub-requests per backend (excess sheds with 429)")
+		poll        = flag.Duration("poll", 250*time.Millisecond, "backend health/stats polling period")
+		timeout     = flag.Duration("timeout", 5*time.Second, "per-attempt upstream request timeout")
+		retries     = flag.Int("retries", 2, "upstream retry budget per sub-request (same backend, same decision ID)")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "first upstream retry delay (doubles per attempt, jittered)")
+		dedupWindow = flag.Int("dedup-window", 0, "client decision-IDs remembered for idempotent retries (0: default 4096, negative disables)")
+		traceSample = flag.Int("trace-sample", 0, "stage-trace every Nth routed request (0 disables)")
+		traceRing   = flag.Int("trace-ring", telemetry.DefaultRingSize, "completed traces retained for /debug/traces")
+		logFormat   = flag.String("log-format", "text", "log output format: text | json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	)
+	flag.Parse()
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hcrouter:", err)
+		os.Exit(2)
+	}
+	logger = logger.With("component", "hcrouter")
+
+	var urls []string
+	for _, u := range strings.Split(*backends, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "hcrouter: -backends is required")
+		os.Exit(2)
+	}
+
+	f, err := front.New(front.Config{
+		Backends:    urls,
+		Profile:     *profileSpec,
+		Router:      *routerSpec,
+		Window:      *window,
+		Poll:        *poll,
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Backoff:     *backoff,
+		DedupWindow: *dedupWindow,
+		TraceSample: *traceSample,
+		TraceRing:   *traceRing,
+		// Startup nanoseconds namespace the generated sub-request IDs so a
+		// router restart can never collide with IDs a previous incarnation
+		// left in the backends' dedup windows.
+		IDNonce: fmt.Sprintf("r%x", time.Now().UnixNano()),
+		Logger:  logger,
+	})
+	if err != nil {
+		logger.Error("startup failed", "err", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	logger.Info("routing",
+		"profile", *profileSpec,
+		"router", f.Policy().Name(),
+		"backends", len(urls),
+		"window", *window,
+		"addr", *addr)
+
+	srv := &http.Server{Addr: *addr, Handler: front.NewHandler(f)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Info("signal received; shutting down")
+	case err := <-errCh:
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
+	}
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		logger.Warn("http shutdown", "err", err)
+	}
+}

@@ -19,10 +19,24 @@
 //	                  merged final trial Result
 //	GET  /v1/stats    per-shard queue depths, robustness estimates, drop counts
 //	GET  /healthz     liveness + served configuration
+//	GET  /readyz      readiness: 503 while the server boots (journal
+//	                  recovery, shard start) or drains, 200 once serving —
+//	                  what hcrouter gates rotation membership on
 //	GET  /metrics     Prometheus text (decisions/s, drop rate, queue depths,
 //	                  decision-latency histogram, per-shard series, calculus
 //	                  introspection, Go runtime gauges)
 //	GET  /debug/traces  retained stage-timed decision traces (JSON)
+//
+// The listener binds before the controller boots: during journal recovery
+// every endpoint (including /healthz) answers 503 {"status":"booting"},
+// so process supervisors and the router tier observe "up but not ready"
+// instead of connection refused.
+//
+// With -partition k/K the server owns only the k-th of K disjoint machine
+// partitions of the profile — one process in a multi-process deployment
+// fronted by cmd/hcrouter. Decision IDs sent by the router (or any
+// client) are remembered in a bounded dedup window (-dedup-window) and a
+// retried request replays the originally acknowledged bytes.
 //
 // With -trace-sample N every Nth decision is traced through its stages
 // (route → shard mailbox wait → Eq. 1 calculus → dropper verdict → journal
@@ -54,10 +68,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -65,6 +81,10 @@ import (
 	"github.com/hpcclab/taskdrop/internal/service"
 	"github.com/hpcclab/taskdrop/internal/telemetry"
 )
+
+// handlerBox wraps the live handler so the boot→serving swap stores one
+// concrete type in the atomic.Value.
+type handlerBox struct{ h http.Handler }
 
 func main() {
 	var (
@@ -74,7 +94,9 @@ func main() {
 		mapperSpec    = flag.String("mapper", "PAM", "mapping heuristic spec (MinMin, MSD, PAM, FCFS, SJF, EDF, kpb:percent=30, ...)")
 		dropperSpec   = flag.String("dropper", "heuristic", "dropping policy spec: reactdrop | heuristic[:beta=..,eta=..] | optimal | threshold[:base=..,adaptive] | approx[:grace=..]")
 		shards        = flag.Int("shards", 1, "admission shards (independent decision loops over partitioned machines)")
-		routerSpec    = flag.String("router", "rr", "shard-routing policy spec: rr | mass | p2c[:seed=..]")
+		partition     = flag.String("partition", "", "own only machine partition k/K of the profile (e.g. 0/2); empty serves the whole matrix")
+		routerSpec    = flag.String("router", "rr", "shard-routing policy spec: rr | mass | p2c[:seed=..] | hash")
+		dedupWindow   = flag.Int("dedup-window", 0, "client decision-IDs remembered for idempotent retries (0: default 4096, negative disables)")
 		queueCap      = flag.Int("queue", 6, "machine queue capacity incl. running task")
 		grace         = flag.Int64("grace", 0, "reactive-drop grace window in ms (approximate-computing extension)")
 		dropOnArrival = flag.Bool("drop-on-arrival", false, "engage the proactive dropper on arrival events too (strict Fig. 4)")
@@ -99,17 +121,40 @@ func main() {
 	}
 	logger = logger.With("component", "hcserve")
 
+	// Bind the listener BEFORE booting the controller: journal recovery can
+	// take a while, and a probing supervisor (or the router tier's /readyz
+	// poll) should see 503 "booting" rather than connection refused. The
+	// handler is swapped in atomically once the controller is up.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	var live atomic.Value // of handlerBox: atomic.Value wants one concrete type
+	live.Store(handlerBox{http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"ready":false,"status":"booting"}`)
+	})})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		live.Load().(handlerBox).h.ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 2)
+	go func() { errCh <- srv.Serve(ln) }()
+
 	ctrl, err := service.New(service.Config{
 		Profile:           *profileSpec,
 		Mapper:            *mapperSpec,
 		Dropper:           *dropperSpec,
 		Shards:            *shards,
+		Partition:         *partition,
 		Router:            *routerSpec,
 		QueueCap:          *queueCap,
 		Grace:             pmf.Tick(*grace),
 		DropOnArrival:     *dropOnArrival,
 		BoundaryExclusion: *boundary,
 		Backlog:           *backlog,
+		DedupWindow:       *dedupWindow,
 		JournalDir:        *journalDir,
 		Fsync:             *fsync,
 		FsyncInterval:     *fsyncInterval,
@@ -127,9 +172,10 @@ func main() {
 		"profile", *profileSpec,
 		"mapper", *mapperSpec,
 		"dropper", *dropperSpec,
-		"machines", len(m.Machines()),
+		"machines", ctrl.NumMachines(),
 		"task_types", m.NumTaskTypes(),
 		"shards", ctrl.NumShards(),
+		"partition", *partition,
 		"router", *routerSpec,
 		"addr", *addr)
 	if *journalDir != "" {
@@ -141,9 +187,7 @@ func main() {
 	}
 
 	handler := service.NewHandler(ctrl)
-	srv := &http.Server{Addr: *addr, Handler: handler}
-	errCh := make(chan error, 2)
-	go func() { errCh <- srv.ListenAndServe() }()
+	live.Store(handlerBox{handler})
 
 	// The debug server shares the controller's observability surface and
 	// adds the pprof handlers. A separate listener keeps profile captures

@@ -1,0 +1,577 @@
+// Package front implements the router tier of the multi-process
+// deployment: a stateless-ish front-end (cmd/hcrouter) that speaks the
+// admission service's wire protocol (internal/service) and proxies every
+// decide batch across K independent shard-server processes (cmd/hcserve),
+// each owning one disjoint machine partition of the profile
+// (sim.PartitionMachines, hcserve -partition k/K).
+//
+// The front reuses the in-process routing machinery wholesale: each
+// backend is represented by a router.RemoteView — the same lock-free
+// ShardView the shard loops publish, fed over HTTP from the backend's
+// /v1/stats instead of from a decision loop — so the rr/mass/p2c/hash
+// policies route across processes exactly as they route across in-process
+// shards. The default policy is "hash" (task-class partitioning): every
+// class consistently lands on one backend, which keeps each backend's
+// per-class robustness EWMAs and queue state meaningful and makes a
+// sequential client's routing independent of poll timing.
+//
+// # Fault model
+//
+// Backends are health-gated (GET /readyz, polled): a backend joins the
+// rotation only once ready and leaves it on the first failed proxy or
+// poll. A decide sub-batch that fails on its backend is rerouted once to
+// a surviving backend under a fresh decision ID. Every proxied request
+// carries a front-generated DecisionID, so the retry of a
+// timed-out-but-committed sub-batch replays the backend's journaled
+// original instead of double-admitting — at-least-once delivery with
+// exactly-once admission effects.
+//
+// Bounded in-flight windows per backend shed load early: when every
+// routed backend is at its window, the front answers 429 with
+// Retry-After rather than queueing unboundedly in front of a struggling
+// backend.
+package front
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
+	"github.com/hpcclab/taskdrop/internal/service"
+	"github.com/hpcclab/taskdrop/internal/sim"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
+)
+
+// Front-end failure modes surfaced to HTTP.
+var (
+	// ErrNoBackends: no backend is currently ready (all booting, down, or
+	// draining).
+	ErrNoBackends = errors.New("front: no ready backends")
+	// ErrWindowFull: a routed backend is at its in-flight window; the
+	// client should back off and retry (HTTP 429 + Retry-After).
+	ErrWindowFull = errors.New("front: backend in-flight window full")
+	// ErrDraining: the router has begun draining the fleet.
+	ErrDraining = errors.New("front: router is draining")
+)
+
+// Config assembles a router tier.
+type Config struct {
+	// Backends are the shard servers' base URLs (e.g.
+	// "http://127.0.0.1:8081"). Together they should cover the profile's
+	// machine partition exactly once (hcserve -partition 0/K .. K-1/K).
+	Backends []string
+	// Profile is the system profile spec; it must match every backend's
+	// (validated against each backend's /healthz on the first poll).
+	Profile string
+	// Router is the backend-routing policy spec (internal/router grammar);
+	// default "hash" — task-class partitioning.
+	Router string
+	// Window bounds in-flight decide sub-requests per backend (default 32).
+	Window int
+	// Poll is the health/stats polling period per backend (default 250ms).
+	Poll time.Duration
+	// Timeout, Retries and Backoff configure the upstream client (see
+	// service.ClientConfig; defaults 5s, 2, 50ms). Retries re-send the SAME
+	// sub-request (same decision ID) to the SAME backend; rerouting to
+	// another backend only happens after the retry budget is spent.
+	Timeout time.Duration
+	Retries int
+	Backoff time.Duration
+	// DedupWindow bounds the front's own idempotency window for
+	// client-supplied DecisionIDs (0 = service.DefaultDedupWindow;
+	// negative disables).
+	DedupWindow int
+	// TraceSample stage-traces every Nth proxied request (route → proxy →
+	// ack); 0 disables. TraceRing bounds retained traces.
+	TraceSample int
+	TraceRing   int
+	// IDNonce namespaces the front-generated sub-request decision IDs.
+	// Must differ between router restarts against the same backends (the
+	// CLI stamps startup nanoseconds) or stale dedup entries could answer
+	// new sub-requests.
+	IDNonce string
+	// HTTPClient is the transport for proxying and polling (default: a
+	// dedicated client; Timeout governs per-attempt deadlines).
+	HTTPClient *http.Client
+	// Logger receives structured diagnostics.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Profile == "" {
+		c.Profile = "spec"
+	}
+	if c.Router == "" {
+		c.Router = "hash"
+	}
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.Poll == 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 5 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.IDNonce == "" {
+		c.IDNonce = "front"
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	return c
+}
+
+// Front is the router tier: backend registry, routing policy, upstream
+// client and the request fan-out/merge engine.
+type Front struct {
+	cfg      Config
+	matrix   *pet.Matrix
+	policy   router.Policy
+	backends []*backend
+	client   *service.Client
+	dedup    *service.DedupWindow
+	tel      *telemetry.Telemetry
+	log      *slog.Logger
+	metrics  *metrics
+
+	// seq numbers proxied requests front-locally (telemetry sampling);
+	// subID numbers generated sub-request decision IDs.
+	seq   atomic.Int64
+	subID atomic.Int64
+
+	mu       sync.Mutex
+	draining bool
+	final    *sim.Result
+	drainErr error
+	drained  chan struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	pollWG   sync.WaitGroup
+}
+
+// New resolves the profile and policy, registers the backends and starts
+// their health/stats pollers. Backends need not be up yet: they join the
+// rotation when their /readyz first answers 200.
+func New(cfg Config) (*Front, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("front: no backends configured")
+	}
+	matrix, err := pet.CachedMatrix(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := router.FromSpec(cfg.Router)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("front: window %d, want >= 1", cfg.Window)
+	}
+	if cfg.TraceSample < 0 || cfg.TraceRing < 0 {
+		return nil, fmt.Errorf("front: negative trace settings")
+	}
+	f := &Front{
+		cfg:     cfg,
+		matrix:  matrix,
+		policy:  policy,
+		client:  service.NewClient(cfg.HTTPClient, service.ClientConfig{Timeout: cfg.Timeout, Retries: cfg.Retries, Backoff: cfg.Backoff}),
+		tel:     telemetry.New(1, cfg.TraceSample, cfg.TraceRing),
+		log:     cfg.Logger,
+		metrics: newMetrics(),
+		drained: make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	if cfg.DedupWindow >= 0 {
+		f.dedup = service.NewDedupWindow(cfg.DedupWindow)
+	}
+	nt := matrix.NumTaskTypes()
+	for i, u := range cfg.Backends {
+		b := &backend{
+			id:     i,
+			url:    u,
+			view:   router.NewRemoteView(nt),
+			window: make(chan struct{}, cfg.Window),
+		}
+		f.backends = append(f.backends, b)
+	}
+	for _, b := range f.backends {
+		f.pollWG.Add(1)
+		go f.poller(b)
+	}
+	return f, nil
+}
+
+// Matrix returns the served system's PET matrix.
+func (f *Front) Matrix() *pet.Matrix { return f.matrix }
+
+// Policy returns the resolved routing policy.
+func (f *Front) Policy() router.Policy { return f.policy }
+
+// Dedup returns the front's idempotency window (nil when disabled).
+func (f *Front) Dedup() *service.DedupWindow { return f.dedup }
+
+// Telemetry returns the front's stage tracer.
+func (f *Front) Telemetry() *telemetry.Telemetry { return f.tel }
+
+// Close stops the pollers. It does NOT drain the backends — draining is a
+// client decision (POST /v1/drain); a router restart must not destroy
+// fleet state.
+func (f *Front) Close() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.pollWG.Wait()
+}
+
+// Draining reports whether a fleet drain has begun.
+func (f *Front) Draining() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.draining
+}
+
+// readySet snapshots the backends currently in rotation, with their views
+// in matching order for the routing policy.
+func (f *Front) readySet() ([]*backend, []*router.ShardView) {
+	ready := make([]*backend, 0, len(f.backends))
+	views := make([]*router.ShardView, 0, len(f.backends))
+	for _, b := range f.backends {
+		if b.ready.Load() {
+			ready = append(ready, b)
+			views = append(views, b.view.View())
+		}
+	}
+	return ready, views
+}
+
+// NumReady returns how many backends are currently in rotation.
+func (f *Front) NumReady() int {
+	n := 0
+	for _, b := range f.backends {
+		if b.ready.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// nextSubID generates a fresh decision ID for one proxied sub-request.
+func (f *Front) nextSubID() string {
+	return fmt.Sprintf("%s-%d", f.cfg.IDNonce, f.subID.Add(1))
+}
+
+// subBatch is one backend's slice of a decide request during fan-out.
+type subBatch struct {
+	b    *backend
+	idxs []int // request-order indexes routed to this backend
+}
+
+// Decide validates and routes one decide batch across the ready backends,
+// proxies the per-backend sub-batches concurrently (with retry and
+// one-shot reroute), and merges the decisions back into request order.
+// Decision sequence numbers are per backend: behind the router a
+// decision's identity is (Backend, Seq).
+func (f *Front) Decide(ctx context.Context, req *service.DecideRequest) (*service.DecideResponse, error) {
+	if req == nil || len(req.Tasks) == 0 {
+		return nil, fmt.Errorf("front: empty decide request")
+	}
+	nt, nm := f.matrix.NumTaskTypes(), f.matrix.NumMachineTypes()
+	for i := range req.Tasks {
+		if err := req.Tasks[i].Validate(nt, nm); err != nil {
+			f.metrics.rejected.Add(1)
+			return nil, err
+		}
+	}
+	if f.Draining() {
+		return nil, ErrDraining
+	}
+	f.metrics.requests.Add(1)
+
+	seq := f.seq.Add(1) - 1
+	var act *telemetry.Active
+	var origin time.Time
+	if f.tel.Enabled() {
+		origin = time.Now()
+		act = f.tel.Begin(seq, origin)
+	}
+
+	ready, views := f.readySet()
+	if len(ready) == 0 {
+		return nil, ErrNoBackends
+	}
+
+	// Route every task over the ready set (deterministic for a sequential
+	// client under a fixed rotation), then group into per-backend
+	// sub-batches preserving request order.
+	byBackend := make([][]int, len(ready))
+	for i := range req.Tasks {
+		t := &req.Tasks[i]
+		s := 0
+		if len(ready) > 1 {
+			s = f.policy.Route(router.Task{Class: t.Type, Arrival: t.Arrival, Deadline: t.Deadline}, views)
+		}
+		byBackend[s] = append(byBackend[s], i)
+	}
+	var subs []subBatch
+	for s, idxs := range byBackend {
+		if len(idxs) > 0 {
+			subs = append(subs, subBatch{b: ready[s], idxs: idxs})
+		}
+	}
+
+	// One window token per involved backend, acquired non-blocking: if any
+	// backend is saturated, shed the whole request now (429) rather than
+	// block behind it.
+	for i, sb := range subs {
+		if !sb.b.tryAcquire() {
+			for _, held := range subs[:i] {
+				held.b.release()
+			}
+			f.metrics.shed.Add(1)
+			return nil, fmt.Errorf("%w (backend %d)", ErrWindowFull, sb.b.id)
+		}
+	}
+
+	var proxyStart time.Time
+	if act != nil {
+		proxyStart = time.Now()
+		act.Mark(telemetry.StageRoute, origin, proxyStart)
+	}
+
+	resp := &service.DecideResponse{Decisions: make([]service.Decision, len(req.Tasks))}
+	errs := make([]error, len(subs))
+	nows := make([]pmf.Tick, len(subs))
+	var wg sync.WaitGroup
+	for k := range subs {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			defer subs[k].b.release()
+			nows[k], errs[k] = f.proxy(ctx, req, resp, subs[k], ready)
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, now := range nows {
+		if now > resp.Now {
+			resp.Now = now
+		}
+	}
+
+	// Fold the outcomes into the per-backend robustness EWMAs — the
+	// between-polls routing signal (1 = the class got a slot, 0 = not).
+	for k := range subs {
+		for _, i := range subs[k].idxs {
+			p := 0.0
+			if resp.Decisions[i].Action == service.ActionMap {
+				p = 1.0
+			}
+			subs[k].b.view.ObserveAdmission(req.Tasks[i].Type, p)
+		}
+		f.metrics.countDecisions(resp, subs[k].idxs)
+	}
+
+	if act != nil {
+		done := time.Now()
+		act.Mark(telemetry.StageProxy, proxyStart, done)
+		act.Mark(telemetry.StageAck, done, time.Now())
+		f.tel.Shard(0).Finish(act, 0, "proxy")
+	}
+	return resp, nil
+}
+
+// proxy sends one sub-batch to its backend (the client retries transport
+// errors, 5xx and 429 with the SAME decision ID), and on final failure
+// marks the backend down and reroutes ONCE to another ready backend under
+// a fresh ID. Returns the sub-response's clock.
+func (f *Front) proxy(ctx context.Context, req *service.DecideRequest, resp *service.DecideResponse, sb subBatch, ready []*backend) (pmf.Tick, error) {
+	now, err := f.send(ctx, req, resp, sb.b, sb.idxs)
+	if err == nil {
+		return now, nil
+	}
+	f.markDown(sb.b, err)
+	// Reroute once: any other ready backend with window room takes over.
+	// A fresh decision ID is mandatory — the failed backend may yet commit
+	// the original sub-batch, and the two IDs must stay distinct.
+	for _, alt := range ready {
+		if alt == sb.b || !alt.ready.Load() {
+			continue
+		}
+		if !alt.tryAcquire() {
+			continue
+		}
+		f.metrics.reroutes.Add(1)
+		f.log.Warn("rerouting sub-batch", "from_backend", sb.b.id, "to_backend", alt.id, "tasks", len(sb.idxs), "err", err)
+		now, rerr := f.send(ctx, req, resp, alt, sb.idxs)
+		alt.release()
+		if rerr != nil {
+			f.markDown(alt, rerr)
+			return 0, fmt.Errorf("%w: backend %d failed (%v); reroute to %d failed: %v", errUpstream, sb.b.id, err, alt.id, rerr)
+		}
+		return now, nil
+	}
+	return 0, fmt.Errorf("%w: backend %d failed with no surviving backend to reroute to: %v", errUpstream, sb.b.id, err)
+}
+
+// send proxies idxs of req to backend b as one decide sub-request and
+// writes the returned decisions into their request slots, stamped with
+// the backend's index.
+func (f *Front) send(ctx context.Context, req *service.DecideRequest, resp *service.DecideResponse, b *backend, idxs []int) (pmf.Tick, error) {
+	sub := service.DecideRequest{
+		DecisionID: f.nextSubID(),
+		Tasks:      make([]service.TaskSpec, len(idxs)),
+	}
+	for j, i := range idxs {
+		sub.Tasks[j] = req.Tasks[i]
+	}
+	b.proxied.Add(1)
+	t0 := time.Now()
+	var out service.DecideResponse
+	err := f.client.PostJSON(ctx, b.url+"/v1/decide", &sub, &out)
+	f.metrics.observeUpstream(time.Since(t0))
+	if err != nil {
+		return 0, err
+	}
+	if len(out.Decisions) != len(idxs) {
+		return 0, fmt.Errorf("%w: backend %d answered %d decisions for %d tasks", errUpstream, b.id, len(out.Decisions), len(idxs))
+	}
+	for j, i := range idxs {
+		d := out.Decisions[j]
+		d.Backend = b.id
+		resp.Decisions[i] = d
+	}
+	return out.Now, nil
+}
+
+// markDown removes a backend from rotation until its poller sees it ready
+// again.
+func (f *Front) markDown(b *backend, err error) {
+	if b.ready.CompareAndSwap(true, false) {
+		f.log.Warn("backend down", "backend", b.id, "url", b.url, "err", err)
+	}
+	b.setErr(err)
+}
+
+// Drain drains the whole fleet: every backend that answers gets POST
+// /v1/drain, and the surviving partial Results merge into one fleet
+// Result over the full matrix (a dead backend's machines count as idle).
+// Like the in-process controller, the drain is committed on first call
+// and concurrent callers share the outcome.
+func (f *Front) Drain(ctx context.Context) (*sim.Result, error) {
+	f.mu.Lock()
+	first := !f.draining
+	f.draining = true
+	f.mu.Unlock()
+
+	if first {
+		f.log.Info("fleet drain initiated", "backends", len(f.backends))
+		go func() {
+			defer close(f.drained)
+			parts := make([]*sim.Result, len(f.backends))
+			var wg sync.WaitGroup
+			for i, b := range f.backends {
+				wg.Add(1)
+				go func(i int, b *backend) {
+					defer wg.Done()
+					dctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+					defer cancel()
+					var dr service.DrainResponse
+					if err := f.client.PostJSON(dctx, b.url+"/v1/drain", nil, &dr); err != nil {
+						f.log.Warn("backend drain failed", "backend", b.id, "err", err)
+						return
+					}
+					parts[i] = dr.Result
+				}(i, b)
+			}
+			wg.Wait()
+			alive := parts[:0:0]
+			for _, p := range parts {
+				if p != nil {
+					alive = append(alive, p)
+				}
+			}
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			if len(alive) == 0 {
+				f.drainErr = fmt.Errorf("front: no backend completed the drain")
+				return
+			}
+			f.final = sim.MergeResults(alive, len(f.matrix.Machines()))
+		}()
+	}
+
+	select {
+	case <-f.drained:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.drainErr != nil {
+			return nil, f.drainErr
+		}
+		return f.final, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// BackendStatus is one backend's entry in the router's GET /v1/stats.
+type BackendStatus struct {
+	Backend  int    `json:"backend"`
+	URL      string `json:"url"`
+	Ready    bool   `json:"ready"`
+	Inflight int    `json:"inflight"`
+	Window   int    `json:"window"`
+	// QueueMass and FreeSlots mirror the backend's last-polled aggregate
+	// load gauges — what the routing policy currently sees.
+	QueueMass int64 `json:"queue_mass"`
+	FreeSlots int64 `json:"free_slots"`
+	// Proxied counts decide sub-requests sent to this backend.
+	Proxied   int64  `json:"proxied_requests"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// StatsResponse is the router's GET /v1/stats body.
+type StatsResponse struct {
+	Router   string          `json:"router"`
+	Backends []BackendStatus `json:"backends"`
+}
+
+// Stats snapshots every backend's rotation state.
+func (f *Front) Stats() *StatsResponse {
+	st := &StatsResponse{Router: f.policy.Name()}
+	for _, b := range f.backends {
+		v := b.view.View()
+		st.Backends = append(st.Backends, BackendStatus{
+			Backend:   b.id,
+			URL:       b.url,
+			Ready:     b.ready.Load(),
+			Inflight:  b.inflight(),
+			Window:    cap(b.window),
+			QueueMass: v.QueueMass(),
+			FreeSlots: v.FreeSlots(),
+			Proxied:   b.proxied.Load(),
+			LastError: b.lastError(),
+		})
+	}
+	sort.Slice(st.Backends, func(i, j int) bool { return st.Backends[i].Backend < st.Backends[j].Backend })
+	return st
+}

@@ -1,0 +1,330 @@
+package front
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/taskdrop/internal/pet"
+	"github.com/hpcclab/taskdrop/internal/service"
+	"github.com/hpcclab/taskdrop/internal/telemetry"
+	"github.com/hpcclab/taskdrop/internal/workload"
+)
+
+// testTrace builds a small deterministic trace over the video matrix.
+func testTrace(t testing.TB, tasks int, seed int64) *workload.Trace {
+	t.Helper()
+	m, err := pet.CachedMatrix("video")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Config{TotalTasks: 30000, Window: workload.StandardWindow, GammaSlack: workload.DefaultGammaSlack}
+	return workload.Generate(m, cfg.Scaled(float64(tasks)/30000), seed)
+}
+
+// newBackends starts n partitioned shard servers over the video matrix.
+func newBackends(t testing.TB, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for k := 0; k < n; k++ {
+		c, err := service.New(service.Config{
+			Profile: "video", Mapper: "PAM", Dropper: "heuristic",
+			Partition:   fmt.Sprintf("%d/%d", k, n),
+			DedupWindow: 0, // default window: the router's sub-IDs need it
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(service.NewHandler(c))
+		t.Cleanup(srv.Close)
+		urls[k] = srv.URL
+	}
+	return urls
+}
+
+// newFront builds a Front over the backends and waits for full rotation.
+func newFront(t testing.TB, urls []string, mutate func(*Config)) *Front {
+	t.Helper()
+	cfg := Config{
+		Backends: urls,
+		Profile:  "video",
+		Poll:     10 * time.Millisecond,
+		Timeout:  2 * time.Second,
+		Backoff:  time.Millisecond,
+		IDNonce:  fmt.Sprintf("test-%s", t.Name()),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	deadline := time.Now().Add(5 * time.Second)
+	for f.NumReady() < len(urls) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d backends entered rotation", f.NumReady(), len(urls))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return f
+}
+
+func TestFrontReplayAcrossPartitions(t *testing.T) {
+	tr := testTrace(t, 400, 5)
+	urls := newBackends(t, 2)
+	f := newFront(t, urls, nil)
+	srv := httptest.NewServer(NewHandler(f))
+	defer srv.Close()
+
+	rep, err := service.Replay(context.Background(), srv.Client(), srv.URL, tr, service.ReplayConfig{
+		BatchSize: 16, Drain: true, Retries: 2, Timeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != tr.Len() || len(rep.Decisions) != tr.Len() {
+		t.Fatalf("replay covered %d/%d decisions", len(rep.Decisions), tr.Len())
+	}
+	if rep.DuplicateAcks != 0 {
+		t.Fatalf("%d duplicate acks through the router", rep.DuplicateAcks)
+	}
+	if rep.Final == nil {
+		t.Fatal("no fleet drain result")
+	}
+	if err := rep.Final.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Final.Total != tr.Len() {
+		t.Fatalf("fleet Result.Total = %d, want %d", rep.Final.Total, tr.Len())
+	}
+	// Both backends must have decided work, and every decision must carry
+	// its backend.
+	seen := map[int]int{}
+	for _, d := range rep.Decisions {
+		seen[d.Backend]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("decisions came from backends %v, want both", seen)
+	}
+}
+
+func TestFrontDeterministicAcrossRestarts(t *testing.T) {
+	// Same trace, same backends-per-partition, same routing policy: the
+	// decision sequence is reproducible (the hash router is stateless and
+	// the backends are deterministic engines).
+	run := func(nonce string) []service.Decision {
+		tr := testTrace(t, 200, 9)
+		urls := newBackends(t, 2)
+		f := newFront(t, urls, func(c *Config) { c.IDNonce = nonce })
+		srv := httptest.NewServer(NewHandler(f))
+		defer srv.Close()
+		rep, err := service.Replay(context.Background(), srv.Client(), srv.URL, tr, service.ReplayConfig{BatchSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Decisions
+	}
+	a, b := run("nonce-a"), run("nonce-b")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("decision sequences diverged across identical fleets")
+	}
+}
+
+func TestFrontIdempotentDuplicateBytes(t *testing.T) {
+	tr := testTrace(t, 40, 3)
+	urls := newBackends(t, 2)
+	f := newFront(t, urls, nil)
+	srv := httptest.NewServer(NewHandler(f))
+	defer srv.Close()
+
+	req := service.DecideRequest{DecisionID: "client-idem-1", Tasks: make([]service.TaskSpec, 8)}
+	for i, task := range tr.Tasks[:8] {
+		req.Tasks[i] = service.TaskSpec{ID: fmt.Sprintf("t%d", task.ID), Type: int(task.Type),
+			Arrival: task.Arrival, Deadline: task.Deadline, ExecByType: task.ExecByType}
+	}
+	post := func() (int, []byte) {
+		body, _ := json.Marshal(&req)
+		resp, err := srv.Client().Post(srv.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, data
+	}
+	code, first := post()
+	if code != http.StatusOK {
+		t.Fatalf("decide: HTTP %d: %s", code, first)
+	}
+	code, again := post()
+	if code != http.StatusOK {
+		t.Fatalf("duplicate decide: HTTP %d", code)
+	}
+	if !bytes.Equal(first, again) {
+		t.Fatalf("duplicate not byte-identical:\nfirst %s\nagain %s", first, again)
+	}
+	if f.Dedup().Hits() != 1 {
+		t.Fatalf("dedup hits = %d, want 1", f.Dedup().Hits())
+	}
+}
+
+func TestFrontShedsOnFullWindow(t *testing.T) {
+	tr := testTrace(t, 20, 1)
+	urls := newBackends(t, 2)
+	f := newFront(t, urls, func(c *Config) { c.Window = 1 })
+	srv := httptest.NewServer(NewHandler(f))
+	defer srv.Close()
+
+	// Exhaust every backend's single window slot, then decide: whichever
+	// backend the batch routes to is saturated → 429 + Retry-After.
+	for _, b := range f.backends {
+		if !b.tryAcquire() {
+			t.Fatal("fresh backend window already full")
+		}
+	}
+	defer func() {
+		for _, b := range f.backends {
+			b.release()
+		}
+	}()
+	req := service.DecideRequest{Tasks: []service.TaskSpec{{
+		Type: int(tr.Tasks[0].Type), Arrival: tr.Tasks[0].Arrival,
+		Deadline: tr.Tasks[0].Deadline, ExecByType: tr.Tasks[0].ExecByType,
+	}}}
+	body, _ := json.Marshal(&req)
+	resp, err := srv.Client().Post(srv.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated decide: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if f.metrics.shed.Load() == 0 {
+		t.Fatal("shed counter not incremented")
+	}
+}
+
+func TestFrontReroutesOffDeadBackend(t *testing.T) {
+	tr := testTrace(t, 60, 7)
+	urls := newBackends(t, 2)
+
+	// Stand a killable proxy in front of backend 0 so "kill -9" is a
+	// connection refused, while backend 1 survives.
+	died := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "gone", http.StatusBadGateway)
+	}))
+	died.Close() // closed immediately: every dial fails
+
+	f := newFront(t, []string{urls[0], urls[1]}, func(c *Config) { c.Retries = 0 })
+	srv := httptest.NewServer(NewHandler(f))
+	defer srv.Close()
+
+	// Freeze the rotation state (stop the pollers), then swap backend 0's
+	// URL for the dead address, as if the process died after joining the
+	// rotation but before the next poll — the decide path itself must
+	// detect the failure and reroute.
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.pollWG.Wait()
+	f.backends[0].url = died.URL
+
+	decided := 0
+	for lo := 0; lo < 32; lo += 8 {
+		req := service.DecideRequest{Tasks: make([]service.TaskSpec, 8)}
+		for i, task := range tr.Tasks[lo : lo+8] {
+			req.Tasks[i] = service.TaskSpec{Type: int(task.Type), Arrival: task.Arrival,
+				Deadline: task.Deadline, ExecByType: task.ExecByType}
+		}
+		resp, err := f.Decide(context.Background(), &req)
+		if err != nil {
+			t.Fatalf("decide with one dead backend: %v", err)
+		}
+		for _, d := range resp.Decisions {
+			if d.Backend != 1 {
+				t.Fatalf("decision routed to dead backend %d", d.Backend)
+			}
+			decided++
+		}
+	}
+	if decided != 32 {
+		t.Fatalf("decided %d/32 tasks", decided)
+	}
+	if f.backends[0].ready.Load() {
+		t.Fatal("dead backend still in rotation")
+	}
+	if f.metrics.reroutes.Load() == 0 {
+		t.Fatal("reroutes counter not incremented")
+	}
+}
+
+func TestFrontMetricsPassLint(t *testing.T) {
+	tr := testTrace(t, 40, 2)
+	urls := newBackends(t, 2)
+	f := newFront(t, urls, func(c *Config) { c.TraceSample = 1; c.TraceRing = 16 })
+	srv := httptest.NewServer(NewHandler(f))
+	defer srv.Close()
+
+	rep, err := service.Replay(context.Background(), srv.Client(), srv.URL, tr, service.ReplayConfig{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != tr.Len() {
+		t.Fatalf("replayed %d/%d", rep.Tasks, tr.Len())
+	}
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := telemetry.Lint(bytes.NewReader(data)); len(problems) > 0 {
+		t.Fatalf("router /metrics fails lint:\n%s", strings.Join(problems, "\n"))
+	}
+	for _, want := range []string{
+		"taskdrop_router_requests_total",
+		"taskdrop_router_backend_up{backend=\"0\"} 1",
+		"taskdrop_router_backend_up{backend=\"1\"} 1",
+		"taskdrop_router_decisions_total{action=",
+		"taskdrop_router_upstream_latency_seconds_bucket",
+		"taskdrop_router_dedup_hits_total",
+	} {
+		if !bytes.Contains(data, []byte(want)) {
+			t.Errorf("router /metrics missing %q", want)
+		}
+	}
+}
+
+func TestFrontWireTagsAreSnakeCase(t *testing.T) {
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(BackendStatus{}),
+		reflect.TypeOf(StatsResponse{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			tag := strings.Split(f.Tag.Get("json"), ",")[0]
+			if tag == "" {
+				t.Errorf("%s.%s has no json tag", typ.Name(), f.Name)
+				continue
+			}
+			if tag != strings.ToLower(tag) || strings.Contains(tag, "-") {
+				t.Errorf("%s.%s json tag %q is not snake_case", typ.Name(), f.Name, tag)
+			}
+		}
+	}
+}

@@ -65,6 +65,39 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBatchDecisionIDRoundTrip pins the trailing optional decision-ID
+// field of batch records: an ID survives the round trip, an ID-less batch
+// encodes exactly as the pre-ID format did (so old logs stay readable and
+// new ID-less logs stay readable by old builds), and both render in
+// String for hcreplay audits.
+func TestBatchDecisionIDRoundTrip(t *testing.T) {
+	with := Record{Kind: KindBatch, NTasks: 16, ID: "replay-0-000042"}
+	buf := AppendRecord(nil, &with)
+	got, err := DecodeRecord(buf[frameHeader:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(with, got) {
+		t.Fatalf("batch ID round trip mismatch:\n in %+v\nout %+v", with, got)
+	}
+	if s := got.String(); !bytes.Contains([]byte(s), []byte("replay-0-000042")) {
+		t.Fatalf("String() omits the decision ID: %q", s)
+	}
+
+	without := Record{Kind: KindBatch, NTasks: 16}
+	plain := AppendRecord(nil, &without)
+	if len(plain) >= len(buf) {
+		t.Fatalf("ID-less batch (%d bytes) not shorter than ID-carrying batch (%d bytes): the ID is not a trailing optional field", len(plain), len(buf))
+	}
+	back, err := DecodeRecord(plain[frameHeader:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(without, back) {
+		t.Fatalf("ID-less batch round trip mismatch:\n in %+v\nout %+v", without, back)
+	}
+}
+
 // TestTraceRecordBounds pins the span-count cap: the encoder accepts
 // exactly maxSpans, panics past it, and the decoder rejects both an
 // oversized count byte and a payload truncated mid-span.

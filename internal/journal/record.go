@@ -14,7 +14,11 @@ type Kind uint8
 // Record kinds. The numeric values are the on-disk format; never reorder.
 const (
 	// KindBatch marks a decide sub-batch boundary: NTasks arrivals follow.
-	// Replay counts one shard request per batch record.
+	// Replay counts one shard request per batch record. ID optionally
+	// carries the request's idempotent decision ID (an encoding-level
+	// trailing field: absent in logs written before decision IDs existed),
+	// which lets recovery re-seed the server's dedup window so a retried
+	// request straddling a crash still gets its original decisions back.
 	KindBatch Kind = 1
 	// KindArrive is one admitted arrival: the cluster-wide sequence number
 	// and the full task (type, arrival, deadline, realized execution times,
@@ -78,7 +82,8 @@ type Record struct {
 	// Exec is the realized execution time per machine type (arrive
 	// records).
 	Exec []pmf.Tick
-	// ID is the optional client-chosen decision label (arrive records).
+	// ID is the optional client-chosen decision label (arrive records) or
+	// the request's idempotent decision ID (batch records).
 	ID string
 	// Spans is the per-stage timing of a sampled decision (trace records).
 	Spans []SpanRec
@@ -119,6 +124,13 @@ func AppendRecord(buf []byte, r *Record) []byte {
 	switch r.Kind {
 	case KindBatch:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.NTasks))
+		// The decision ID is a trailing optional field: old logs (and
+		// ID-less batches) end after NTasks, and the decoder only reads the
+		// length prefix when payload bytes remain — no version bump needed.
+		if r.ID != "" {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(r.ID)))
+			buf = append(buf, r.ID...)
+		}
 	case KindArrive:
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Seq))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Type))
@@ -178,6 +190,13 @@ func DecodeRecord(payload []byte) (Record, error) {
 		r.NTasks = int32(d.u32())
 		if r.NTasks < 0 {
 			return r, fmt.Errorf("journal: batch record with %d tasks", r.NTasks)
+		}
+		if d.err == nil && d.remaining() > 0 {
+			idLen := int(d.u16())
+			if idLen > maxIDLen {
+				return r, fmt.Errorf("journal: batch record with %d-byte id", idLen)
+			}
+			r.ID = string(d.bytes(idLen))
 		}
 	case KindArrive:
 		r.Seq = int64(d.u64())
@@ -310,6 +329,9 @@ func (d *decoder) bytes(n int) []byte {
 func (r *Record) String() string {
 	switch r.Kind {
 	case KindBatch:
+		if r.ID != "" {
+			return fmt.Sprintf("batch n=%d id=%q", r.NTasks, r.ID)
+		}
 		return fmt.Sprintf("batch n=%d", r.NTasks)
 	case KindArrive:
 		return fmt.Sprintf("arrive seq=%d type=%d t=%d deadline=%d id=%q", r.Seq, r.Type, r.Tick, r.Deadline, r.ID)

@@ -1,0 +1,55 @@
+package router
+
+import "sync"
+
+// RemoteView adapts a ShardView to a remote backend whose state arrives
+// over the wire instead of from an in-process decision loop: the router
+// tier (internal/front) polls each shard server's /v1/stats and folds the
+// aggregated load gauges and per-class robustness estimates into the view,
+// and nudges the estimates with its own admission observations between
+// polls. The wrapped ShardView feeds the exact same Policy interface the
+// in-process cluster uses, so rr/mass/p2c/hash route identically whether
+// the shards live in this process or behind HTTP.
+//
+// ShardView's EWMA setters are single-writer by contract; a front-end has
+// many goroutines observing admissions concurrently with the poller, so
+// RemoteView serializes all writes behind a mutex. Policies still read the
+// inner view's atomics lock-free.
+type RemoteView struct {
+	mu sync.Mutex
+	v  *ShardView
+}
+
+// NewRemoteView builds a remote-fed view for a backend serving numClasses
+// task classes. Like NewShardView, estimates start optimistic (1.0) so
+// fresh backends attract work until real observations arrive.
+func NewRemoteView(numClasses int) *RemoteView {
+	return &RemoteView{v: NewShardView(numClasses)}
+}
+
+// View returns the inner ShardView for policy routing. Reads are lock-free.
+func (r *RemoteView) View() *ShardView { return r.v }
+
+// ApplyStats overwrites the view with an authoritative remote snapshot:
+// the backend's aggregated load gauges (deferred batch, queued tasks, free
+// slots summed over its shards) and per-class robustness estimates. Called
+// by the backend's poller after each /v1/stats round trip.
+func (r *RemoteView) ApplyStats(batch, queued, free int, robustness []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v.SetLoad(batch, queued, free)
+	for class, p := range robustness {
+		r.v.SetClassRobustness(class, p)
+	}
+}
+
+// ObserveAdmission folds one proxied admission outcome into the per-class
+// EWMA — the front-end's between-polls signal: p is 1 for a mapped task, 0
+// for a deferred or dropped one (the backend could not give the class a
+// timely slot). The next ApplyStats overwrites it with the backend's own
+// Eq. 2 estimate.
+func (r *RemoteView) ObserveAdmission(class int, p float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v.ObserveAdmission(class, p)
+}

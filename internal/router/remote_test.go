@@ -1,0 +1,101 @@
+package router
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+)
+
+func TestClassHashDeterministicAndInRange(t *testing.T) {
+	p := NewClassHash(7)
+	vs := views(5)
+	for class := 0; class < 64; class++ {
+		first := p.Route(Task{Class: class}, vs)
+		if first < 0 || first >= len(vs) {
+			t.Fatalf("class %d routed to %d, outside [0,%d)", class, first, len(vs))
+		}
+		for i := 0; i < 10; i++ {
+			if got := p.Route(Task{Class: class, Arrival: pmf.Tick(i)}, vs); got != first {
+				t.Fatalf("class %d route changed: %d then %d (must be a pure function of the class)", class, first, got)
+			}
+		}
+	}
+}
+
+func TestClassHashSpreadsClasses(t *testing.T) {
+	p := NewClassHash(1)
+	vs := views(4)
+	counts := make([]int, 4)
+	for class := 0; class < 400; class++ {
+		counts[p.Route(Task{Class: class}, vs)]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no classes: %v", s, counts)
+		}
+	}
+}
+
+func TestClassHashSeedsDiffer(t *testing.T) {
+	a, b := NewClassHash(1), NewClassHash(2)
+	vs := views(8)
+	same := 0
+	for class := 0; class < 256; class++ {
+		if a.Route(Task{Class: class}, vs) == b.Route(Task{Class: class}, vs) {
+			same++
+		}
+	}
+	if same == 256 {
+		t.Fatal("seeds 1 and 2 produce identical class assignments")
+	}
+}
+
+func TestRemoteViewApplyStats(t *testing.T) {
+	r := NewRemoteView(3)
+	r.ApplyStats(2, 5, 7, []float64{0.9, 0.1, 0.5})
+	v := r.View()
+	if got := v.QueueMass(); got != 7 {
+		t.Fatalf("QueueMass = %d, want 7 (batch 2 + queued 5)", got)
+	}
+	if got := v.FreeSlots(); got != 7 {
+		t.Fatalf("FreeSlots = %d, want 7", got)
+	}
+	for class, want := range []float64{0.9, 0.1, 0.5} {
+		if got := v.ClassRobustness(class); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("class %d robustness = %v, want %v", class, got, want)
+		}
+	}
+	// A later snapshot overwrites, it does not blend.
+	r.ApplyStats(0, 0, 12, []float64{0.2, 0.2, 0.2})
+	if got := v.QueueMass(); got != 0 {
+		t.Fatalf("QueueMass after second snapshot = %d, want 0", got)
+	}
+	if got := v.ClassRobustness(0); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("class 0 robustness after second snapshot = %v, want 0.2", got)
+	}
+}
+
+func TestRemoteViewConcurrentWriters(t *testing.T) {
+	// ShardView's writes are single-writer by contract; RemoteView must
+	// make concurrent pollers and admission observers safe. Run under
+	// -race to catch regressions.
+	r := NewRemoteView(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if w%2 == 0 {
+					r.ApplyStats(i, i, i, []float64{0.5, 0.5})
+				} else {
+					r.ObserveAdmission(i%2, float64(i%2))
+				}
+				_ = r.View().ClassRobustness(0)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

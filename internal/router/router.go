@@ -26,6 +26,9 @@
 //	p2c[:seed=<int64>]          power-of-two-choices over per-class
 //	                            robustness estimates (aliases poweroftwo,
 //	                            power-of-two)
+//	hash[:seed=<int64>]         task class partitioning: every task of one
+//	                            class lands on the same shard (aliases
+//	                            class, class-hash)
 package router
 
 import (
@@ -237,6 +240,35 @@ func (p *PowerOfTwo) Route(t Task, views []*ShardView) int {
 	return i
 }
 
+// ClassHash partitions the task classes across the shards: every task of
+// one class always routes to the same shard (splitmix64 of the class,
+// seeded, modulo the shard count). This is the router tier's default —
+// with task classes as partition keys, each backend's per-class EWMAs and
+// queue state see a stable workload mix, and a sequential client's routing
+// is a pure function of the task stream regardless of shard load. The
+// policy is stateless, so concurrent routes share nothing.
+type ClassHash struct {
+	seed uint64
+}
+
+// NewClassHash returns a class-partitioning policy. Different seeds pick
+// different (still deterministic) class→shard assignments.
+func NewClassHash(seed int64) ClassHash { return ClassHash{seed: uint64(seed)} }
+
+// Name implements Policy.
+func (ClassHash) Name() string { return "hash" }
+
+// Route implements Policy.
+func (p ClassHash) Route(t Task, views []*ShardView) int {
+	x := (uint64(t.Class)+p.seed+1)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(len(views)))
+}
+
 // better reports whether shard a beats shard b for task t: higher
 // robustness estimate for the class, then lighter queue, then lower index.
 func better(t Task, views []*ShardView, a, b int) bool {
@@ -267,6 +299,8 @@ func FromSpec(s string) (Policy, error) {
 		p = LeastMass{}
 	case "p2c", "poweroftwo", "power-of-two":
 		p = NewPowerOfTwo(params.Int64("seed", 1))
+	case "hash", "class", "class-hash":
+		p = NewClassHash(params.Int64("seed", 1))
 	default:
 		return nil, fmt.Errorf("router: unknown routing policy %q (known: %s)", name, strings.Join(Names(), ", "))
 	}
@@ -278,7 +312,7 @@ func FromSpec(s string) (Policy, error) {
 
 // Names lists the canonical routing-policy names.
 func Names() []string {
-	out := []string{"rr", "mass", "p2c"}
+	out := []string{"rr", "mass", "p2c", "hash"}
 	sort.Strings(out)
 	return out
 }

@@ -4,15 +4,226 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcclab/taskdrop/internal/sim"
 	"github.com/hpcclab/taskdrop/internal/workload"
 )
+
+// ClientConfig tunes the retrying service client.
+type ClientConfig struct {
+	// Timeout bounds each individual attempt (not the whole call); 0 means
+	// no per-attempt timeout beyond the caller's ctx.
+	Timeout time.Duration
+	// Retries is the retry budget after the first attempt (default 0: one
+	// attempt, the pre-retry behavior). Only transport errors, 5xx and 429
+	// are retried — a 4xx is the caller's bug and repeats identically.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt up to
+	// maxBackoff, each sleep stretched by up to 50% deterministic jitter
+	// (default 50ms). A server's Retry-After overrides the computed delay.
+	Backoff time.Duration
+}
+
+// Client wraps an http.Client with bounded retries and exponential
+// backoff for the service's POST endpoints. Safe for concurrent use.
+//
+// Retrying a decide is only harmless when the request carries a
+// DecisionID (the server then deduplicates); Replay stamps one on every
+// request whenever retries are enabled.
+type Client struct {
+	http *http.Client
+	cfg  ClientConfig
+	// jitterState drives a counter-based splitmix64 stream — deterministic
+	// jitter, no wall-clock randomness, same idiom as router.PowerOfTwo.
+	jitterState atomic.Uint64
+	// attempts counts every HTTP attempt (first tries and retries alike).
+	attempts atomic.Int64
+}
+
+// Backoff defaults and cap.
+const (
+	defaultBackoff = 50 * time.Millisecond
+	maxBackoff     = 2 * time.Second
+)
+
+// NewClient builds a retrying client over hc (nil means
+// http.DefaultClient).
+func NewClient(hc *http.Client, cfg ClientConfig) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = defaultBackoff
+	}
+	return &Client{http: hc, cfg: cfg}
+}
+
+// HTTPError is a non-2xx response, carrying the status and the server's
+// Retry-After hint (0 when absent).
+type HTTPError struct {
+	Status     int
+	URL        string
+	Msg        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("service: %s: %s (HTTP %d)", e.URL, e.Msg, e.Status)
+	}
+	return fmt.Sprintf("service: %s: HTTP %d", e.URL, e.Status)
+}
+
+// retryable reports whether err is worth another attempt: transport
+// failures, server errors and backpressure (429). Client errors (other
+// 4xx) and JSON decode failures repeat identically, so they are final.
+func retryable(err error) bool {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500 || he.Status == http.StatusTooManyRequests
+	}
+	// Transport-level failure (connection refused, reset, per-attempt
+	// timeout): http.Client.Do wraps them all in *url.Error.
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// PostJSON posts body (nil for empty) to url and decodes the response
+// into out, retrying per the client's config. The sleep before attempt k
+// is Backoff·2^(k-1) stretched by up to 50% deterministic jitter and
+// capped at 2s — unless the server sent Retry-After, which wins.
+func (cl *Client) PostJSON(ctx context.Context, url string, body, out any) error {
+	var data []byte
+	if body != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = cl.post(ctx, url, data, out)
+		if lastErr == nil || attempt >= cl.cfg.Retries || !retryable(lastErr) {
+			return lastErr
+		}
+		delay := cl.cfg.Backoff << attempt
+		if delay > maxBackoff {
+			delay = maxBackoff
+		}
+		// Up to +50% jitter desynchronizes retry storms across clients
+		// without reading a wall clock for randomness.
+		delay += time.Duration(cl.jitter() % uint64(delay/2+1))
+		var he *HTTPError
+		if errors.As(lastErr, &he) && he.RetryAfter > 0 {
+			delay = he.RetryAfter
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// Attempts returns the total HTTP attempts made (first tries + retries).
+func (cl *Client) Attempts() int64 { return cl.attempts.Load() }
+
+// GetJSON fetches url and decodes the response into out, in a single
+// attempt under the per-attempt timeout — no retries. Health and stats
+// probes want fast failure, not a retry budget: the caller polls anyway.
+func (cl *Client) GetJSON(ctx context.Context, u string, out any) error {
+	cl.attempts.Add(1)
+	if cl.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.cfg.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cl.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		he := &HTTPError{Status: resp.StatusCode, URL: u}
+		var eb errorBody
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil {
+			he.Msg = eb.Error
+		}
+		return he
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// post runs one attempt under the per-attempt timeout.
+func (cl *Client) post(ctx context.Context, u string, data []byte, out any) error {
+	cl.attempts.Add(1)
+	if cl.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cl.cfg.Timeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if data != nil {
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, rd)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cl.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		he := &HTTPError{Status: resp.StatusCode, URL: u}
+		var eb errorBody
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil {
+			he.Msg = eb.Error
+		}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// jitter advances the deterministic splitmix64 stream by one draw.
+func (cl *Client) jitter() uint64 {
+	x := cl.jitterState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
 
 // ReplayConfig tunes a trace replay against a running admission server.
 type ReplayConfig struct {
@@ -31,6 +242,17 @@ type ReplayConfig struct {
 	// stream as one uninterrupted replay, which is how the crash-recovery
 	// smoke proves recovered state equals live state.
 	From, To int
+	// Timeout, Retries and Backoff configure the retrying client (see
+	// ClientConfig). With Retries > 0 every decide request is stamped with
+	// a DecisionID so a retry of a timed-out-but-committed request replays
+	// the original decisions instead of double-feeding.
+	Timeout time.Duration
+	Retries int
+	Backoff time.Duration
+	// DecisionIDPrefix namespaces the stamped DecisionIDs (default
+	// "replay"). Distinct replays against one server must use distinct
+	// prefixes, or their IDs collide in the server's dedup window.
+	DecisionIDPrefix string
 }
 
 // ShardLatency is the client-observed decide latency attributed to one
@@ -59,7 +281,13 @@ type ReplayReport struct {
 	// PerShard breaks the latencies down by the shard(s) that served each
 	// request, in shard order (one entry on an unsharded server).
 	PerShard []ShardLatency `json:"per_shard,omitempty"`
-	Elapsed  time.Duration  `json:"elapsed_ns"`
+	// Retried counts decide requests that needed more than one attempt.
+	Retried int `json:"retried,omitempty"`
+	// DuplicateAcks counts trace tasks acknowledged more than once — a
+	// nonzero value means a retry double-fed the server (the idempotency
+	// machinery failed).
+	DuplicateAcks int           `json:"duplicate_acks,omitempty"`
+	Elapsed       time.Duration `json:"elapsed_ns"`
 	// Final is the server's drain Result (nil unless ReplayConfig.Drain).
 	Final *sim.Result `json:"final,omitempty"`
 }
@@ -77,13 +305,16 @@ func (r *ReplayReport) Robustness() float64 {
 // arrival order, pacing by the trace's arrival gaps scaled by cfg.Speed,
 // and reports decisions, latency percentiles and (when draining) the
 // server's final Result. The same (trace, batch size) always produces the
-// same request sequence, so replays are reproducible end to end.
+// same request sequence, so replays are reproducible end to end. With
+// cfg.Retries > 0, failed requests are retried with backoff under stamped
+// decision IDs (idempotent against dedup-aware servers).
 func Replay(ctx context.Context, client *http.Client, baseURL string, tr *workload.Trace, cfg ReplayConfig) (*ReplayReport, error) {
-	if client == nil {
-		client = http.DefaultClient
-	}
+	cl := NewClient(client, ClientConfig{Timeout: cfg.Timeout, Retries: cfg.Retries, Backoff: cfg.Backoff})
 	if cfg.BatchSize < 1 {
 		cfg.BatchSize = 16
+	}
+	if cfg.DecisionIDPrefix == "" {
+		cfg.DecisionIDPrefix = "replay"
 	}
 	tasks := tr.Tasks
 	if cfg.To > 0 && cfg.To < len(tasks) {
@@ -96,6 +327,7 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 	rep := &ReplayReport{Tasks: len(tasks)}
 	lats := make([]time.Duration, 0, (len(tasks)+cfg.BatchSize-1)/cfg.BatchSize)
 	shardLats := map[int][]time.Duration{}
+	acked := make(map[string]bool, len(tasks))
 	start := time.Now()
 
 	for lo := 0; lo < len(tasks); lo += cfg.BatchSize {
@@ -104,6 +336,11 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 			hi = len(tasks)
 		}
 		req := DecideRequest{Tasks: make([]TaskSpec, hi-lo)}
+		if cfg.Retries > 0 {
+			// A stable per-request ID makes the retry idempotent: a repeat
+			// after a timed-out-but-committed attempt replays the original.
+			req.DecisionID = fmt.Sprintf("%s-%d-%06d", cfg.DecisionIDPrefix, cfg.From, rep.Requests)
+		}
 		for i, t := range tasks[lo:hi] {
 			req.Tasks[i] = TaskSpec{
 				ID:         fmt.Sprintf("t%d", t.ID),
@@ -125,9 +362,13 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 			}
 		}
 		t0 := time.Now()
+		attemptsBefore := cl.Attempts()
 		var resp DecideResponse
-		if err := postJSON(ctx, client, baseURL+"/v1/decide", &req, &resp); err != nil {
+		if err := cl.PostJSON(ctx, baseURL+"/v1/decide", &req, &resp); err != nil {
 			return nil, err
+		}
+		if cl.Attempts() > attemptsBefore+1 {
+			rep.Retried++
 		}
 		lat := time.Since(t0)
 		lats = append(lats, lat)
@@ -141,6 +382,12 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 				rep.Deferred++
 			case ActionDrop:
 				rep.Dropped++
+			}
+			if d.ID != "" {
+				if acked[d.ID] {
+					rep.DuplicateAcks++
+				}
+				acked[d.ID] = true
 			}
 			if !seen[d.Shard] {
 				seen[d.Shard] = true
@@ -156,7 +403,7 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 	rep.Elapsed = time.Since(start)
 	if cfg.Drain {
 		var dr DrainResponse
-		if err := postJSON(ctx, client, baseURL+"/v1/drain", nil, &dr); err != nil {
+		if err := cl.PostJSON(ctx, baseURL+"/v1/drain", nil, &dr); err != nil {
 			return nil, err
 		}
 		rep.Final = dr.Result
@@ -208,35 +455,4 @@ func percentile(sorted []time.Duration, q float64) time.Duration {
 	}
 	frac := r - float64(i)
 	return sorted[i] + time.Duration(frac*float64(sorted[i+1]-sorted[i])+0.5)
-}
-
-// postJSON posts body (nil for an empty body) and decodes the response
-// into out, surfacing the server's error string on non-2xx statuses.
-func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, rd)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var eb errorBody
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error != "" {
-			return fmt.Errorf("service: %s: %s (HTTP %d)", url, eb.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("service: %s: HTTP %d", url, resp.StatusCode)
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
 }

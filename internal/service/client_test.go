@@ -1,0 +1,146 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first n requests with status, then succeeds.
+func flakyServer(t *testing.T, n int, status int, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			fmt.Fprintln(w, `{"error":"induced failure"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	srv, calls := flakyServer(t, 2, http.StatusInternalServerError, "")
+	cl := NewClient(srv.Client(), ClientConfig{Retries: 3, Backoff: time.Millisecond})
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := cl.PostJSON(context.Background(), srv.URL, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK {
+		t.Fatal("success response not decoded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 failures + success)", got)
+	}
+	if got := cl.Attempts(); got != 3 {
+		t.Fatalf("Attempts() = %d, want 3", got)
+	}
+}
+
+func TestClientStopsWhenBudgetSpent(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusInternalServerError, "")
+	cl := NewClient(srv.Client(), ClientConfig{Retries: 2, Backoff: time.Millisecond})
+	err := cl.PostJSON(context.Background(), srv.URL, nil, nil)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want the final 500", err)
+	}
+	if he.Msg != "induced failure" {
+		t.Fatalf("error body not surfaced: %q", he.Msg)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	srv, calls := flakyServer(t, 100, http.StatusBadRequest, "")
+	cl := NewClient(srv.Client(), ClientConfig{Retries: 5, Backoff: time.Millisecond})
+	err := cl.PostJSON(context.Background(), srv.URL, nil, nil)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("a 400 was retried: %d attempts", got)
+	}
+}
+
+func TestClientHonorsRetryAfterOn429(t *testing.T) {
+	srv, calls := flakyServer(t, 1, http.StatusTooManyRequests, "1")
+	// Backoff would be instant; Retry-After must stretch the sleep to ~1s.
+	cl := NewClient(srv.Client(), ClientConfig{Retries: 1, Backoff: time.Millisecond})
+	start := time.Now()
+	if err := cl.PostJSON(context.Background(), srv.URL, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if waited := time.Since(start); waited < 900*time.Millisecond {
+		t.Fatalf("retried after %s; Retry-After: 1 ignored", waited)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2", got)
+	}
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	// A server that is down: connection refused is retryable, and the
+	// retries are observable through Attempts.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+	cl := NewClient(nil, ClientConfig{Retries: 2, Backoff: time.Millisecond})
+	if err := cl.PostJSON(context.Background(), url, nil, nil); err == nil {
+		t.Fatal("dead server answered")
+	}
+	if got := cl.Attempts(); got != 3 {
+		t.Fatalf("Attempts() = %d, want 3", got)
+	}
+}
+
+func TestClientPerAttemptTimeout(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first attempt hangs past the per-attempt timeout
+		}
+		fmt.Fprintln(w, `{}`)
+	}))
+	defer srv.Close()
+	defer close(release)
+	cl := NewClient(srv.Client(), ClientConfig{Timeout: 50 * time.Millisecond, Retries: 1, Backoff: time.Millisecond})
+	if err := cl.PostJSON(context.Background(), srv.URL, nil, nil); err != nil {
+		t.Fatalf("second attempt should have succeeded: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d attempts, want 2 (timeout + success)", got)
+	}
+}
+
+func TestClientContextCancelsBackoffSleep(t *testing.T) {
+	srv, _ := flakyServer(t, 100, http.StatusInternalServerError, "60")
+	cl := NewClient(srv.Client(), ClientConfig{Retries: 1, Backoff: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := cl.PostJSON(ctx, srv.URL, nil, nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("context cancellation did not cut the Retry-After sleep (%s)", waited)
+	}
+}

@@ -21,10 +21,19 @@ const maxDecideBody = 16 << 20
 //	GET  /v1/stats   — per-shard queue depths, robustness estimates and
 //	                   drop counts
 //	GET  /healthz    — liveness + served (profile, mapper, dropper,
-//	                   shards, router)
+//	                   shards, router, partition)
+//	GET  /readyz     — readiness: 200 once serving, 503 while draining
+//	                   (cmd/hcserve additionally 503s during journal
+//	                   recovery and shard boot; the router tier gates on it)
 //	GET  /metrics    — Prometheus text exposition (aggregate + per-shard)
 //	GET  /debug/traces — retained stage-timed decision traces (JSON; empty
 //	                   unless Config.TraceSample > 0)
+//
+// Requests carrying a DecisionID are idempotent: the first request with an
+// ID executes and its acknowledged bytes are retained in the controller's
+// dedup window; a retry of the same ID replays those exact bytes. A
+// duplicate whose task count disagrees with the original — or whose batch
+// recovery found torn by a crash — gets 409 Conflict.
 func NewHandler(c *Controller) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/decide", func(w http.ResponseWriter, r *http.Request) {
@@ -35,6 +44,46 @@ func NewHandler(c *Controller) http.Handler {
 		if err := dec.Decode(&req); err != nil {
 			c.metrics.rejected.Add(1)
 			httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad decide body: %w", err))
+			return
+		}
+		if id := req.DecisionID; id != "" && c.dedup != nil {
+			e, owner := c.dedup.Begin(id)
+			if !owner {
+				// Duplicate: wait out a concurrent first attempt if need be,
+				// then replay the original acknowledged bytes.
+				data, n, err := e.Await(r.Context())
+				if err != nil {
+					httpError(w, http.StatusConflict, fmt.Errorf("service: duplicate decision id %q: %w", id, err))
+					return
+				}
+				if n != len(req.Tasks) {
+					httpError(w, http.StatusConflict, fmt.Errorf(
+						"service: decision id %q was acknowledged for %d tasks, retried with %d", id, n, len(req.Tasks)))
+					return
+				}
+				writeRawJSON(w, http.StatusOK, data)
+				return
+			}
+			resp, err := c.Decide(r.Context(), &req)
+			if err != nil {
+				// A failed Decide left no engine state behind: release the ID
+				// so a retry re-executes.
+				c.dedup.Fail(id, err)
+				httpError(w, decideStatus(err), err)
+				return
+			}
+			data, err := json.Marshal(resp)
+			if err != nil {
+				c.dedup.Fail(id, err)
+				httpError(w, http.StatusInternalServerError, err)
+				return
+			}
+			data = append(data, '\n')
+			// Commit the exact bytes being acknowledged — what makes a
+			// replayed duplicate byte-identical to the original response.
+			c.dedup.Commit(id, data, len(req.Tasks))
+			c.metrics.ObserveLatency(time.Since(start))
+			writeRawJSON(w, http.StatusOK, data)
 			return
 		}
 		resp, err := c.Decide(r.Context(), &req)
@@ -63,18 +112,26 @@ func NewHandler(c *Controller) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := StatusResponse{
-			Status:   "ok",
-			Profile:  c.cfg.Profile,
-			Mapper:   c.cfg.Mapper,
-			Dropper:  c.cfg.Dropper,
-			Machines: len(c.matrix.Machines()),
-			Shards:   len(c.shards),
-			Router:   c.policy.Name(),
+			Status:    "ok",
+			Profile:   c.cfg.Profile,
+			Mapper:    c.cfg.Mapper,
+			Dropper:   c.cfg.Dropper,
+			Machines:  c.cl.NumMachines(),
+			Shards:    len(c.shards),
+			Router:    c.policy.Name(),
+			Partition: c.cfg.Partition,
 		}
 		if c.Draining() {
 			st.Status = "draining"
 		}
 		writeJSON(w, http.StatusOK, &st)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if c.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, &ReadyResponse{Status: "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, &ReadyResponse{Ready: true, Status: "ok"})
 	})
 	mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Traces())
@@ -88,6 +145,14 @@ func NewHandler(c *Controller) http.Handler {
 		telemetry.WriteRuntimeMetrics(w)
 		if c.jmetrics != nil {
 			writeJournalMetrics(w, c)
+		}
+		if c.dedup != nil {
+			fmt.Fprintf(w, "# HELP taskdrop_dedup_hits_total Duplicate decision-ID requests served from the dedup window.\n")
+			fmt.Fprintf(w, "# TYPE taskdrop_dedup_hits_total counter\n")
+			fmt.Fprintf(w, "taskdrop_dedup_hits_total %d\n", c.dedup.Hits())
+			fmt.Fprintf(w, "# HELP taskdrop_dedup_entries Decision IDs currently retained in the dedup window.\n")
+			fmt.Fprintf(w, "# TYPE taskdrop_dedup_entries gauge\n")
+			fmt.Fprintf(w, "taskdrop_dedup_entries %d\n", c.dedup.Len())
 		}
 		// Engine gauges come from the decision loops; skip them once drained
 		// (counters above still tell the whole story).
@@ -179,4 +244,13 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeRawJSON writes pre-encoded JSON bytes (already newline-terminated)
+// — the dedup path, where the response must be byte-identical to the
+// original acknowledgement.
+func writeRawJSON(w http.ResponseWriter, code int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(data)
 }

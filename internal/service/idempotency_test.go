@@ -1,0 +1,184 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// postDecide POSTs one decide request and returns the raw response bytes.
+func postDecide(t testing.TB, srv *httptest.Server, req *DecideRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestHTTPIdempotentDecisionIDs is the PR's acceptance criterion at the
+// single-server level: a repeated decide request with the same DecisionID
+// must return the byte-identical original response and must not advance
+// the engine.
+func TestHTTPIdempotentDecisionIDs(t *testing.T) {
+	tr := testTrace(t, 64, 11)
+	_, srv := newTestServer(t)
+
+	var responses [][]byte
+	for lo := 0; lo < 32; lo += 8 {
+		req := DecideRequest{DecisionID: fmt.Sprintf("idem-%d", lo/8), Tasks: make([]TaskSpec, 8)}
+		for i, task := range tr.Tasks[lo : lo+8] {
+			req.Tasks[i] = TaskSpec{ID: fmt.Sprintf("t%d", task.ID), Type: int(task.Type),
+				Arrival: task.Arrival, Deadline: task.Deadline, ExecByType: task.ExecByType}
+		}
+		code, first := postDecide(t, srv, &req)
+		if code != http.StatusOK {
+			t.Fatalf("decide %d: HTTP %d: %s", lo/8, code, first)
+		}
+		responses = append(responses, first)
+
+		// Retry the identical request twice: byte-identical both times.
+		for retry := 0; retry < 2; retry++ {
+			code, again := postDecide(t, srv, &req)
+			if code != http.StatusOK {
+				t.Fatalf("duplicate decide %d retry %d: HTTP %d: %s", lo/8, retry, code, again)
+			}
+			if !bytes.Equal(again, first) {
+				t.Fatalf("duplicate decide %d retry %d not byte-identical:\nfirst %s\nretry %s", lo/8, retry, first, again)
+			}
+		}
+	}
+
+	// A duplicate with a different task count is a protocol violation.
+	bad := DecideRequest{DecisionID: "idem-0", Tasks: make([]TaskSpec, 3)}
+	for i, task := range tr.Tasks[:3] {
+		bad.Tasks[i] = TaskSpec{Type: int(task.Type), Arrival: task.Arrival, Deadline: task.Deadline, ExecByType: task.ExecByType}
+	}
+	if code, body := postDecide(t, srv, &bad); code != http.StatusConflict {
+		t.Fatalf("count-mismatched duplicate: HTTP %d (want 409): %s", code, body)
+	}
+
+	// The duplicates must not have advanced the engine: the next fresh
+	// batch continues the sequence exactly where the originals left it.
+	req := DecideRequest{Tasks: make([]TaskSpec, 1)}
+	task := tr.Tasks[32]
+	req.Tasks[0] = TaskSpec{Type: int(task.Type), Arrival: task.Arrival, Deadline: task.Deadline, ExecByType: task.ExecByType}
+	code, data := postDecide(t, srv, &req)
+	if code != http.StatusOK {
+		t.Fatalf("follow-up decide: HTTP %d", code)
+	}
+	var out DecideResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decisions[0].Seq != 32 {
+		t.Fatalf("follow-up seq = %d, want 32 — duplicates advanced the engine", out.Decisions[0].Seq)
+	}
+}
+
+// TestJournalReseedsDedupAfterCrash proves idempotency survives a process
+// crash: decision IDs acknowledged before a kill -9 are re-seeded from the
+// journal on recovery, and a post-restart retry returns the byte-identical
+// pre-crash response.
+func TestJournalReseedsDedupAfterCrash(t *testing.T) {
+	tr := testTrace(t, 80, 13)
+	cfg := Config{
+		Profile: "video", Mapper: "PAM", Dropper: "heuristic", Shards: 2, Router: "rr",
+		JournalDir: t.TempDir(), Fsync: "never", SnapshotEvery: -1,
+	}
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(NewHandler(c1))
+
+	originals := map[string][]byte{}
+	for lo := 0; lo < 40; lo += 10 {
+		id := fmt.Sprintf("crash-idem-%d", lo/10)
+		req := DecideRequest{DecisionID: id, Tasks: make([]TaskSpec, 10)}
+		for i, task := range tr.Tasks[lo : lo+10] {
+			req.Tasks[i] = TaskSpec{ID: fmt.Sprintf("t%d", task.ID), Type: int(task.Type),
+				Arrival: task.Arrival, Deadline: task.Deadline, ExecByType: task.ExecByType}
+		}
+		code, data := postDecide(t, srv1, &req)
+		if code != http.StatusOK {
+			t.Fatalf("decide %s: HTTP %d: %s", id, code, data)
+		}
+		originals[id] = data
+	}
+	srv1.Close()
+	crash(c1)
+
+	c2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	srv2 := httptest.NewServer(NewHandler(c2))
+	defer srv2.Close()
+
+	for lo := 0; lo < 40; lo += 10 {
+		id := fmt.Sprintf("crash-idem-%d", lo/10)
+		req := DecideRequest{DecisionID: id, Tasks: make([]TaskSpec, 10)}
+		for i, task := range tr.Tasks[lo : lo+10] {
+			req.Tasks[i] = TaskSpec{ID: fmt.Sprintf("t%d", task.ID), Type: int(task.Type),
+				Arrival: task.Arrival, Deadline: task.Deadline, ExecByType: task.ExecByType}
+		}
+		code, data := postDecide(t, srv2, &req)
+		if code != http.StatusOK {
+			t.Fatalf("post-crash retry %s: HTTP %d: %s", id, code, data)
+		}
+		if !bytes.Equal(data, originals[id]) {
+			t.Fatalf("post-crash retry %s not byte-identical:\n pre %s\npost %s", id, originals[id], data)
+		}
+	}
+
+	// Fresh work continues normally after the reseeded window.
+	tail := decideRange(t, c2, tr, 40, len(tr.Tasks), 8)
+	if tail[0].Seq != 40 {
+		t.Fatalf("post-recovery seq = %d, want 40", tail[0].Seq)
+	}
+}
+
+// TestPartitionedControllersCoverMatrix builds two controllers over the
+// halves of the video matrix and checks the ownership arithmetic the
+// multi-process deployment relies on.
+func TestPartitionedControllersCoverMatrix(t *testing.T) {
+	var owned int
+	var total int
+	for k := 0; k < 2; k++ {
+		c, err := New(Config{
+			Profile: "video", Mapper: "PAM", Dropper: "heuristic",
+			Partition: fmt.Sprintf("%d/2", k), Shards: 2, Router: "rr",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = len(c.Matrix().Machines())
+		if c.NumMachines() >= total {
+			t.Fatalf("partition %d/2 owns the whole matrix (%d machines)", k, c.NumMachines())
+		}
+		owned += c.NumMachines()
+	}
+	if owned != total {
+		t.Fatalf("partitions own %d machines, matrix has %d", owned, total)
+	}
+
+	for _, bad := range []string{"2/2", "-1/2", "0/0", "x/2", "0/", "1"} {
+		if _, err := New(Config{Profile: "video", Mapper: "PAM", Dropper: "heuristic", Partition: bad}); err == nil {
+			t.Errorf("partition %q accepted", bad)
+		}
+	}
+}

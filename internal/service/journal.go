@@ -2,10 +2,12 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +52,11 @@ type Manifest struct {
 	Grace             pmf.Tick `json:"grace"`
 	DropOnArrival     bool     `json:"drop_on_arrival"`
 	BoundaryExclusion int      `json:"boundary_exclusion"`
+	// Partition is the machine partition the journal's server owned
+	// ("k/K"; empty = the whole matrix). Matched: replaying a partition
+	// log into a differently-partitioned system would feed arrivals to
+	// machines the log's decisions never saw.
+	Partition string `json:"partition,omitempty"`
 }
 
 // manifestFor derives the manifest of a resolved configuration.
@@ -64,6 +71,7 @@ func manifestFor(cfg Config) Manifest {
 		Grace:             cfg.Grace,
 		DropOnArrival:     cfg.DropOnArrival,
 		BoundaryExclusion: cfg.BoundaryExclusion,
+		Partition:         cfg.Partition,
 	}
 }
 
@@ -257,6 +265,15 @@ func (c *Controller) initJournal() error {
 	c.metrics.dropped.Store(dropped)
 	c.metrics.tasks.Store(mapped + deferred + dropped)
 
+	// Re-seed the dedup window from the recovered batches: a request that
+	// committed before the crash answers its retry with its original
+	// decisions; a torn batch poisons its ID so a retry cannot double-feed
+	// the partially-applied arrivals. Seeding only covers batches after the
+	// newest checkpoint — older ones are beyond any sane retry window.
+	if c.dedup != nil {
+		c.seedDedup()
+	}
+
 	// Writers open after recovery: OpenWriter truncates any torn tail, so
 	// it must not run until the replay has consumed the valid prefix.
 	for _, sh := range c.shards {
@@ -273,6 +290,80 @@ func (c *Controller) initJournal() error {
 	}
 	return nil
 }
+
+// seedDedup merges the shards' recovered batches per decision ID and
+// installs each ID's original response (or its poison) in the dedup
+// window. A multi-shard request journaled one sub-batch per shard under
+// the same ID; its decisions merge back into request order by sequence
+// number (Decide assigns them contiguously in request order). Runs before
+// the shard loops start.
+func (c *Controller) seedDedup() {
+	type mergedBatch struct {
+		decisions []Decision
+		now       pmf.Tick
+		err       error
+	}
+	byID := make(map[string]*mergedBatch)
+	var order []string
+	for _, sh := range c.shards {
+		for i := range sh.recovered {
+			rb := &sh.recovered[i]
+			m := byID[rb.id]
+			if m == nil {
+				m = &mergedBatch{}
+				byID[rb.id] = m
+				order = append(order, rb.id)
+			}
+			if rb.err != nil && m.err == nil {
+				m.err = rb.err
+			}
+			m.decisions = append(m.decisions, rb.decisions...)
+			if rb.now > m.now {
+				m.now = rb.now
+			}
+		}
+		sh.recovered = nil
+	}
+	seeded, poisoned := 0, 0
+	for _, id := range order {
+		m := byID[id]
+		if m.err != nil {
+			c.dedup.Poison(id, m.err)
+			poisoned++
+			continue
+		}
+		sort.Slice(m.decisions, func(i, j int) bool { return m.decisions[i].Seq < m.decisions[j].Seq })
+		data, err := json.Marshal(&DecideResponse{Now: m.now, Decisions: m.decisions})
+		if err != nil {
+			continue
+		}
+		// The trailing newline matches the live ack path (one Encode/Marshal
+		// write), keeping a replayed duplicate byte-identical.
+		c.dedup.Seed(id, append(data, '\n'), len(m.decisions))
+		seeded++
+	}
+	if seeded+poisoned > 0 {
+		c.log.Info("dedup window re-seeded from journal", "seeded", seeded, "poisoned", poisoned)
+	}
+}
+
+// recoveredBatch is one journaled decide sub-batch carrying a decision ID,
+// re-derived during recovery: the decisions the shard acknowledged under
+// the ID, or the tear a crash left mid-batch. initJournal merges the
+// per-shard parts of each ID and re-seeds the dedup window, so a client
+// retrying across the crash still gets its original decisions back.
+type recoveredBatch struct {
+	id        string
+	expect    int
+	decisions []Decision
+	now       pmf.Tick
+	err       error // non-nil: the batch is torn (poison the ID)
+}
+
+// errTornBatch marks a journaled batch the crash cut mid-write: some of
+// its arrivals were re-applied during recovery, the rest never reached the
+// log, so neither replaying nor re-executing the request is safe.
+var errTornBatch = errors.New("batch torn by crash (journaled arrivals incomplete)")
 
 // recover rebuilds one shard's state from its log: restore the newest
 // checkpoint (engine snapshot, counters, robustness EWMAs, watermark),
@@ -309,10 +400,29 @@ func (sh *shard) recover() error {
 		}
 		sh.eng.PublishLoad(sh.view)
 	}
-	return rec.Replay(dir, func(r *journal.Record) error {
+	// open tracks the decide sub-batch currently being replayed, when it
+	// carries a decision ID; closeOpen retires it (complete or torn) into
+	// sh.recovered for dedup re-seeding.
+	var open *recoveredBatch
+	closeOpen := func() {
+		if open == nil {
+			return
+		}
+		if open.err == nil && len(open.decisions) < open.expect {
+			open.err = errTornBatch
+		}
+		sh.recovered = append(sh.recovered, *open)
+		open = nil
+	}
+	machines := sh.c.matrix.Machines()
+	err = rec.Replay(dir, func(r *journal.Record) error {
 		switch r.Kind {
 		case journal.KindBatch:
+			closeOpen()
 			sh.metrics.requests.Add(1)
+			if r.ID != "" {
+				open = &recoveredBatch{id: r.ID, expect: int(r.NTasks)}
+			}
 		case journal.KindArrive:
 			ts := sh.eng.Feed(&workload.Task{
 				ID:         int(r.Seq),
@@ -326,11 +436,28 @@ func (sh *shard) recover() error {
 			if r.Seq > sh.watermark {
 				sh.watermark = r.Seq
 			}
+			if open != nil {
+				// Re-derive the wire decision the live server acknowledged —
+				// the same status mapping decide() applies.
+				d := Decision{ID: r.ID, Seq: int(r.Seq), Shard: sh.id, Machine: -1, Action: actionOf(ts.Status)}
+				if d.Action == ActionMap {
+					d.Machine = sh.global[ts.Machine]
+					d.MachineName = machines[d.Machine].Name
+				}
+				open.decisions = append(open.decisions, d)
+				open.now = sh.eng.Now()
+				if len(open.decisions) == open.expect {
+					closeOpen()
+				}
+			}
 		}
 		// Decision, event and drain records re-derive from the arrives;
 		// hcreplay -verify consumes them, recovery does not.
 		return nil
 	})
+	// A log ending mid-batch is the torn tail of a crash.
+	closeOpen()
+	return err
 }
 
 // actionOf maps a just-fed task's status onto the wire admission action —
@@ -361,9 +488,11 @@ func (sh *shard) installJournalHook() {
 	})
 }
 
-// journalBatch logs a decide sub-batch boundary.
-func (sh *shard) journalBatch(n int) {
-	_ = sh.jw.Append(&journal.Record{Kind: journal.KindBatch, NTasks: int32(n)})
+// journalBatch logs a decide sub-batch boundary; id carries the request's
+// idempotent decision ID (empty when the client sent none), which recovery
+// uses to re-seed the dedup window.
+func (sh *shard) journalBatch(n int, id string) {
+	_ = sh.jw.Append(&journal.Record{Kind: journal.KindBatch, NTasks: int32(n), ID: id})
 }
 
 // journalArrive logs one admitted arrival before it is fed.

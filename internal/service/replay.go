@@ -82,7 +82,7 @@ func newShardReplayer(root string, s int) (*shardReplayer, error) {
 		DropOnArrival:     man.DropOnArrival,
 		ReactiveGrace:     man.Grace,
 	}
-	cl, err := sim.NewCluster(matrix, man.Shards, policy, func(int) (sim.Mapper, core.Policy, error) {
+	cl, err := buildCluster(matrix, man.Partition, man.Shards, policy, func(int) (sim.Mapper, core.Policy, error) {
 		m, err := mapping.FromSpec(man.Mapper)
 		if err != nil {
 			return nil, nil, err

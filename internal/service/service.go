@@ -77,9 +77,23 @@ type Config struct {
 	// each with its own single-writer decision loop (default 1; must not
 	// exceed the profile's machine count).
 	Shards int
-	// Router is the shard-routing policy spec: "rr", "mass", or
-	// "p2c[:seed=..]" (default "rr"; irrelevant with one shard).
+	// Router is the shard-routing policy spec: "rr", "mass",
+	// "p2c[:seed=..]" or "hash[:seed=..]" (default "rr"; irrelevant with
+	// one shard).
 	Router string
+	// Partition scopes the controller to one machine partition of the
+	// profile, written "k/K": the matrix's machines are dealt round-robin
+	// into K parts (sim.PartitionMachines) and this controller owns part k,
+	// sub-sharding it per Shards. Empty (the default) owns the whole
+	// matrix. K sibling processes with partitions 0/K..K-1/K cover the
+	// matrix exactly once — the multi-process deployment behind cmd/hcrouter.
+	Partition string
+	// DedupWindow bounds the idempotent-decision window: how many
+	// acknowledged responses the server retains, keyed by the request's
+	// DecisionID, so a retried request replays its original decisions
+	// byte-for-byte instead of re-admitting. 0 means DefaultDedupWindow;
+	// negative disables deduplication (DecisionIDs are still journaled).
+	DedupWindow int
 	// QueueCap bounds each machine queue, including the running task
 	// (default 6, the paper's setting).
 	QueueCap int
@@ -177,6 +191,12 @@ type Controller struct {
 	tel     *telemetry.Telemetry
 	log     *slog.Logger
 
+	// dedup retains acknowledged responses by decision ID for idempotent
+	// retries; nil when Config.DedupWindow is negative. The HTTP layer
+	// consults it (Decide itself stays dedup-free so embedded callers and
+	// the alloc budget are untouched).
+	dedup *DedupWindow
+
 	// seq issues cluster-wide arrival sequence numbers at routing time.
 	seq atomic.Int64
 
@@ -202,9 +222,13 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Shards < 1 || cfg.Shards > len(matrix.Machines()) {
+	owned, err := partitionSize(cfg.Partition, len(matrix.Machines()))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards < 1 || cfg.Shards > owned {
 		return nil, fmt.Errorf("service: %d shards for %d machines, want 1..%d",
-			cfg.Shards, len(matrix.Machines()), len(matrix.Machines()))
+			cfg.Shards, owned, owned)
 	}
 	if cfg.QueueCap < 1 {
 		return nil, fmt.Errorf("service: queue cap %d, want >= 1", cfg.QueueCap)
@@ -244,7 +268,7 @@ func New(cfg Config) (*Controller, error) {
 	// dropper is wrapped with the shard's trace recorder so a sampled
 	// decision attributes the verdict time to its dropper span (a pure
 	// pass-through; verdicts are unchanged).
-	cl, err := sim.NewCluster(matrix, cfg.Shards, policy, func(s int) (sim.Mapper, core.Policy, error) {
+	cl, err := buildCluster(matrix, cfg.Partition, cfg.Shards, policy, func(s int) (sim.Mapper, core.Policy, error) {
 		m, err := mapping.FromSpec(cfg.Mapper)
 		if err != nil {
 			return nil, nil, err
@@ -268,6 +292,9 @@ func New(cfg Config) (*Controller, error) {
 		tel:     tel,
 		log:     cfg.Logger,
 		drained: make(chan struct{}),
+	}
+	if cfg.DedupWindow >= 0 {
+		c.dedup = NewDedupWindow(cfg.DedupWindow)
 	}
 	for s := 0; s < cfg.Shards; s++ {
 		sh := &shard{
@@ -298,6 +325,61 @@ func New(cfg Config) (*Controller, error) {
 	return c, nil
 }
 
+// parsePartition parses a "k/K" partition spec against the profile's
+// machine count, returning the owned part index and the part count.
+func parsePartition(s string, machines int) (k, total int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &k, &total); err != nil {
+		return 0, 0, fmt.Errorf("service: partition %q, want \"k/K\" (e.g. \"0/2\")", s)
+	}
+	if total < 1 || total > machines {
+		return 0, 0, fmt.Errorf("service: partition %q splits %d machines into %d parts, want 1..%d",
+			s, machines, total, machines)
+	}
+	if k < 0 || k >= total {
+		return 0, 0, fmt.Errorf("service: partition %q owns part %d, want 0..%d", s, k, total-1)
+	}
+	return k, total, nil
+}
+
+// partitionSize returns the machine count of the owned partition (the
+// whole matrix when the spec is empty).
+func partitionSize(s string, machines int) (int, error) {
+	if s == "" {
+		return machines, nil
+	}
+	k, total, err := parsePartition(s, machines)
+	if err != nil {
+		return 0, err
+	}
+	// Round-robin deal: part k gets one extra machine while k < machines%total.
+	size := machines / total
+	if k < machines%total {
+		size++
+	}
+	return size, nil
+}
+
+// buildCluster constructs the controller's shard cluster — shared by New
+// and the offline replayer so a journaled partition server replays over
+// the exact same topology. An empty partition owns the whole matrix
+// (bit-identical to the pre-partition construction); "k/K" takes part k
+// of the matrix-wide round-robin deal and sub-shards it locally, with the
+// failure seeds displaced per part so sibling processes never share a
+// failure stream.
+func buildCluster(matrix *pet.Matrix, partition string, shards int, pol router.Policy, build sim.ShardBuilder, simCfg sim.Config) (*sim.Cluster, error) {
+	if partition == "" {
+		return sim.NewCluster(matrix, shards, pol, build, simCfg)
+	}
+	k, total, err := parsePartition(partition, len(matrix.Machines()))
+	if err != nil {
+		return nil, err
+	}
+	parts, globals := sim.PartitionMachines(matrix, total)
+	// 1009 (prime, far above any realistic shard count) spreads the
+	// per-part seed bases so part k's shards and part k+1's never collide.
+	return sim.NewClusterOver(matrix, parts[k], globals[k], shards, pol, build, simCfg, int64(k)*1009)
+}
+
 // Config returns the resolved configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
@@ -309,6 +391,10 @@ func (c *Controller) Metrics() *Metrics { return c.metrics }
 
 // NumShards returns the number of admission shards.
 func (c *Controller) NumShards() int { return len(c.shards) }
+
+// NumMachines returns the number of machines this controller owns — the
+// whole matrix, or just its partition under Config.Partition.
+func (c *Controller) NumMachines() int { return c.cl.NumMachines() }
 
 // Decide routes one batch of arriving tasks across the shards and admits
 // each through its shard's pipeline (reactive drop of expired tasks,
@@ -537,7 +623,7 @@ func (c *Controller) Drain(ctx context.Context) (*sim.Result, error) {
 				<-sh.loopDone // loop exit happens after drainCmd stored sh.final
 				parts[s] = sh.final
 			}
-			merged := sim.MergeResults(parts, len(c.matrix.Machines()))
+			merged := sim.MergeResults(parts, c.cl.NumMachines())
 			c.mu.Lock()
 			c.final = merged
 			c.mu.Unlock()

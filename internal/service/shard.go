@@ -44,6 +44,10 @@ type shard struct {
 	// decided (-1 before the first decision). Journal checkpoints persist
 	// it so a restart never reissues a sequence number.
 	watermark int64
+	// recovered holds the ID-carrying sub-batches journal recovery
+	// re-derived; initJournal drains it into the dedup window before the
+	// loop starts.
+	recovered []recoveredBatch
 }
 
 // loop is the shard's single writer: it executes submitted closures in
@@ -119,7 +123,7 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 			if idxs == nil {
 				n = len(req.Tasks)
 			}
-			sh.journalBatch(n)
+			sh.journalBatch(n, req.DecisionID)
 		}
 		machines := sh.c.matrix.Machines()
 		decideOne := func(i int) {

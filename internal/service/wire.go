@@ -36,7 +36,14 @@ type TaskSpec struct {
 // DecideRequest is the body of POST /v1/decide: a batch of tasks arriving
 // in order.
 type DecideRequest struct {
-	Tasks []TaskSpec `json:"tasks"`
+	// DecisionID, when set, makes the request idempotent: the server
+	// journals it with the batch, remembers the response in a bounded dedup
+	// window, and answers a repeat of the same ID with the byte-identical
+	// original decisions instead of re-admitting. This is what lets a
+	// client (or the router tier) retry a timed-out request at-least-once
+	// without double-feeding the engine.
+	DecisionID string     `json:"decision_id,omitempty"`
+	Tasks      []TaskSpec `json:"tasks"`
 }
 
 // Action is the admission outcome for one arriving task.
@@ -64,6 +71,10 @@ type Decision struct {
 	// Shard is the admission shard the task was routed to (0 on an
 	// unsharded server).
 	Shard int `json:"shard"`
+	// Backend is the shard-server process the router tier proxied the task
+	// to (0 when decided in-process). Sequence numbers are per backend, so
+	// behind a router tier a decision's identity is (backend, seq).
+	Backend int `json:"backend,omitempty"`
 	// Machine is the admitted machine's matrix-wide index, or -1 when not
 	// mapped.
 	Machine     int    `json:"machine"`
@@ -92,6 +103,18 @@ type StatusResponse struct {
 	Machines int    `json:"machines"`
 	Shards   int    `json:"shards"`
 	Router   string `json:"router"`
+	// Partition is the machine partition this server owns ("k/K", empty
+	// when the server owns the whole matrix). Machines counts only the
+	// owned partition.
+	Partition string `json:"partition,omitempty"`
+}
+
+// ReadyResponse is the body returned by GET /readyz. Ready is false while
+// the server boots (journal recovery, shard start) or drains; the router
+// tier admits a backend into its rotation only once Ready is true.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Status string `json:"status"` // "booting", "ok" or "draining"
 }
 
 // ShardSnapshot is one shard's entry in GET /v1/stats: the live engine

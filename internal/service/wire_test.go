@@ -47,6 +47,81 @@ func TestWireRoundTrip(t *testing.T) {
 
 	st := &StatusResponse{Status: "ok", Profile: "spec", Mapper: "PAM", Dropper: "heuristic", Machines: 8}
 	roundTrip(t, st, &StatusResponse{})
+
+	rd := &ReadyResponse{Ready: true, Status: "ok"}
+	roundTrip(t, rd, &ReadyResponse{})
+}
+
+// TestWireGoldenFixtures pins the exact serialized form of the wire types
+// that cross process boundaries in a multi-process deployment. These
+// bytes are the protocol between hcrouter, hcserve and hcload built at
+// different versions: a marshalling change that alters them is a
+// compatibility break and must be deliberate.
+func TestWireGoldenFixtures(t *testing.T) {
+	golden := func(t *testing.T, v any, want string) {
+		t.Helper()
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(data) != want {
+			t.Errorf("golden mismatch for %T:\n got: %s\nwant: %s", v, data, want)
+		}
+		// The fixture must also decode back into an equal value — no
+		// write-only fields.
+		out := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+		if err := json.Unmarshal([]byte(want), out); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(v, out) {
+			t.Errorf("golden fixture for %T does not decode back:\n got: %+v\nwant: %+v", v, out, v)
+		}
+	}
+
+	golden(t,
+		&DecideRequest{DecisionID: "r1a-42", Tasks: []TaskSpec{
+			{ID: "t7", Type: 2, Arrival: 120, Deadline: 890, ExecByType: []pmf.Tick{30, 70}},
+			{Type: 0, Arrival: 121, Deadline: 400},
+		}},
+		`{"decision_id":"r1a-42","tasks":[`+
+			`{"id":"t7","type":2,"arrival":120,"deadline":890,"exec_by_type":[30,70]},`+
+			`{"type":0,"arrival":121,"deadline":400}]}`)
+
+	// A decision without router involvement omits backend; one proxied by
+	// hcrouter carries it.
+	golden(t,
+		&Decision{ID: "t7", Seq: 3, Action: ActionMap, Shard: 1, Machine: 5, MachineName: "fast#1"},
+		`{"id":"t7","seq":3,"action":"map","shard":1,"machine":5,"machine_name":"fast#1"}`)
+	golden(t,
+		&Decision{ID: "t8", Seq: 0, Action: ActionDrop, Shard: 0, Backend: 1, Machine: -1},
+		`{"id":"t8","seq":0,"action":"drop","shard":0,"backend":1,"machine":-1}`)
+
+	golden(t,
+		&StatsResponse{Router: "hash", Shards: []ShardSnapshot{{
+			Shard:        0,
+			Now:          512,
+			Live:         sim.Live{Arrived: 9, Batch: 1, Queued: 4, Running: 2, OnTime: 1, Late: 1},
+			QueueDepths:  []int{2, 3},
+			Machines:     []int{0, 2},
+			QueueMass:    5,
+			FreeSlots:    7,
+			Robustness:   []float64{0.9, 0.5},
+			Requests:     3,
+			Mapped:       6,
+			Deferred:     2,
+			Dropped:      1,
+			SeqWatermark: 8,
+		}}},
+		`{"router":"hash","shards":[{"shard":0,"now":512,`+
+			`"live":{"arrived":9,"batch":1,"queued":4,"running":2,"on_time":1,"late":1,`+
+			`"dropped_reactive":0,"dropped_proactive":0,"failed":0},`+
+			`"queue_depths":[2,3],"machines":[0,2],"queue_mass":5,"free_slots":7,`+
+			`"robustness_by_class":[0.9,0.5],"requests":3,"mapped":6,"deferred":2,"dropped":1,`+
+			`"seq_watermark":8}]}`)
+
+	golden(t,
+		&ReadyResponse{Ready: false, Status: "booting"},
+		`{"ready":false,"status":"booting"}`)
 }
 
 // TestWireTagsAreSnakeCase keeps the wire vocabulary consistent with
@@ -59,6 +134,7 @@ func TestWireTagsAreSnakeCase(t *testing.T) {
 		reflect.TypeOf(DecideResponse{}),
 		reflect.TypeOf(DrainResponse{}),
 		reflect.TypeOf(StatusResponse{}),
+		reflect.TypeOf(ReadyResponse{}),
 		reflect.TypeOf(Snapshot{}),
 		reflect.TypeOf(ShardSnapshot{}),
 		reflect.TypeOf(StatsResponse{}),

@@ -37,6 +37,30 @@ func PartitionMachines(m *pet.Matrix, n int) (shards [][]pet.MachineSpec, global
 	return shards, global
 }
 
+// PartitionSpecs deals an arbitrary machine subset round-robin into n
+// shards — the same deal as PartitionMachines, but over a slice that is
+// itself already a partition of the matrix (a multi-process deployment
+// gives each server one PartitionMachines part and sub-shards it locally).
+// global[i] must be machines[i]'s matrix-wide index; the returned globals
+// compose the two translations, so globals[s][local] is still matrix-wide.
+func PartitionSpecs(machines []pet.MachineSpec, global []int, n int) (shards [][]pet.MachineSpec, globals [][]int) {
+	if n < 1 || n > len(machines) {
+		panic(fmt.Sprintf("sim: %d shards for %d machines, want 1..%d", n, len(machines), len(machines)))
+	}
+	if len(global) != len(machines) {
+		panic(fmt.Sprintf("sim: %d machines with %d global indexes", len(machines), len(global)))
+	}
+	shards = make([][]pet.MachineSpec, n)
+	globals = make([][]int, n)
+	for i, spec := range machines {
+		s := i % n
+		spec.Index = len(shards[s]) // shard-local position
+		shards[s] = append(shards[s], spec)
+		globals[s] = append(globals[s], global[i])
+	}
+	return shards, globals
+}
+
 // NewOpenShard builds an open (incrementally-fed) engine owning only the
 // given machine subset of the matrix — one shard of a Cluster. The engine
 // runs the full event pipeline of the simulator over its machines alone;
@@ -132,6 +156,9 @@ type Cluster struct {
 	views   []*router.ShardView
 	global  [][]int
 	policy  router.Policy
+	// machines is the number of machines the cluster covers — the whole
+	// matrix for NewCluster, one partition's worth for NewClusterOver.
+	machines int
 }
 
 // NewCluster partitions the matrix's machines into n shards and builds one
@@ -146,19 +173,39 @@ func NewCluster(m *pet.Matrix, n int, pol router.Policy, build ShardBuilder, cfg
 	if m == nil {
 		return nil, fmt.Errorf("sim: cluster over nil matrix")
 	}
-	if n < 1 || n > len(m.Machines()) {
-		return nil, fmt.Errorf("sim: %d shards for %d machines, want 1..%d", n, len(m.Machines()), len(m.Machines()))
+	all := m.Machines()
+	global := make([]int, len(all))
+	for i := range global {
+		global[i] = i
+	}
+	return NewClusterOver(m, all, global, n, pol, build, cfg, 0)
+}
+
+// NewClusterOver builds a cluster over an arbitrary machine subset of the
+// matrix — the multi-process form: a shard server owns one
+// PartitionMachines part of the matrix and sub-shards it locally, so K
+// servers of N shards each cover the matrix exactly once. global[i] is
+// machines[i]'s matrix-wide index; seedOffset displaces the per-shard
+// failure seeds so independent processes never share a failure stream
+// (NewCluster passes 0, keeping single-process clusters bit-identical).
+func NewClusterOver(m *pet.Matrix, machines []pet.MachineSpec, global []int, n int, pol router.Policy, build ShardBuilder, cfg Config, seedOffset int64) (*Cluster, error) {
+	if m == nil {
+		return nil, fmt.Errorf("sim: cluster over nil matrix")
+	}
+	if n < 1 || n > len(machines) {
+		return nil, fmt.Errorf("sim: %d shards for %d machines, want 1..%d", n, len(machines), len(machines))
 	}
 	if pol == nil && n > 1 {
 		return nil, fmt.Errorf("sim: multi-shard cluster without a routing policy")
 	}
-	parts, global := PartitionMachines(m, n)
+	parts, globals := PartitionSpecs(machines, global, n)
 	cl := &Cluster{
-		matrix:  m,
-		engines: make([]*Engine, n),
-		views:   make([]*router.ShardView, n),
-		global:  global,
-		policy:  pol,
+		matrix:   m,
+		engines:  make([]*Engine, n),
+		views:    make([]*router.ShardView, n),
+		global:   globals,
+		policy:   pol,
+		machines: len(machines),
 	}
 	for s := 0; s < n; s++ {
 		mapper, dropper, err := build(s)
@@ -168,7 +215,7 @@ func NewCluster(m *pet.Matrix, n int, pol router.Policy, build ShardBuilder, cfg
 		shardCfg := cfg
 		shardCfg.BoundaryExclusion = cfg.BoundaryExclusion / n
 		if shardCfg.Failures.Enabled() {
-			shardCfg.Failures.Seed += int64(s)
+			shardCfg.Failures.Seed += seedOffset + int64(s)
 		}
 		cl.engines[s] = NewOpenShard(m, parts[s], mapper, dropper, shardCfg)
 		cl.views[s] = router.NewShardView(m.NumTaskTypes())
@@ -179,6 +226,10 @@ func NewCluster(m *pet.Matrix, n int, pol router.Policy, build ShardBuilder, cfg
 
 // NumShards returns the number of shards.
 func (cl *Cluster) NumShards() int { return len(cl.engines) }
+
+// NumMachines returns the number of machines the cluster covers (the
+// whole matrix unless built over a partition with NewClusterOver).
+func (cl *Cluster) NumMachines() int { return cl.machines }
 
 // Shards exposes the shard engines in shard order (read-only for callers
 // that do not own the corresponding decision loop).
@@ -231,5 +282,5 @@ func (cl *Cluster) Drain() *Result {
 	for s, eng := range cl.engines {
 		parts[s] = eng.Drain()
 	}
-	return MergeResults(parts, len(cl.matrix.Machines()))
+	return MergeResults(parts, cl.machines)
 }

@@ -61,13 +61,19 @@ const (
 	// StageAck is the loop-side tail after durability: response slots are
 	// filled and the closure hands control back to the submitter.
 	StageAck
+	// StageProxy is the router tier's upstream hop: the proxied decide
+	// request leaving the front-end until the backend's response is decoded
+	// (retries included). Only cmd/hcrouter records it; in-process shard
+	// decisions have no proxy hop.
+	StageProxy
 
-	// NumStages is the number of trace stages.
+	// NumStages is the number of trace stages. Stages are append-only: the
+	// numeric values live in journal trace records.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	"route", "wait", "calculus", "dropper", "journal", "ack",
+	"route", "wait", "calculus", "dropper", "journal", "ack", "proxy",
 }
 
 // String returns the stage's wire name (used in metric labels, trace JSON
@@ -372,7 +378,7 @@ func (t *Telemetry) WritePrometheus(w io.Writer) {
 	p("# HELP taskdrop_traces_sampled_total Decisions captured as stage-timed traces.\n")
 	p("# TYPE taskdrop_traces_sampled_total counter\n")
 	p("taskdrop_traces_sampled_total %d\n", t.sampled.Load())
-	p("# HELP taskdrop_decision_stage_latency_seconds Sampled per-stage decision latency (route, wait, calculus, dropper, journal, ack).\n")
+	p("# HELP taskdrop_decision_stage_latency_seconds Sampled per-stage decision latency (route, wait, calculus, dropper, journal, ack, proxy).\n")
 	p("# TYPE taskdrop_decision_stage_latency_seconds histogram\n")
 	for st := Stage(0); st < NumStages; st++ {
 		h := &t.stages[st]

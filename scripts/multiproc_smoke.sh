@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Multi-process smoke: an hcrouter fronting two journaling hcserve
+# backends, each owning half the machine partition. Requires (1) a full
+# replay through the router to achieve robustness within tolerance of the
+# offline simulator, with zero duplicate-acked tasks, (2) a duplicated
+# decision-ID request to return the byte-identical original decisions,
+# (3) the router's /metrics to lint clean against the Prometheus text
+# grammar, and (4) on a fresh fleet, kill -9 of one backend mid-replay to
+# shed its traffic onto the survivor — the retried replay must still
+# complete with zero duplicate acks.
+#
+# Usage: scripts/multiproc_smoke.sh [tolerance_pp]
+set -euo pipefail
+
+TOL="${1:-10}"
+PROFILE=video
+TASKS=30000
+SCALE=0.05
+SEED=1
+B0=127.0.0.1:18291
+B1=127.0.0.1:18292
+FRONT=127.0.0.1:18290
+
+BIN="$(mktemp -d)"
+JDIR0="$(mktemp -d)"
+JDIR1="$(mktemp -d)"
+B0_PID=""
+B1_PID=""
+ROUTER_PID=""
+cleanup() {
+    for pid in "$B0_PID" "$B1_PID" "$ROUTER_PID"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$BIN" "$JDIR0" "$JDIR1"
+}
+trap cleanup EXIT
+
+go build -o "$BIN" ./cmd/hcsim ./cmd/hcserve ./cmd/hcrouter ./cmd/hcload ./cmd/obslint
+
+offline=$("$BIN/hcsim" -profile "$PROFILE" -mapper PAM -dropper heuristic \
+    -tasks "$TASKS" -scale "$SCALE" -seed "$SEED" | awk '/^robustness/{print $2}')
+echo "offline robustness:   $offline %"
+
+# wait_ready URL — block until /readyz answers 200 (the boot gate: the
+# listener binds before journal recovery, answering 503 until serving).
+wait_ready() {
+    for _ in $(seq 1 100); do
+        curl -sf "http://$1/readyz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "no 200 from http://$1/readyz" >&2
+    return 1
+}
+
+start_backend() { # addr journal_dir partition -> pid
+    # The daemon's stdout must not inherit the command-substitution pipe,
+    # or $(start_backend ...) blocks until the daemon exits.
+    "$BIN/hcserve" -addr "$1" -profile "$PROFILE" -mapper PAM -dropper heuristic \
+        -partition "$3" -journal-dir "$2" -fsync always -snapshot-every 400 1>&2 &
+    echo $!
+}
+
+start_fleet() {
+    B0_PID=$(start_backend "$B0" "$JDIR0" 0/2)
+    B1_PID=$(start_backend "$B1" "$JDIR1" 1/2)
+    wait_ready "$B0"
+    wait_ready "$B1"
+    "$BIN/hcrouter" -addr "$FRONT" -backends "http://$B0,http://$B1" \
+        -profile "$PROFILE" -router hash -poll 100ms -retries 2 &
+    ROUTER_PID=$!
+    wait_ready "$FRONT"
+}
+
+stop_fleet() {
+    for pid in "$ROUTER_PID" "$B0_PID" "$B1_PID"; do
+        [ -n "$pid" ] && kill -TERM "$pid" 2>/dev/null || true
+    done
+    for pid in "$ROUTER_PID" "$B0_PID" "$B1_PID"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    ROUTER_PID=""; B0_PID=""; B1_PID=""
+}
+
+### Phase 1: healthy fleet — replay, idempotency, metrics lint.
+start_fleet
+echo "fleet up: router $FRONT over $B0 (0/2) and $B1 (1/2)"
+
+# Duplicate decision-ID probe: the same request POSTed twice must return
+# byte-identical bodies (the second served from the router's dedup window).
+req='{"decision_id":"smoke-dup-1","tasks":[{"type":0,"arrival":0,"deadline":2000}]}'
+curl -sf -H 'Content-Type: application/json' -d "$req" "http://$FRONT/v1/decide" >"$BIN/dup1.json"
+curl -sf -H 'Content-Type: application/json' -d "$req" "http://$FRONT/v1/decide" >"$BIN/dup2.json"
+if ! diff -u "$BIN/dup1.json" "$BIN/dup2.json"; then
+    echo "FAIL: duplicate decision-ID responses differ" >&2
+    exit 1
+fi
+echo "duplicate decision-ID request is byte-identical"
+
+out=$("$BIN/hcload" -addr "http://$FRONT" -profile "$PROFILE" \
+    -tasks "$TASKS" -scale "$SCALE" -seed "$SEED" -retries 2)
+echo "$out"
+online=$(echo "$out" | awk '/^achieved robustness/{print $3}')
+dups=$(echo "$out" | awk '/^duplicate acks/{print $3}')
+[ "$dups" = "0" ] || { echo "FAIL: $dups duplicate acks on a healthy fleet" >&2; exit 1; }
+echo "online (2 backends):  $online %"
+awk -v a="$offline" -v b="$online" -v tol="$TOL" 'BEGIN {
+    d = a - b; if (d < 0) d = -d
+    printf "robustness gap:       %.2f pp (tolerance %.1f)\n", d, tol
+    exit (d <= tol) ? 0 : 1
+}'
+
+"$BIN/obslint" -metrics "http://$FRONT/metrics"
+echo "router /metrics lint clean"
+
+stop_fleet
+
+### Phase 2: fresh fleet — kill -9 one backend mid-replay; the router
+### sheds its classes onto the survivor and the replay still completes
+### with zero duplicate acks.
+rm -rf "$JDIR0" "$JDIR1"
+JDIR0="$(mktemp -d)"
+JDIR1="$(mktemp -d)"
+start_fleet
+echo "fresh fleet up for the kill test"
+
+( sleep 2 && kill -9 "$B1_PID" 2>/dev/null && echo "killed backend 1 (pid $B1_PID) with SIGKILL" ) &
+KILLER=$!
+
+# -speed 2 paces the replay over ~half the trace window (a few seconds),
+# so the 2 s kill below lands while requests are still in flight.
+out=$("$BIN/hcload" -addr "http://$FRONT" -profile "$PROFILE" \
+    -tasks "$TASKS" -scale "$SCALE" -seed "$SEED" -retries 3 -speed 2)
+wait "$KILLER" 2>/dev/null || true
+B1_PID=""
+echo "$out"
+online2=$(echo "$out" | awk '/^achieved robustness/{print $3}')
+dups2=$(echo "$out" | awk '/^duplicate acks/{print $3}')
+[ "$dups2" = "0" ] || { echo "FAIL: $dups2 duplicate acks through the backend kill" >&2; exit 1; }
+echo "online (1 backend killed mid-replay): $online2 %"
+
+up=$(curl -sf "http://$FRONT/metrics" | awk '/^taskdrop_router_backend_up{backend="1"}/{print $2}')
+[ "$up" = "0" ] || { echo "FAIL: killed backend still marked up ($up)" >&2; exit 1; }
+echo "router marked the killed backend down; survivor carried the load"
+
+echo "OK: replay within ${TOL}pp of offline, idempotent duplicates, clean metrics, zero duplicate acks through a backend kill"

@@ -81,7 +81,8 @@ func TestScenarioShardValidation(t *testing.T) {
 	if _, err := NewRouter("p2c:seed=2"); err != nil {
 		t.Errorf("NewRouter: %v", err)
 	}
-	if got := RouterNames(); len(got) != 3 {
+	// rr, mass, p2c, and the router tier's class-hash policy.
+	if got := RouterNames(); len(got) != 4 {
 		t.Errorf("RouterNames() = %v", got)
 	}
 }
