@@ -12,6 +12,12 @@
 // (profile, trace, seed) yields the same decisions and the same final
 // robustness as `hcsim -profile spec -mapper ... -dropper ...` with
 // matching settings (boundary exclusion included).
+//
+// With -churn the replay doubles as a fault-injection harness: a plan like
+// "500:remove:3,1500:revive:3" kills machine 3 after 500 tasks and revives
+// it after 1500 — fired through POST /v1/admin/machines at deterministic
+// decision boundaries — and the summary reports how many requests the
+// degraded server shed (429) and for how long.
 package main
 
 import (
@@ -43,6 +49,7 @@ func main() {
 		speed       = flag.Float64("speed", 0, "arrival-rate multiplier vs the trace clock (1 = real time, 0 = as fast as possible)")
 		from        = flag.Int("from", 0, "replay trace tasks starting at this index (resume after a server restart)")
 		to          = flag.Int("to", 0, "replay trace tasks up to (excluding) this index; 0 = the end")
+		churnPlan   = flag.String("churn", "", "fault-injection plan: comma-separated \"<at>:remove:<machine>[:drop]\" | \"<at>:revive:<machine>\" | \"<at>:add:<shard>:<type>\" fired at task indexes via POST /v1/admin/machines")
 		noDrain     = flag.Bool("no-drain", false, "skip POST /v1/drain (leave the server running)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-attempt request timeout")
 		retries     = flag.Int("retries", 0, "retry budget per request (transport errors, 5xx and 429); stamps idempotent decision IDs on every request")
@@ -79,6 +86,11 @@ func main() {
 		logger.Error("profile resolution failed", "profile", *profileSpec, "err", err)
 		os.Exit(1)
 	}
+	churn, err := service.ParseChurnPlan(*churnPlan)
+	if err != nil {
+		logger.Error("bad -churn", "err", err)
+		os.Exit(1)
+	}
 	tr := workload.Generate(m, cfg, *seed)
 	rate := tr.ArrivalRate() * 1000
 	fmt.Printf("replaying %d tasks over %.1f s (%.0f tasks/s", tr.Len(), float64(cfg.Window)/1000, rate)
@@ -104,6 +116,7 @@ func main() {
 		Timeout:          *timeout,
 		Retries:          *retries,
 		Backoff:          *backoff,
+		Churn:            churn,
 		DecisionIDPrefix: fmt.Sprintf("load-%x", time.Now().UnixNano()),
 	})
 	if err != nil {
@@ -118,6 +131,11 @@ func main() {
 	fmt.Printf("  dropped at arrival  %d\n", rep.Dropped)
 	fmt.Printf("decide latency        p50 %s   p99 %s\n",
 		rep.LatencyP50.Round(time.Microsecond), rep.LatencyP99.Round(time.Microsecond))
+	if rep.ChurnOps > 0 || rep.Shed429 > 0 {
+		fmt.Printf("churn ops             %d\n", rep.ChurnOps)
+		fmt.Printf("shed (429) requests   %d\n", rep.Shed429)
+		fmt.Printf("degraded window       %s\n", rep.DegradedWindow.Round(time.Millisecond))
+	}
 	if *retries > 0 {
 		fmt.Printf("retried requests      %d\n", rep.Retried)
 		fmt.Printf("duplicate acks        %d\n", rep.DuplicateAcks)

@@ -80,6 +80,9 @@ func main() {
 		for _, st := range stats {
 			fmt.Printf("shard %d: %d records (%d arrives, %d derived matched), %d checkpoints verified, watermark %d",
 				st.Shard, st.Records, st.Arrives, st.Derived, st.Checkpoints, st.FinalSeqWatermark)
+			if st.Membership > 0 {
+				fmt.Printf(", %d membership ops applied", st.Membership)
+			}
 			if st.Traces > 0 {
 				fmt.Printf(", %d stage traces skipped", st.Traces)
 			}

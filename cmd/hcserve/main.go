@@ -17,6 +17,9 @@
 //	POST /v1/decide   {"tasks":[{"type":3,"arrival":120,"deadline":890,...}]}
 //	POST /v1/drain    graceful drain (all shards concurrently); returns the
 //	                  merged final trial Result
+//	POST /v1/admin/machines  dynamic membership: {"op":"add|remove|revive",...}
+//	                  journaled before acknowledgement; see -rebalance-every
+//	                  for the automatic variant
 //	GET  /v1/stats    per-shard queue depths, robustness estimates, drop counts
 //	GET  /healthz     liveness + served configuration
 //	GET  /readyz      readiness: 503 while the server boots (journal
@@ -107,6 +110,8 @@ func main() {
 		fsync         = flag.String("fsync", "interval", "journal durability policy: always | interval | never")
 		fsyncInterval = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period under -fsync interval")
 		snapshotEvery = flag.Int("snapshot-every", 5000, "checkpoint a shard after this many WAL records in a segment (negative: only at drain)")
+		rebalEvery    = flag.Duration("rebalance-every", 0, "periodically migrate a machine from the most- to the least-loaded shard (0 disables; needs -shards > 1)")
+		rebalThresh   = flag.Float64("rebalance-threshold", 2.0, "queue-mass skew ratio (max/min) that triggers a rebalance move")
 		traceSample   = flag.Int("trace-sample", 0, "stage-trace every Nth decision by sequence number (0 disables tracing)")
 		traceRing     = flag.Int("trace-ring", telemetry.DefaultRingSize, "completed traces retained per shard for /debug/traces")
 		logFormat     = flag.String("log-format", "text", "log output format: text | json")
@@ -143,25 +148,27 @@ func main() {
 	go func() { errCh <- srv.Serve(ln) }()
 
 	ctrl, err := service.New(service.Config{
-		Profile:           *profileSpec,
-		Mapper:            *mapperSpec,
-		Dropper:           *dropperSpec,
-		Shards:            *shards,
-		Partition:         *partition,
-		Router:            *routerSpec,
-		QueueCap:          *queueCap,
-		Grace:             pmf.Tick(*grace),
-		DropOnArrival:     *dropOnArrival,
-		BoundaryExclusion: *boundary,
-		Backlog:           *backlog,
-		DedupWindow:       *dedupWindow,
-		JournalDir:        *journalDir,
-		Fsync:             *fsync,
-		FsyncInterval:     *fsyncInterval,
-		SnapshotEvery:     *snapshotEvery,
-		TraceSample:       *traceSample,
-		TraceRing:         *traceRing,
-		Logger:            logger,
+		Profile:            *profileSpec,
+		Mapper:             *mapperSpec,
+		Dropper:            *dropperSpec,
+		Shards:             *shards,
+		Partition:          *partition,
+		Router:             *routerSpec,
+		QueueCap:           *queueCap,
+		Grace:              pmf.Tick(*grace),
+		DropOnArrival:      *dropOnArrival,
+		BoundaryExclusion:  *boundary,
+		Backlog:            *backlog,
+		DedupWindow:        *dedupWindow,
+		RebalanceEvery:     *rebalEvery,
+		RebalanceThreshold: *rebalThresh,
+		JournalDir:         *journalDir,
+		Fsync:              *fsync,
+		FsyncInterval:      *fsyncInterval,
+		SnapshotEvery:      *snapshotEvery,
+		TraceSample:        *traceSample,
+		TraceRing:          *traceRing,
+		Logger:             logger,
 	})
 	if err != nil {
 		logger.Error("startup failed", "err", err)
@@ -184,6 +191,9 @@ func main() {
 	}
 	if *traceSample > 0 {
 		logger.Info("stage tracing enabled", "sample_every", *traceSample, "ring", *traceRing)
+	}
+	if *rebalEvery > 0 {
+		logger.Info("rebalancer enabled", "every", *rebalEvery, "threshold", *rebalThresh)
 	}
 
 	handler := service.NewHandler(ctrl)

@@ -5,6 +5,7 @@
 // complete, monotone stage-timed traces.
 //
 //	obslint -metrics http://127.0.0.1:9090/metrics
+//	obslint -metrics http://127.0.0.1:9090/metrics -require taskdrop_membership_ops_total,taskdrop_rebalance_moves_total
 //	obslint -traces http://127.0.0.1:9090/debug/traces -min-traces 1
 //
 // Exit status 0 means every requested check passed; failures list each
@@ -12,11 +13,15 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/hpcclab/taskdrop/internal/telemetry"
@@ -70,9 +75,39 @@ func isComplete(t *telemetry.Trace) bool {
 	return true
 }
 
+// missingFamilies returns the families named in the comma-separated
+// require list that never appear as a sample in the exposition body.
+func missingFamilies(body []byte, require string) []string {
+	if strings.TrimSpace(require) == "" {
+		return nil
+	}
+	present := make(map[string]bool)
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		present[name] = true
+	}
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		want = strings.TrimSpace(want)
+		if want != "" && !present[want] {
+			missing = append(missing, want)
+		}
+	}
+	return missing
+}
+
 func main() {
 	var (
 		metricsURL = flag.String("metrics", "", "lint this Prometheus exposition URL")
+		require    = flag.String("require", "", "comma-separated metric families that must be present at -metrics")
 		tracesURL  = flag.String("traces", "", "check this /debug/traces URL")
 		minTraces  = flag.Int("min-traces", 1, "minimum complete traces required at -traces")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-request timeout")
@@ -92,8 +127,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "obslint: GET %s: %v\n", *metricsURL, err)
 			os.Exit(1)
 		}
-		issues := telemetry.Lint(resp.Body)
+		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obslint: read %s: %v\n", *metricsURL, err)
+			os.Exit(1)
+		}
+		issues := telemetry.Lint(bytes.NewReader(body))
 		if resp.StatusCode != http.StatusOK {
 			fmt.Fprintf(os.Stderr, "obslint: GET %s: status %d\n", *metricsURL, resp.StatusCode)
 			failed = true
@@ -101,9 +141,13 @@ func main() {
 		for _, is := range issues {
 			fmt.Fprintf(os.Stderr, "obslint: metrics: %s\n", is)
 		}
+		for _, missing := range missingFamilies(body, *require) {
+			fmt.Fprintf(os.Stderr, "obslint: metrics: required family %s absent\n", missing)
+			failed = true
+		}
 		if len(issues) > 0 {
 			failed = true
-		} else if resp.StatusCode == http.StatusOK {
+		} else if resp.StatusCode == http.StatusOK && !failed {
 			fmt.Printf("metrics lint clean: %s\n", *metricsURL)
 		}
 	}

@@ -27,6 +27,8 @@ import (
 //	router    shard-routing policies (registry specs; see NewRouter)
 //	mtbf      machine failure MTBFs in ticks (ints, 0 = none;
 //	          repair = MTBF/10, failure seed 1000)
+//	churn     machine churn mean kill intervals in ticks (ints, 0 = none;
+//	          mean downtime = interval/10, churn seed 2000; see WithChurn)
 //
 // plus the baseline=<value> directive designating the paired-comparison
 // baseline cell value.
@@ -112,8 +114,24 @@ func SweepFromSpec(grammar string) ([]taskdrop.SweepItem, error) {
 				}
 			}
 			items = append(items, taskdrop.FailurePlans(fcs...).Named("mtbf"))
+		case "churn":
+			ns, err := sweepInts(ax)
+			if err != nil {
+				return nil, err
+			}
+			ccs := make([]sim.ChurnConfig, len(ns))
+			for i, n := range ns {
+				if n > 0 {
+					down := pmf.Tick(n) / 10
+					if down < 1 {
+						down = 1
+					}
+					ccs[i] = sim.ChurnConfig{MeanInterval: pmf.Tick(n), MeanDown: down, Seed: 2000}
+				}
+			}
+			items = append(items, taskdrop.ChurnPlans(ccs...))
 		default:
-			return nil, fmt.Errorf("expt: unknown sweep axis %q (known: profile mapper dropper tasks gamma window queuecap grace budget shards router mtbf)", ax.Key)
+			return nil, fmt.Errorf("expt: unknown sweep axis %q (known: profile mapper dropper tasks gamma window queuecap grace budget shards router mtbf churn)", ax.Key)
 		}
 	}
 	if parsed.Baseline != "" {

@@ -89,6 +89,7 @@ func (f *Front) pollOnce(b *backend, probe *service.Client) {
 		if err != nil {
 			b.setErr(err)
 		}
+		b.view.SetDown(true)
 		if b.ready.CompareAndSwap(true, false) {
 			f.log.Warn("backend left rotation", "backend", b.id, "url", b.url, "status", ready.Status, "err", err)
 		}
@@ -98,17 +99,22 @@ func (f *Front) pollOnce(b *backend, probe *service.Client) {
 	var stats service.StatsResponse
 	if err := probe.GetJSON(ctx, b.url+"/v1/stats", &stats); err != nil {
 		b.setErr(err)
+		b.view.SetDown(true)
 		if b.ready.CompareAndSwap(true, false) {
 			f.log.Warn("backend left rotation", "backend", b.id, "url", b.url, "err", err)
 		}
 		return
 	}
 	var batch, queued, free int
+	degraded := len(stats.Shards) > 0
 	robustness := make([]float64, f.matrix.NumTaskTypes())
 	for _, sh := range stats.Shards {
 		batch += sh.Live.Batch
 		queued += sh.Live.Queued
 		free += int(sh.FreeSlots)
+		if sh.LiveMachines > 0 {
+			degraded = false
+		}
 		for c := range robustness {
 			if c < len(sh.Robustness) {
 				robustness[c] += sh.Robustness[c] / float64(len(stats.Shards))
@@ -116,8 +122,12 @@ func (f *Front) pollOnce(b *backend, probe *service.Client) {
 		}
 	}
 	b.view.ApplyStats(batch, queued, free, robustness)
+	// A backend whose every shard has zero live machines (runtime removals)
+	// can only answer 429s: keep it in rotation — it is healthy and will
+	// recover on a revive — but steer routing away until machines return.
+	b.view.SetDown(degraded)
 	b.setErr(nil)
 	if b.ready.CompareAndSwap(false, true) {
-		f.log.Info("backend joined rotation", "backend", b.id, "url", b.url, "shards", len(stats.Shards))
+		f.log.Info("backend joined rotation", "backend", b.id, "url", b.url, "shards", len(stats.Shards), "degraded", degraded)
 	}
 }

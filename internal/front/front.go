@@ -210,6 +210,11 @@ func New(cfg Config) (*Front, error) {
 			view:   router.NewRemoteView(nt),
 			window: make(chan struct{}, cfg.Window),
 		}
+		// Wall-clock staleness decay: a backend that stops being polled
+		// successfully (outage, crash) must not keep winning p2c on its
+		// frozen last-good estimates. Half-life of four poll periods — a
+		// couple of missed polls and the estimate is sliding to neutral.
+		b.view.EnableDecay((4 * cfg.Poll).Milliseconds(), func() int64 { return time.Now().UnixMilli() })
 		f.backends = append(f.backends, b)
 	}
 	for _, b := range f.backends {
@@ -464,11 +469,13 @@ func (f *Front) send(ctx context.Context, req *service.DecideRequest, resp *serv
 }
 
 // markDown removes a backend from rotation until its poller sees it ready
-// again.
+// again, and flips its routing view down so policies steer away from it
+// immediately (not just after the next readySet snapshot).
 func (f *Front) markDown(b *backend, err error) {
 	if b.ready.CompareAndSwap(true, false) {
 		f.log.Warn("backend down", "backend", b.id, "url", b.url, "err", err)
 	}
+	b.view.SetDown(true)
 	b.setErr(err)
 }
 
@@ -535,11 +542,14 @@ func (f *Front) Drain(ctx context.Context) (*sim.Result, error) {
 
 // BackendStatus is one backend's entry in the router's GET /v1/stats.
 type BackendStatus struct {
-	Backend  int    `json:"backend"`
-	URL      string `json:"url"`
-	Ready    bool   `json:"ready"`
-	Inflight int    `json:"inflight"`
-	Window   int    `json:"window"`
+	Backend int    `json:"backend"`
+	URL     string `json:"url"`
+	Ready   bool   `json:"ready"`
+	// Degraded mirrors the routing view's down bit: the backend is
+	// unreachable or every shard it serves has zero live machines.
+	Degraded bool `json:"degraded,omitempty"`
+	Inflight int  `json:"inflight"`
+	Window   int  `json:"window"`
 	// QueueMass and FreeSlots mirror the backend's last-polled aggregate
 	// load gauges — what the routing policy currently sees.
 	QueueMass int64 `json:"queue_mass"`
@@ -564,6 +574,7 @@ func (f *Front) Stats() *StatsResponse {
 			Backend:   b.id,
 			URL:       b.url,
 			Ready:     b.ready.Load(),
+			Degraded:  v.Down(),
 			Inflight:  b.inflight(),
 			Window:    cap(b.window),
 			QueueMass: v.QueueMass(),

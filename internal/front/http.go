@@ -243,6 +243,15 @@ func writeBackendGauges(w io.Writer, f *Front) {
 		}
 		p("taskdrop_router_backend_up{backend=\"%d\"} %d\n", b.Backend, up)
 	}
+	p("# HELP taskdrop_router_backend_degraded Backend routing exclusion (1 = unreachable or zero live machines).\n")
+	p("# TYPE taskdrop_router_backend_degraded gauge\n")
+	for _, b := range st.Backends {
+		deg := 0
+		if b.Degraded {
+			deg = 1
+		}
+		p("taskdrop_router_backend_degraded{backend=\"%d\"} %d\n", b.Backend, deg)
+	}
 	p("# HELP taskdrop_router_backend_inflight In-flight decide sub-requests per backend.\n")
 	p("# TYPE taskdrop_router_backend_inflight gauge\n")
 	for _, b := range st.Backends {

@@ -16,7 +16,7 @@ func sampleRecords(n int, seed int64) []Record {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]Record, n)
 	for i := range out {
-		switch rng.Intn(6) {
+		switch rng.Intn(7) {
 		case 0:
 			out[i] = Record{Kind: KindBatch, NTasks: int32(1 + rng.Intn(32))}
 		case 1:
@@ -45,6 +45,10 @@ func sampleRecords(n int, seed int64) []Record {
 				off = start
 			}
 			out[i] = Record{Kind: KindTrace, Seq: int64(i), Spans: spans}
+		case 5:
+			out[i] = Record{Kind: KindMembership, Action: uint8(rng.Intn(3)),
+				Machine: int32(rng.Intn(16)), Type: int32(rng.Intn(8)),
+				NTasks: int32(rng.Intn(2)), Tick: pmf.Tick(rng.Intn(100000))}
 		default:
 			out[i] = Record{Kind: KindDrain, Tick: pmf.Tick(rng.Intn(100000))}
 		}
@@ -95,6 +99,37 @@ func TestBatchDecisionIDRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(without, back) {
 		t.Fatalf("ID-less batch round trip mismatch:\n in %+v\nout %+v", without, back)
+	}
+}
+
+// TestMembershipRecordRoundTrip pins the dynamic-membership record kind:
+// every op survives the round trip, an out-of-range op byte is rejected,
+// and String renders the op name for hcreplay audits.
+func TestMembershipRecordRoundTrip(t *testing.T) {
+	for _, r := range []Record{
+		{Kind: KindMembership, Action: MemberAdd, Machine: 4, Type: 2, Tick: 512},
+		{Kind: KindMembership, Action: MemberRemove, Machine: 3, NTasks: 1, Tick: 99},
+		{Kind: KindMembership, Action: MemberRemove, Machine: 0, NTasks: 0, Tick: 0},
+		{Kind: KindMembership, Action: MemberRevive, Machine: 3, Tick: 100000},
+	} {
+		buf := AppendRecord(nil, &r)
+		got, err := DecodeRecord(buf[frameHeader:])
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if !reflect.DeepEqual(r, got) {
+			t.Fatalf("membership round trip mismatch:\n in %+v\nout %+v", r, got)
+		}
+	}
+	rm := Record{Kind: KindMembership, Action: MemberRemove, Machine: 7, NTasks: 1, Tick: 42}
+	if s := rm.String(); !bytes.Contains([]byte(s), []byte("remove")) || !bytes.Contains([]byte(s), []byte("machine=7")) {
+		t.Fatalf("String() = %q, want the op and machine", s)
+	}
+	forged := AppendRecord(nil, &rm)[frameHeader:]
+	forged = append([]byte(nil), forged...)
+	forged[2] = MemberRevive + 1 // version u8 + kind u8, then the op byte
+	if _, err := DecodeRecord(forged); err == nil {
+		t.Fatal("out-of-range membership op decoded")
 	}
 }
 

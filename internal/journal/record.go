@@ -48,6 +48,16 @@ const (
 	// records and hcreplay -verify skips them; the audit mode prints them
 	// next to the replayed decision.
 	KindTrace Kind = 6
+	// KindMembership is one runtime membership change applied to the shard
+	// engine between arrivals: Action carries the op (MemberAdd /
+	// MemberRemove / MemberRevive), Machine the shard-local machine index
+	// (for adds, the index the new machine was assigned), Type the machine
+	// type (adds only), NTasks the remove handoff flag (1 = pending queue
+	// handed back to the batch, 0 = force-dropped), and Tick the shard
+	// clock the op executed at. Membership records are replay *inputs* like
+	// arrives — recovery and hcreplay -verify re-apply them to the engine
+	// at the recorded point, re-deriving the decision stream across churn.
+	KindMembership Kind = 7
 )
 
 // Decision actions on the wire (KindDecision.Action).
@@ -55,6 +65,13 @@ const (
 	ActMap   uint8 = 0
 	ActDefer uint8 = 1
 	ActDrop  uint8 = 2
+)
+
+// Membership ops on the wire (KindMembership.Action).
+const (
+	MemberAdd    uint8 = 0
+	MemberRemove uint8 = 1
+	MemberRevive uint8 = 2
 )
 
 // Record is one journal entry. It is a flat union over the kinds: only
@@ -153,6 +170,12 @@ func AppendRecord(buf []byte, r *Record) []byte {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tick))
 	case KindDrain:
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tick))
+	case KindMembership:
+		buf = append(buf, r.Action)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Machine))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Type))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.NTasks))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Tick))
 	case KindTrace:
 		if len(r.Spans) > maxSpans {
 			panic(fmt.Sprintf("journal: trace record with %d spans, cap %d", len(r.Spans), maxSpans))
@@ -232,6 +255,15 @@ func DecodeRecord(payload []byte) (Record, error) {
 		r.Tick = pmf.Tick(d.u64())
 	case KindDrain:
 		r.Tick = pmf.Tick(d.u64())
+	case KindMembership:
+		r.Action = d.u8()
+		r.Machine = int32(d.u32())
+		r.Type = int32(d.u32())
+		r.NTasks = int32(d.u32())
+		r.Tick = pmf.Tick(d.u64())
+		if r.Action > MemberRevive {
+			return r, fmt.Errorf("journal: membership record with op %d", r.Action)
+		}
 	case KindTrace:
 		r.Seq = int64(d.u64())
 		n := int(d.u8())
@@ -346,6 +378,13 @@ func (r *Record) String() string {
 		return fmt.Sprintf("event seq=%d status=%d t=%d", r.Seq, r.Action, r.Tick)
 	case KindDrain:
 		return fmt.Sprintf("drain t=%d", r.Tick)
+	case KindMembership:
+		ops := [...]string{"add", "remove", "revive"}
+		op := "?"
+		if int(r.Action) < len(ops) {
+			op = ops[r.Action]
+		}
+		return fmt.Sprintf("membership op=%s machine=%d type=%d handoff=%d t=%d", op, r.Machine, r.Type, r.NTasks, r.Tick)
 	case KindTrace:
 		return fmt.Sprintf("trace seq=%d spans=%d", r.Seq, len(r.Spans))
 	default:

@@ -53,3 +53,15 @@ func (r *RemoteView) ObserveAdmission(class int, p float64) {
 	defer r.mu.Unlock()
 	r.v.ObserveAdmission(class, p)
 }
+
+// SetDown publishes whether the backend can currently admit anything —
+// false when it is unreachable or every shard it serves is degraded to
+// zero live machines. The flag is a single atomic on the inner view, so it
+// needs no writer lock.
+func (r *RemoteView) SetDown(down bool) { r.v.SetDown(down) }
+
+// EnableDecay turns on read-side staleness decay on the inner view (see
+// ShardView.EnableDecay). Call before the view is shared.
+func (r *RemoteView) EnableDecay(halfLife int64, now func() int64) {
+	r.v.EnableDecay(halfLife, now)
+}

@@ -71,8 +71,21 @@ type ShardView struct {
 	queued atomic.Int64 // tasks in machine queues (incl. running)
 	free   atomic.Int64 // open queue slots across the shard
 
+	// down marks a shard that cannot currently admit anything — every
+	// machine removed, or its backend unreachable. Policies steer around
+	// down views and only land on one when every view is down.
+	down atomic.Bool
+
 	// robustness[class] holds math.Float64bits of the per-class EWMA.
 	robustness []atomic.Uint64
+
+	// Optional read-side decay (EnableDecay): lastObs[class] is the
+	// decayNow() stamp of the class's latest observation, decayHalf the
+	// half-life in the same units. Nil lastObs disables decay entirely,
+	// keeping the default view deterministic for offline simulation.
+	lastObs   []atomic.Int64
+	decayHalf float64
+	decayNow  func() int64
 }
 
 // NewShardView builds a view for a shard serving numClasses task types.
@@ -95,6 +108,14 @@ func (v *ShardView) SetLoad(batch, queued, free int) {
 	v.free.Store(int64(free))
 }
 
+// SetDown publishes whether the shard is unable to admit work (degraded to
+// zero live machines, or its backend gone). Single writer per transition;
+// any goroutine may read concurrently.
+func (v *ShardView) SetDown(down bool) { v.down.Store(down) }
+
+// Down reports whether the shard is currently marked unable to admit work.
+func (v *ShardView) Down() bool { return v.down.Load() }
+
 // QueueMass returns the shard's outstanding work: tasks in machine queues
 // plus deferred tasks waiting in the batch.
 func (v *ShardView) QueueMass() int64 { return v.queued.Load() + v.batch.Load() }
@@ -115,6 +136,7 @@ func (v *ShardView) ObserveAdmission(class int, p float64) {
 	// Clamp accumulated rounding drift: estimates are probabilities.
 	next = math.Max(0, math.Min(1, next))
 	v.robustness[class].Store(math.Float64bits(next))
+	v.touch(class)
 }
 
 // SetClassRobustness overwrites one class's robustness estimate — the
@@ -125,16 +147,62 @@ func (v *ShardView) SetClassRobustness(class int, p float64) {
 		return
 	}
 	v.robustness[class].Store(math.Float64bits(math.Max(0, math.Min(1, p))))
+	v.touch(class)
+}
+
+// decayPrior is the neutral estimate a stale view slides toward under
+// EnableDecay. 0.5 — not the optimistic 1.0 cold-start — so a dead
+// backend's last-good (or never-observed) estimate stops beating live
+// shards that are reporting real numbers.
+const decayPrior = 0.5
+
+// EnableDecay turns on read-side staleness decay for the robustness
+// estimates: a class whose estimate has not been refreshed for one
+// half-life (in now()'s units) reads as halfway between its stored value
+// and the neutral prior 0.5, and slides the rest of the way exponentially.
+// Without decay a view nobody updates — a dead backend, an outage — keeps
+// its last-good estimate forever and p2c keeps preferring it. Decay is off
+// by default (offline simulation must stay a pure function of the decision
+// stream); the front tier enables it with a wall clock. Call before the
+// view is shared; every class reads as freshly observed at that instant.
+func (v *ShardView) EnableDecay(halfLife int64, now func() int64) {
+	if halfLife <= 0 || now == nil {
+		panic("router: EnableDecay needs a positive half-life and a clock")
+	}
+	v.lastObs = make([]atomic.Int64, len(v.robustness))
+	v.decayHalf = float64(halfLife)
+	v.decayNow = now
+	t := now()
+	for i := range v.lastObs {
+		v.lastObs[i].Store(t)
+	}
+}
+
+// touch stamps a class's estimate as freshly observed.
+func (v *ShardView) touch(class int) {
+	if v.lastObs != nil {
+		v.lastObs[class].Store(v.decayNow())
+	}
 }
 
 // ClassRobustness returns the shard's current expected on-time probability
 // for the given task class (1.0 before any observation, or for an unknown
-// class).
+// class), decayed toward the neutral prior when EnableDecay is on and the
+// class has gone unobserved.
 func (v *ShardView) ClassRobustness(class int) float64 {
 	if class < 0 || class >= len(v.robustness) {
 		return 1.0
 	}
-	return math.Float64frombits(v.robustness[class].Load())
+	est := math.Float64frombits(v.robustness[class].Load())
+	if v.lastObs == nil {
+		return est
+	}
+	elapsed := v.decayNow() - v.lastObs[class].Load()
+	if elapsed <= 0 {
+		return est
+	}
+	f := math.Exp2(-float64(elapsed) / v.decayHalf)
+	return decayPrior + (est-decayPrior)*f
 }
 
 // Policy picks the shard an arriving task is admitted through. Route is
@@ -163,7 +231,17 @@ func (*RoundRobin) Name() string { return "rr" }
 
 // Route implements Policy.
 func (p *RoundRobin) Route(_ Task, views []*ShardView) int {
-	return int((p.next.Add(1) - 1) % uint64(len(views)))
+	base := p.next.Add(1) - 1
+	n := uint64(len(views))
+	// Walk forward past down shards; with nothing down this is exactly the
+	// plain cursor. When everything is down, land on the cursor's shard.
+	for k := uint64(0); k < n; k++ {
+		i := int((base + k) % n)
+		if !views[i].Down() {
+			return i
+		}
+	}
+	return int(base % n)
 }
 
 // LeastMass routes to the shard with the least outstanding work (machine
@@ -176,11 +254,17 @@ func (LeastMass) Name() string { return "mass" }
 
 // Route implements Policy.
 func (LeastMass) Route(_ Task, views []*ShardView) int {
-	best, bestMass := 0, views[0].QueueMass()
-	for i := 1; i < len(views); i++ {
-		if m := views[i].QueueMass(); m < bestMass {
+	best, bestMass := -1, int64(0)
+	for i := 0; i < len(views); i++ {
+		if views[i].Down() {
+			continue
+		}
+		if m := views[i].QueueMass(); best < 0 || m < bestMass {
 			best, bestMass = i, m
 		}
+	}
+	if best < 0 {
+		best = 0 // everything down: shard 0 sheds the request
 	}
 	return best
 }
@@ -234,6 +318,22 @@ func (p *PowerOfTwo) Route(t Task, views []*ShardView) int {
 	if j >= i {
 		j++ // distinct second choice, uniform over the rest
 	}
+	// A down shard loses to any live one; if both picks are down, fall back
+	// to the first live shard so churn never routes into a dead end.
+	if views[i].Down() || views[j].Down() {
+		switch {
+		case views[j].Down() && !views[i].Down():
+			return i
+		case views[i].Down() && !views[j].Down():
+			return j
+		default:
+			for k := 0; k < int(n); k++ {
+				if !views[k].Down() {
+					return k
+				}
+			}
+		}
+	}
 	if better(t, views, j, i) {
 		return j
 	}
@@ -266,7 +366,18 @@ func (p ClassHash) Route(t Task, views []*ShardView) int {
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
-	return int(x % uint64(len(views)))
+	n := uint64(len(views))
+	home := int(x % n)
+	// A class whose home shard is down spills to the next live shard so its
+	// traffic sheds somewhere useful; the partition is restored the moment
+	// the home shard comes back.
+	for k := uint64(0); k < n; k++ {
+		i := int((uint64(home) + k) % n)
+		if !views[i].Down() {
+			return i
+		}
+	}
+	return home
 }
 
 // better reports whether shard a beats shard b for task t: higher

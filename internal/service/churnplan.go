@@ -1,0 +1,90 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Churn plans: hcload's fault-injection harness. A plan is a schedule of
+// admin membership operations fired at task-index points of a replay —
+// "kill machine 3 after 500 tasks, revive it after 1500" — driving the
+// server through the same churn a production cluster sees, but
+// reproducibly.
+
+// ChurnAction is one scheduled membership operation of a churn plan.
+type ChurnAction struct {
+	// AtTask is the 0-based task index (within the replayed window) the
+	// operation fires at: Replay applies it immediately before the decide
+	// batch containing that index.
+	AtTask int                 `json:"at_task"`
+	Req    AdminMachineRequest `json:"req"`
+}
+
+// ParseChurnPlan parses hcload's -churn grammar: comma-separated actions
+//
+//	<at>:remove:<machine>[:drop]   remove (queue handed off; :drop force-drops)
+//	<at>:revive:<machine>          revive a removed machine
+//	<at>:add:<shard>:<type>        add a machine of <type> to <shard>
+//
+// where <at> is the 0-based task index the action fires before and
+// <machine> is a matrix-wide machine index. Actions may be given in any
+// order; Replay fires them sorted by task index.
+func ParseChurnPlan(s string) ([]ChurnAction, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var plan []ChurnAction
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("service: churn action %q, want \"<at>:<op>:...\"", part)
+		}
+		at, err := strconv.Atoi(fields[0])
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("service: churn action %q: bad task index %q", part, fields[0])
+		}
+		a := ChurnAction{AtTask: at}
+		switch op := fields[1]; op {
+		case AdminOpRemove:
+			m, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("service: churn action %q: bad machine %q", part, fields[2])
+			}
+			a.Req = AdminMachineRequest{Op: AdminOpRemove, Machine: m, Handoff: true}
+			switch {
+			case len(fields) == 3:
+			case len(fields) == 4 && fields[3] == "drop":
+				a.Req.Handoff = false
+			default:
+				return nil, fmt.Errorf("service: churn action %q, want \"<at>:remove:<machine>[:drop]\"", part)
+			}
+		case AdminOpRevive:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("service: churn action %q, want \"<at>:revive:<machine>\"", part)
+			}
+			m, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("service: churn action %q: bad machine %q", part, fields[2])
+			}
+			a.Req = AdminMachineRequest{Op: AdminOpRevive, Machine: m}
+		case AdminOpAdd:
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("service: churn action %q, want \"<at>:add:<shard>:<type>\"", part)
+			}
+			sh, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("service: churn action %q: bad shard %q", part, fields[2])
+			}
+			mt, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("service: churn action %q: bad type %q", part, fields[3])
+			}
+			a.Req = AdminMachineRequest{Op: AdminOpAdd, Shard: sh, Type: mt}
+		default:
+			return nil, fmt.Errorf("service: churn action %q: op %q, want remove, revive or add", part, op)
+		}
+		plan = append(plan, a)
+	}
+	return plan, nil
+}

@@ -47,6 +47,9 @@ type Client struct {
 	jitterState atomic.Uint64
 	// attempts counts every HTTP attempt (first tries and retries alike).
 	attempts atomic.Int64
+	// shed429 counts attempts answered 429 — a degraded shard shedding
+	// load (or a router's backpressure).
+	shed429 atomic.Int64
 }
 
 // Backoff defaults and cap.
@@ -141,6 +144,9 @@ func (cl *Client) PostJSON(ctx context.Context, url string, body, out any) error
 // Attempts returns the total HTTP attempts made (first tries + retries).
 func (cl *Client) Attempts() int64 { return cl.attempts.Load() }
 
+// Shed429 returns the number of attempts answered HTTP 429.
+func (cl *Client) Shed429() int64 { return cl.shed429.Load() }
+
 // GetJSON fetches url and decodes the response into out, in a single
 // attempt under the per-attempt timeout — no retries. Health and stats
 // probes want fast failure, not a retry budget: the caller polls anyway.
@@ -197,6 +203,9 @@ func (cl *Client) post(ctx context.Context, u string, data []byte, out any) erro
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			cl.shed429.Add(1)
+		}
 		he := &HTTPError{Status: resp.StatusCode, URL: u}
 		var eb errorBody
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil {
@@ -253,6 +262,10 @@ type ReplayConfig struct {
 	// "replay"). Distinct replays against one server must use distinct
 	// prefixes, or their IDs collide in the server's dedup window.
 	DecisionIDPrefix string
+	// Churn schedules admin membership operations at task-index points of
+	// the replay (see ParseChurnPlan) — the fault-injection harness.
+	// Indexes are relative to the replayed window (after From/To).
+	Churn []ChurnAction
 }
 
 // ShardLatency is the client-observed decide latency attributed to one
@@ -283,6 +296,14 @@ type ReplayReport struct {
 	PerShard []ShardLatency `json:"per_shard,omitempty"`
 	// Retried counts decide requests that needed more than one attempt.
 	Retried int `json:"retried,omitempty"`
+	// ChurnOps counts the churn-plan membership operations applied.
+	ChurnOps int `json:"churn_ops,omitempty"`
+	// Shed429 counts decide attempts a degraded shard shed with HTTP 429.
+	Shed429 int `json:"shed_429,omitempty"`
+	// DegradedWindow is the cumulative wall time spent on decide requests
+	// that saw at least one 429 — how long the replay ran against degraded
+	// capacity before the request got through (or failed).
+	DegradedWindow time.Duration `json:"degraded_window_ns,omitempty"`
 	// DuplicateAcks counts trace tasks acknowledged more than once — a
 	// nonzero value means a retry double-fed the server (the idempotency
 	// machinery failed).
@@ -328,9 +349,28 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 	lats := make([]time.Duration, 0, (len(tasks)+cfg.BatchSize-1)/cfg.BatchSize)
 	shardLats := map[int][]time.Duration{}
 	acked := make(map[string]bool, len(tasks))
+
+	// Churn plan, ordered by firing point. Actions fire between batches so
+	// every membership change lands at a deterministic decision boundary.
+	churn := append([]ChurnAction(nil), cfg.Churn...)
+	sort.SliceStable(churn, func(i, j int) bool { return churn[i].AtTask < churn[j].AtTask })
+	fireChurn := func(upto int) error {
+		for len(churn) > 0 && churn[0].AtTask <= upto {
+			a := churn[0]
+			churn = churn[1:]
+			if err := cl.PostJSON(ctx, baseURL+"/v1/admin/machines", &a.Req, nil); err != nil {
+				return fmt.Errorf("service: churn action at task %d (%s): %w", a.AtTask, a.Req.Op, err)
+			}
+			rep.ChurnOps++
+		}
+		return nil
+	}
 	start := time.Now()
 
 	for lo := 0; lo < len(tasks); lo += cfg.BatchSize {
+		if err := fireChurn(lo); err != nil {
+			return nil, err
+		}
 		hi := lo + cfg.BatchSize
 		if hi > len(tasks) {
 			hi = len(tasks)
@@ -363,6 +403,7 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 		}
 		t0 := time.Now()
 		attemptsBefore := cl.Attempts()
+		shedBefore := cl.Shed429()
 		var resp DecideResponse
 		if err := cl.PostJSON(ctx, baseURL+"/v1/decide", &req, &resp); err != nil {
 			return nil, err
@@ -371,6 +412,12 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 			rep.Retried++
 		}
 		lat := time.Since(t0)
+		if shed := cl.Shed429() - shedBefore; shed > 0 {
+			// The request crossed a degraded window: some attempts were shed
+			// with 429 before one got through.
+			rep.Shed429 += int(shed)
+			rep.DegradedWindow += lat
+		}
 		lats = append(lats, lat)
 		rep.Requests++
 		seen := map[int]bool{}
@@ -397,6 +444,11 @@ func Replay(ctx context.Context, client *http.Client, baseURL string, tr *worklo
 		rep.Decisions = append(rep.Decisions, resp.Decisions...)
 	}
 
+	// Trailing churn actions (scheduled at or past the end of the window)
+	// fire before the drain so they still reach the journal.
+	if err := fireChurn(int(^uint(0) >> 1)); err != nil {
+		return nil, err
+	}
 	// Elapsed covers decision traffic only, so achieved tasks/s stays
 	// comparable to the decide benchmarks; the drain below runs the whole
 	// virtual system to completion and is not decision throughput.

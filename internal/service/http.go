@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
+	"github.com/hpcclab/taskdrop/internal/journal"
 	"github.com/hpcclab/taskdrop/internal/telemetry"
 )
 
@@ -69,7 +71,7 @@ func NewHandler(c *Controller) http.Handler {
 				// A failed Decide left no engine state behind: release the ID
 				// so a retry re-executes.
 				c.dedup.Fail(id, err)
-				httpError(w, decideStatus(err), err)
+				decideError(w, err)
 				return
 			}
 			data, err := json.Marshal(resp)
@@ -88,10 +90,32 @@ func NewHandler(c *Controller) http.Handler {
 		}
 		resp, err := c.Decide(r.Context(), &req)
 		if err != nil {
-			httpError(w, decideStatus(err), err)
+			decideError(w, err)
 			return
 		}
 		c.metrics.ObserveLatency(time.Since(start))
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("POST /v1/admin/machines", func(w http.ResponseWriter, r *http.Request) {
+		var req AdminMachineRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("service: bad admin body: %w", err))
+			return
+		}
+		resp, err := c.Admin(r.Context(), &req)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrDraining):
+				httpError(w, http.StatusServiceUnavailable, err)
+			case errors.Is(err, errAdminConflict):
+				httpError(w, http.StatusConflict, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("POST /v1/drain", func(w http.ResponseWriter, r *http.Request) {
@@ -140,6 +164,7 @@ func NewHandler(c *Controller) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		c.metrics.WritePrometheus(w)
 		writeShardGauges(w, c)
+		writeMembershipGauges(w, c)
 		writeCalcMetrics(w, c)
 		c.tel.WritePrometheus(w)
 		telemetry.WriteRuntimeMetrics(w)
@@ -201,6 +226,46 @@ func writeShardGauges(w http.ResponseWriter, c *Controller) {
 	}
 }
 
+// writeMembershipGauges renders the dynamic-membership series: operation
+// counts, per-shard live/removed machine census, degraded flags, shed
+// (429) counters and rebalancer moves. Everything reads atomics or the
+// lock-free router views — no decision loop is touched.
+func writeMembershipGauges(w io.Writer, c *Controller) {
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP taskdrop_membership_ops_total Membership operations applied, by op.\n")
+	p("# TYPE taskdrop_membership_ops_total counter\n")
+	p("taskdrop_membership_ops_total{op=\"add\"} %d\n", c.memberOps[journal.MemberAdd].Load())
+	p("taskdrop_membership_ops_total{op=\"remove\"} %d\n", c.memberOps[journal.MemberRemove].Load())
+	p("taskdrop_membership_ops_total{op=\"revive\"} %d\n", c.memberOps[journal.MemberRevive].Load())
+	p("# HELP taskdrop_membership_live_machines Machines currently in the live set, per shard.\n")
+	p("# TYPE taskdrop_membership_live_machines gauge\n")
+	for _, sh := range c.shards {
+		p("taskdrop_membership_live_machines{shard=\"%d\"} %d\n", sh.id, sh.liveMachines.Load())
+	}
+	p("# HELP taskdrop_membership_removed_machines Machines currently removed from the live set, per shard.\n")
+	p("# TYPE taskdrop_membership_removed_machines gauge\n")
+	for _, sh := range c.shards {
+		p("taskdrop_membership_removed_machines{shard=\"%d\"} %d\n", sh.id, sh.removedMachines.Load())
+	}
+	p("# HELP taskdrop_membership_degraded Whether the shard has no live machines (sheds with 429).\n")
+	p("# TYPE taskdrop_membership_degraded gauge\n")
+	for _, sh := range c.shards {
+		d := 0
+		if sh.liveMachines.Load() == 0 {
+			d = 1
+		}
+		p("taskdrop_membership_degraded{shard=\"%d\"} %d\n", sh.id, d)
+	}
+	p("# HELP taskdrop_membership_shed_total Decide sub-batches shed by a degraded shard (HTTP 429).\n")
+	p("# TYPE taskdrop_membership_shed_total counter\n")
+	for _, sh := range c.shards {
+		p("taskdrop_membership_shed_total{shard=\"%d\"} %d\n", sh.id, sh.metrics.shed.Load())
+	}
+	p("# HELP taskdrop_rebalance_moves_total Machines migrated between shards by the rebalancer.\n")
+	p("# TYPE taskdrop_rebalance_moves_total counter\n")
+	p("taskdrop_rebalance_moves_total %d\n", c.rebalanceMoves.Load())
+}
+
 // writeEngineGauges renders the live queue-state gauges.
 func writeEngineGauges(w http.ResponseWriter, c *Controller, snap Snapshot) {
 	machines := c.matrix.Machines()
@@ -210,7 +275,11 @@ func writeEngineGauges(w http.ResponseWriter, c *Controller, snap Snapshot) {
 	fmt.Fprintf(w, "# HELP taskdrop_queue_depth Tasks queued per machine (incl. running).\n")
 	fmt.Fprintf(w, "# TYPE taskdrop_queue_depth gauge\n")
 	for i, d := range snap.QueueDepths {
-		fmt.Fprintf(w, "taskdrop_queue_depth{machine=\"%d\",name=%q} %d\n", i, machines[i].Name, d)
+		name := c.machineName(i)
+		if i < len(machines) {
+			name = machines[i].Name
+		}
+		fmt.Fprintf(w, "taskdrop_queue_depth{machine=\"%d\",name=%q} %d\n", i, name, d)
 	}
 	fmt.Fprintf(w, "# HELP taskdrop_tasks Live task census by state.\n")
 	fmt.Fprintf(w, "# TYPE taskdrop_tasks gauge\n")
@@ -229,7 +298,20 @@ func decideStatus(err error) int {
 	if errors.Is(err, ErrDraining) {
 		return http.StatusServiceUnavailable
 	}
+	if errors.Is(err, ErrShardDegraded) {
+		return http.StatusTooManyRequests
+	}
 	return http.StatusBadRequest
+}
+
+// decideError writes one failed decide. A degraded-shard shed carries a
+// Retry-After so well-behaved clients pace their retries.
+func decideError(w http.ResponseWriter, err error) {
+	code := decideStatus(err)
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	httpError(w, code, err)
 }
 
 type errorBody struct {

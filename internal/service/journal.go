@@ -389,6 +389,9 @@ func (sh *shard) recover() error {
 		if err := sh.eng.RestoreSnapshot(cp.Engine); err != nil {
 			return err
 		}
+		// The checkpoint may carry runtime-added machines the directory has
+		// never seen; register them before any tail record references one.
+		sh.registerAdded()
 		sh.watermark = cp.SeqWatermark
 		sh.metrics.requests.Store(cp.Requests)
 		sh.metrics.mapped.Store(cp.Mapped)
@@ -442,13 +445,24 @@ func (sh *shard) recover() error {
 				d := Decision{ID: r.ID, Seq: int(r.Seq), Shard: sh.id, Machine: -1, Action: actionOf(ts.Status)}
 				if d.Action == ActionMap {
 					d.Machine = sh.global[ts.Machine]
-					d.MachineName = machines[d.Machine].Name
+					if d.Machine < len(machines) {
+						d.MachineName = machines[d.Machine].Name
+					} else {
+						d.MachineName = sh.c.machineName(d.Machine)
+					}
 				}
 				open.decisions = append(open.decisions, d)
 				open.now = sh.eng.Now()
 				if len(open.decisions) == open.expect {
 					closeOpen()
 				}
+			}
+		case journal.KindMembership:
+			// Membership records are replay inputs like arrives: re-apply
+			// the operation so the engine crosses the churn point exactly as
+			// the live server did.
+			if err := sh.applyMembership(r); err != nil {
+				return err
 			}
 		}
 		// Decision, event and drain records re-derive from the arrives;
@@ -457,6 +471,11 @@ func (sh *shard) recover() error {
 	})
 	// A log ending mid-batch is the torn tail of a crash.
 	closeOpen()
+	// Republish after the tail: membership may have changed mid-log, and
+	// PublishLoad marks a fully-removed shard down so the router steers
+	// around it from the first post-recovery request.
+	sh.updateMembershipGauges()
+	sh.eng.PublishLoad(sh.view)
 	return err
 }
 

@@ -28,6 +28,7 @@ type Metrics struct {
 	deferred  atomic.Int64
 	dropped   atomic.Int64 // drop decisions at admission (reactive at arrival)
 	rejected  atomic.Int64 // malformed specs rejected before reaching the loop
+	shed      atomic.Int64 // sub-batches shed by a degraded shard (429)
 	histogram []atomic.Int64
 	latSumNS  atomic.Int64
 }

@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"time"
+)
+
+// Background rebalancer: when shard queue masses skew past the configured
+// ratio, one machine's worth of capacity migrates from the most loaded
+// shard to the least loaded one — a handoff removal on the donor (its
+// pending tasks go back to the donor's batch for remapping) followed by an
+// add of the same machine type on the receiver. Both halves go through
+// Admin, so they execute on the shard loops, are journaled as membership
+// records, and steer the router views immediately.
+
+// rebalanceLoop drives RebalanceOnce on the configured cadence until the
+// controller drains.
+func (c *Controller) rebalanceLoop() {
+	t := time.NewTicker(c.cfg.RebalanceEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.rebalStop:
+			return
+		case <-t.C:
+			moved, err := c.RebalanceOnce(context.Background())
+			if err != nil {
+				c.log.Warn("rebalance pass failed", "err", err)
+			} else if moved {
+				c.log.Info("rebalanced one machine", "moves_total", c.rebalanceMoves.Load())
+			}
+		}
+	}
+}
+
+// RebalanceOnce runs one rebalance pass: if the busiest shard's queue mass
+// exceeds RebalanceThreshold times the idlest shard's (and by at least one
+// queue's worth), migrate one machine of capacity between them. Returns
+// whether a migration happened. Exported for tests and operational tools;
+// safe to call concurrently with admissions.
+func (c *Controller) RebalanceOnce(ctx context.Context) (bool, error) {
+	if len(c.shards) < 2 || c.Draining() {
+		return false, nil
+	}
+	src, dst := -1, -1
+	var maxMass, minMass int64
+	for s, sh := range c.shards {
+		mass := sh.view.QueueMass()
+		if src < 0 || mass > maxMass {
+			src, maxMass = s, mass
+		}
+		if dst < 0 || mass < minMass {
+			dst, minMass = s, mass
+		}
+	}
+	if src == dst {
+		return false, nil
+	}
+	if float64(maxMass) < c.cfg.RebalanceThreshold*float64(minMass) ||
+		maxMass-minMass < int64(c.cfg.QueueCap) {
+		return false, nil
+	}
+	snap, err := c.shards[src].snapshot(ctx)
+	if err != nil {
+		return false, err
+	}
+	if snap.LiveMachines < 2 {
+		// Never strand a shard: the donor keeps at least one live machine.
+		return false, nil
+	}
+	removed := make(map[int]bool, len(snap.Removed))
+	for _, g := range snap.Removed {
+		removed[g] = true
+	}
+	// Donate the live machine with the shortest queue — the least work to
+	// hand back to the donor's batch.
+	pick, pickDepth := -1, 0
+	for local, g := range snap.Machines {
+		if removed[g] {
+			continue
+		}
+		if pick < 0 || snap.QueueDepths[local] < pickDepth {
+			pick, pickDepth = g, snap.QueueDepths[local]
+		}
+	}
+	if pick < 0 {
+		return false, nil
+	}
+	mt := c.dir.typeOf(pick)
+	if mt < 0 {
+		return false, nil
+	}
+	if _, err := c.Admin(ctx, &AdminMachineRequest{Op: AdminOpRemove, Machine: pick, Handoff: true}); err != nil {
+		return false, err
+	}
+	if _, err := c.Admin(ctx, &AdminMachineRequest{Op: AdminOpAdd, Shard: dst, Type: mt}); err != nil {
+		// Capacity must not vanish on a half-failed move: put the donor back.
+		if _, rerr := c.Admin(ctx, &AdminMachineRequest{Op: AdminOpRevive, Machine: pick}); rerr != nil {
+			c.log.Error("rebalance revive after failed add", "machine", pick, "err", rerr)
+		}
+		return false, err
+	}
+	c.rebalanceMoves.Add(1)
+	c.log.Info("machine migrated",
+		"from_shard", src, "to_shard", dst,
+		"machine", pick, "type", mt,
+		"src_mass", maxMass, "dst_mass", minMass)
+	return true, nil
+}

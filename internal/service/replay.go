@@ -162,6 +162,36 @@ func (r *shardReplayer) feed(rec *journal.Record) *sim.TaskState {
 	return ts
 }
 
+// applyMembership re-applies one journaled membership record to the
+// replayed engine — membership records are replay inputs like arrives,
+// never matched. For adds the global table grows with a -1 sentinel: the
+// controller's matrix-wide numbering for added machines spans all shards
+// and cannot be re-derived from one shard's log, and nothing the replay
+// verifies depends on it (generated records carry local indexes and
+// checkpoints compare engine snapshots).
+func (r *shardReplayer) applyMembership(rec *journal.Record) error {
+	switch rec.Action {
+	case journal.MemberAdd:
+		if _, err := r.eng.AddMachine(pet.MachineType(rec.Type)); err != nil {
+			return fmt.Errorf("membership replay: %w", err)
+		}
+		r.global = append(r.global, -1)
+		return nil
+	case journal.MemberRemove:
+		if err := r.eng.RemoveMachine(int(rec.Machine), rec.NTasks != 0); err != nil {
+			return fmt.Errorf("membership replay: %w", err)
+		}
+		return nil
+	case journal.MemberRevive:
+		if err := r.eng.ReviveMachine(int(rec.Machine)); err != nil {
+			return fmt.Errorf("membership replay: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("membership replay: op %d", rec.Action)
+	}
+}
+
 // drain replays a graceful drain: run the engine to completion (the hook
 // streams the terminal events) and generate the drain marker.
 func (r *shardReplayer) drain() {
@@ -180,6 +210,8 @@ type VerifyStats struct {
 	// Traces counts stage-timing trace records skipped: they carry
 	// wall-clock observations replay cannot re-derive.
 	Traces int
+	// Membership counts membership records re-applied as replay inputs.
+	Membership int
 	// Unflushed counts derived records the replay produced past the end of
 	// the log — the suffix a crash cut off before it was committed.
 	Unflushed int
@@ -247,6 +279,11 @@ func VerifyShard(root string, s int) (*VerifyStats, error) {
 				// Stage timings are wall-clock observations — replay cannot
 				// re-derive them, so verification skips them by design.
 				st.Traces++
+			case journal.KindMembership:
+				st.Membership++
+				if err := r.applyMembership(rec); err != nil {
+					return err
+				}
 			default:
 				logged = append(logged, *rec)
 			}
@@ -414,6 +451,8 @@ func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) err
 			r.feed(rec)
 		case journal.KindDrain:
 			r.drain()
+		case journal.KindMembership:
+			return r.applyMembership(rec)
 		}
 		return nil
 	})
@@ -437,16 +476,34 @@ func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) err
 		return err
 	}
 	live := r.eng.LiveCounts()
-	totalSlots := r.man.QueueCap * len(r.global)
-	pressure := float64(live.Batch) / float64(totalSlots)
+	// Live machines only: removed capacity advertises no slots, so it is
+	// out of the pressure denominator (matching the engine's proactive
+	// sweep under churn).
+	totalSlots := r.man.QueueCap * r.eng.LiveMachines()
+	pressure := 0.0
+	if totalSlots > 0 {
+		pressure = float64(live.Batch) / float64(totalSlots)
+	}
 	machines := r.matrix.Machines()
 	calc := r.eng.Calc()
+	out := make(map[int]bool)
+	for _, ri := range r.eng.RemovedMachines() {
+		out[ri] = true
+	}
 
 	fmt.Fprintf(w, "queues and Eq. 1 forecasts (deferred batch %d, pressure %.3f):\n", live.Batch, pressure)
-	for i, g := range r.global {
-		mt := machines[g].Type
+	for i, m := range r.eng.Machines() {
+		mt := m.Spec.Type
+		g := -1
+		if i < len(r.global) {
+			g = r.global[i]
+		}
+		if out[i] {
+			fmt.Fprintf(w, "  machine %d %q (local %d): removed from the live set\n", g, m.Spec.Name, i)
+			continue
+		}
 		q := r.eng.CoreQueue(i)
-		fmt.Fprintf(w, "  machine %d %q (local %d):\n", g, machines[g].Name, i)
+		fmt.Fprintf(w, "  machine %d %q (local %d):\n", g, m.Spec.Name, i)
 		probs := calc.SuccessProbs(mt, now, q)
 		for j, qt := range q {
 			state := "pending"
@@ -479,7 +536,11 @@ func AuditDecision(w io.Writer, root string, s int, seq int64, verbose bool) err
 	d := Decision{Seq: int(seq), Shard: s, Machine: -1, Action: actionOf(ts.Status)}
 	if d.Action == ActionMap {
 		d.Machine = r.global[ts.Machine]
-		d.MachineName = machines[d.Machine].Name
+		if d.Machine >= 0 && d.Machine < len(machines) {
+			d.MachineName = machines[d.Machine].Name
+		} else {
+			d.MachineName = r.eng.Machines()[ts.Machine].Spec.Name
+		}
 	}
 	if d.Action == ActionMap {
 		fmt.Fprintf(w, "replayed decision: %s -> machine %d %q\n", d.Action, d.Machine, d.MachineName)

@@ -136,6 +136,15 @@ type Config struct {
 	// TraceRing bounds retained completed traces per shard (default
 	// telemetry.DefaultRingSize).
 	TraceRing int
+	// RebalanceEvery enables the background rebalancer: every period the
+	// controller compares per-shard queue mass and migrates one machine
+	// worth of capacity from the most to the least loaded shard (remove
+	// with queue handoff + add of the same type). 0 (the default) disables
+	// rebalancing; it only acts with 2+ shards.
+	RebalanceEvery time.Duration
+	// RebalanceThreshold is the queue-mass ratio (max/min) that triggers a
+	// migration (default 2; must be >= 1).
+	RebalanceThreshold float64
 	// Logger receives the controller's structured diagnostics (journal
 	// recovery, drain). Defaults to a discard logger; the CLIs pass their
 	// telemetry.NewLogger.
@@ -170,6 +179,9 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotEvery == 0 {
 		c.SnapshotEvery = 5000
 	}
+	if c.RebalanceThreshold == 0 {
+		c.RebalanceThreshold = 2
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.DiscardHandler)
 	}
@@ -203,6 +215,18 @@ type Controller struct {
 	// jmetrics aggregates journal observability; nil when journaling is
 	// off (Config.JournalDir empty).
 	jmetrics *journalMetrics
+
+	// dir is the matrix-wide machine directory (names, types, shard
+	// ownership), covering runtime-added machines past the matrix.
+	dir *machineDir
+	// memberOps counts membership operations by journal action
+	// (MemberAdd/MemberRemove/MemberRevive).
+	memberOps [3]atomic.Int64
+	// rebalanceMoves counts machine migrations by the background
+	// rebalancer; rebalStop (non-nil when enabled) stops its loop.
+	rebalanceMoves atomic.Int64
+	rebalStop      chan struct{}
+	rebalOnce      sync.Once
 
 	mu       sync.Mutex // guards draining flag and final result
 	draining bool
@@ -247,6 +271,12 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.TraceRing < 0 {
 		return nil, fmt.Errorf("service: trace ring %d, want >= 0", cfg.TraceRing)
+	}
+	if cfg.RebalanceEvery < 0 {
+		return nil, fmt.Errorf("service: rebalance period %v, want >= 0", cfg.RebalanceEvery)
+	}
+	if cfg.RebalanceThreshold < 1 {
+		return nil, fmt.Errorf("service: rebalance threshold %g, want >= 1", cfg.RebalanceThreshold)
 	}
 	if cfg.JournalDir != "" {
 		if _, err := journal.ParseSyncPolicy(cfg.Fsync); err != nil {
@@ -311,6 +341,13 @@ func New(cfg Config) (*Controller, error) {
 		}
 		c.shards[s] = sh
 	}
+	c.dir = newMachineDir(matrix.Machines())
+	for s, sh := range c.shards {
+		for local, g := range sh.global {
+			c.dir.claim(g, s, local)
+		}
+		sh.updateMembershipGauges()
+	}
 	// Recovery runs before the loops start: each shard restores its newest
 	// checkpoint and replays its log tail single-threaded, then the writers
 	// open (truncating any torn tail) and the loops take over.
@@ -321,6 +358,10 @@ func New(cfg Config) (*Controller, error) {
 	}
 	for _, sh := range c.shards {
 		go sh.loop()
+	}
+	if cfg.RebalanceEvery > 0 && len(c.shards) > 1 {
+		c.rebalStop = make(chan struct{})
+		go c.rebalanceLoop()
 	}
 	return c, nil
 }
@@ -543,7 +584,9 @@ func (c *Controller) Stats(ctx context.Context) (Snapshot, error) {
 	if err != nil {
 		return Snapshot{}, err
 	}
-	snap := Snapshot{QueueDepths: make([]int, len(c.matrix.Machines()))}
+	// Sized by the directory, not the matrix: runtime-added machines get
+	// indexes past the matrix.
+	snap := Snapshot{QueueDepths: make([]int, c.dir.size())}
 	for _, ss := range shards {
 		if ss.Now > snap.Now {
 			snap.Now = ss.Now
@@ -558,7 +601,12 @@ func (c *Controller) Stats(ctx context.Context) (Snapshot, error) {
 		snap.Live.DroppedProactive += ss.Live.DroppedProactive
 		snap.Live.Failed += ss.Live.Failed
 		for local, depth := range ss.QueueDepths {
-			snap.QueueDepths[ss.Machines[local]] = depth
+			g := ss.Machines[local]
+			for g >= len(snap.QueueDepths) {
+				// An add raced the directory read; grow to cover it.
+				snap.QueueDepths = append(snap.QueueDepths, 0)
+			}
+			snap.QueueDepths[g] = depth
 		}
 	}
 	return snap, nil
@@ -610,6 +658,9 @@ func (c *Controller) Drain(ctx context.Context) (*sim.Result, error) {
 
 	if first {
 		c.log.Info("drain initiated", "shards", len(c.shards))
+		if c.rebalStop != nil {
+			c.rebalOnce.Do(func() { close(c.rebalStop) })
+		}
 		// The sends are unbounded-blocking by design: each loop is consuming
 		// its queue, so it always eventually accepts, and only this command
 		// can stop it. Goroutines decouple the waits from ctx and drain the

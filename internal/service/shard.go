@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcclab/taskdrop/internal/journal"
@@ -31,6 +32,12 @@ type shard struct {
 
 	cmds     chan func()
 	loopDone chan struct{}
+
+	// liveMachines/removedMachines mirror the engine's membership census
+	// for lock-free scrapes; the loop refreshes them after every
+	// membership operation (updateMembershipGauges).
+	liveMachines    atomic.Int64
+	removedMachines atomic.Int64
 
 	// jw is the shard's write-ahead log; nil when journaling is off.
 	// Written only by the shard loop (and recovery, before the loop
@@ -100,6 +107,7 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 	var now pmf.Tick
 	var jerr error
 	committed := false
+	degraded := false
 	var submit time.Time
 	if traces != nil {
 		// Route span: origin (request receipt) to shard-loop submission.
@@ -110,6 +118,16 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 		if sh.stopped || ctx.Err() != nil {
 			// Drained, or the submitter already gave up: leave the engine
 			// untouched so the failed request has no effect.
+			return
+		}
+		if sh.eng.LiveMachines() == 0 {
+			// Degraded: every machine of this shard has been removed.
+			// Admitting would defer the tasks into a batch nothing can ever
+			// run — shed the sub-batch instead (429 on the wire) and let the
+			// client retry after a revive or rebalance.
+			sh.metrics.shed.Add(1)
+			sh.c.metrics.shed.Add(1)
+			degraded = true
 			return
 		}
 		if traces != nil {
@@ -158,7 +176,13 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 			case st == sim.StatusQueued || st == sim.StatusRunning:
 				d.Action = ActionMap
 				d.Machine = sh.global[ts.Machine]
-				d.MachineName = machines[d.Machine].Name
+				if d.Machine < len(machines) {
+					d.MachineName = machines[d.Machine].Name
+				} else {
+					// Runtime-added machine: past the matrix, named by the
+					// controller's directory.
+					d.MachineName = sh.c.machineName(d.Machine)
+				}
 			case st == sim.StatusBatch:
 				d.Action = ActionDefer
 			default:
@@ -215,6 +239,9 @@ func (sh *shard) decide(ctx context.Context, req *DecideRequest, resp *DecideRes
 	if jerr != nil {
 		return 0, jerr
 	}
+	if degraded {
+		return 0, ErrShardDegraded
+	}
 	if !committed {
 		// The closure skipped: either the submitter's ctx was cancelled as
 		// it ran (a client problem, not a server state) or the shard drained
@@ -236,12 +263,18 @@ func (sh *shard) snapshot(ctx context.Context) (ShardSnapshot, error) {
 			return
 		}
 		snap = ShardSnapshot{
-			Shard:        sh.id,
-			Now:          sh.eng.Now(),
-			Live:         sh.eng.LiveCounts(),
-			QueueDepths:  sh.eng.QueueDepths(),
-			Machines:     sh.global,
+			Shard:       sh.id,
+			Now:         sh.eng.Now(),
+			Live:        sh.eng.LiveCounts(),
+			QueueDepths: sh.eng.QueueDepths(),
+			// Copied: membership operations append to sh.global on the loop
+			// while earlier snapshots may still be marshaling.
+			Machines:     append([]int(nil), sh.global...),
+			LiveMachines: sh.eng.LiveMachines(),
 			SeqWatermark: sh.watermark,
+		}
+		for _, ri := range sh.eng.RemovedMachines() {
+			snap.Removed = append(snap.Removed, sh.global[ri])
 		}
 		ok = true
 	})

@@ -129,6 +129,11 @@ type ShardSnapshot struct {
 	// i-th local machine; Machines[i] is that machine's matrix-wide index.
 	QueueDepths []int `json:"queue_depths"`
 	Machines    []int `json:"machines"`
+	// LiveMachines is the shard's live machine count; Removed lists the
+	// matrix-wide indexes currently removed from the live set (dynamic
+	// membership, POST /v1/admin/machines).
+	LiveMachines int   `json:"live_machines"`
+	Removed      []int `json:"removed_machines,omitempty"`
 	// QueueMass and FreeSlots are the router's load gauges for the shard.
 	QueueMass int64 `json:"queue_mass"`
 	FreeSlots int64 `json:"free_slots"`

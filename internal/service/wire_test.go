@@ -103,6 +103,7 @@ func TestWireGoldenFixtures(t *testing.T) {
 			Live:         sim.Live{Arrived: 9, Batch: 1, Queued: 4, Running: 2, OnTime: 1, Late: 1},
 			QueueDepths:  []int{2, 3},
 			Machines:     []int{0, 2},
+			LiveMachines: 2,
 			QueueMass:    5,
 			FreeSlots:    7,
 			Robustness:   []float64{0.9, 0.5},
@@ -115,13 +116,25 @@ func TestWireGoldenFixtures(t *testing.T) {
 		`{"router":"hash","shards":[{"shard":0,"now":512,`+
 			`"live":{"arrived":9,"batch":1,"queued":4,"running":2,"on_time":1,"late":1,`+
 			`"dropped_reactive":0,"dropped_proactive":0,"failed":0},`+
-			`"queue_depths":[2,3],"machines":[0,2],"queue_mass":5,"free_slots":7,`+
+			`"queue_depths":[2,3],"machines":[0,2],"live_machines":2,"queue_mass":5,"free_slots":7,`+
 			`"robustness_by_class":[0.9,0.5],"requests":3,"mapped":6,"deferred":2,"dropped":1,`+
 			`"seq_watermark":8}]}`)
 
 	golden(t,
 		&ReadyResponse{Ready: false, Status: "booting"},
 		`{"ready":false,"status":"booting"}`)
+
+	// Admin membership operations (dynamic membership): hcload's churn
+	// plans and operational tooling speak these across versions.
+	golden(t,
+		&AdminMachineRequest{Op: AdminOpRemove, Machine: 3, Handoff: true},
+		`{"op":"remove","machine":3,"handoff":true}`)
+	golden(t,
+		&AdminMachineRequest{Op: AdminOpAdd, Shard: 1, Type: 2},
+		`{"op":"add","shard":1,"type":2}`)
+	golden(t,
+		&AdminMachineResponse{Op: AdminOpRemove, Shard: 1, Machine: 3, MachineName: "fast#1", Now: 512, LiveMachines: 3},
+		`{"op":"remove","shard":1,"machine":3,"machine_name":"fast#1","now":512,"live_machines":3}`)
 }
 
 // TestWireTagsAreSnakeCase keeps the wire vocabulary consistent with
@@ -140,6 +153,9 @@ func TestWireTagsAreSnakeCase(t *testing.T) {
 		reflect.TypeOf(StatsResponse{}),
 		reflect.TypeOf(ShardLatency{}),
 		reflect.TypeOf(ReplayReport{}),
+		reflect.TypeOf(AdminMachineRequest{}),
+		reflect.TypeOf(AdminMachineResponse{}),
+		reflect.TypeOf(ChurnAction{}),
 	} {
 		for i := 0; i < typ.NumField(); i++ {
 			f := typ.Field(i)

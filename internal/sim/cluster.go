@@ -122,6 +122,7 @@ func (e *Engine) CoreQueue(i int) []core.QueueTask {
 func (e *Engine) PublishLoad(v *router.ShardView) {
 	inQueues := e.live.Queued + e.live.Running
 	v.SetLoad(e.live.Batch, inQueues, e.totalSlots-inQueues)
+	v.SetDown(e.LiveMachines() == 0)
 }
 
 // ObserveDecision publishes the engine's router-visible state after one
@@ -245,6 +246,71 @@ func (cl *Cluster) GlobalMachine(s, local int) int { return cl.global[s][local] 
 // GlobalMachines returns shard s's machines as matrix-wide indexes, in
 // shard-local order.
 func (cl *Cluster) GlobalMachines(s int) []int { return cl.global[s] }
+
+// locate translates a matrix-wide machine index into (shard, local).
+func (cl *Cluster) locate(global int) (shard, local int, err error) {
+	for s, g := range cl.global {
+		for l, gi := range g {
+			if gi == global {
+				return s, l, nil
+			}
+		}
+	}
+	return -1, -1, fmt.Errorf("sim: machine %d is not in this cluster", global)
+}
+
+// RemoveMachine takes the matrix-wide machine out of its shard's live set
+// at time at (advancing that shard's clock there first), handing its
+// pending queue back to the shard's batch. The shard's router view is
+// republished so routing steers away immediately.
+func (cl *Cluster) RemoveMachine(global int, at pmf.Tick, handoff bool) error {
+	s, l, err := cl.locate(global)
+	if err != nil {
+		return err
+	}
+	eng := cl.engines[s]
+	if at > eng.Now() {
+		eng.AdvanceTo(at)
+	}
+	if err := eng.RemoveMachine(l, handoff); err != nil {
+		return err
+	}
+	eng.PublishLoad(cl.views[s])
+	return nil
+}
+
+// ReviveMachine returns the matrix-wide machine to its shard's live set at
+// time at and republishes the shard's router view.
+func (cl *Cluster) ReviveMachine(global int, at pmf.Tick) error {
+	s, l, err := cl.locate(global)
+	if err != nil {
+		return err
+	}
+	eng := cl.engines[s]
+	if at > eng.Now() {
+		eng.AdvanceTo(at)
+	}
+	if err := eng.ReviveMachine(l); err != nil {
+		return err
+	}
+	eng.PublishLoad(cl.views[s])
+	return nil
+}
+
+// ApplyChurn applies one plan event to the cluster. Remove events hand the
+// dead machine's queue back to its shard's batch (the offline analogue of
+// the service's handoff semantics); Add events are not part of generated
+// plans and are rejected here.
+func (cl *Cluster) ApplyChurn(ev ChurnEvent) error {
+	switch ev.Op {
+	case ChurnRemove:
+		return cl.RemoveMachine(ev.Machine, ev.At, true)
+	case ChurnRevive:
+		return cl.ReviveMachine(ev.Machine, ev.At)
+	default:
+		return fmt.Errorf("sim: churn op %v not supported by the offline cluster driver", ev.Op)
+	}
+}
 
 // Route picks the shard an arriving task is admitted through. It reads
 // only the policy's own state and the shard views' atomics, so any number

@@ -75,6 +75,12 @@ type Engine struct {
 	nextArrival int
 	totalSlots  int
 	failures    []machineFailureState
+	// removed flags machines taken out of the live set at runtime (nil
+	// until the first RemoveMachine); addedTypes records the types of
+	// runtime-added machines in order. Both serialize via EngineSnapshot;
+	// an engine that never churns carries no membership state at all.
+	removed    []bool
+	addedTypes []int
 	// open marks an incrementally-fed engine (see NewOpen/Feed).
 	open bool
 	// live is the incremental lifecycle census of arrived tasks, kept in
@@ -346,7 +352,10 @@ func (e *Engine) reactiveDrops() bool {
 
 // proactiveDrops consults the dropping policy for every machine queue.
 func (e *Engine) proactiveDrops() {
-	pressure := float64(len(e.batch)) / float64(e.totalSlots)
+	pressure := 0.0
+	if e.totalSlots > 0 {
+		pressure = float64(len(e.batch)) / float64(e.totalSlots)
+	}
 	for _, m := range e.machines {
 		if len(m.queue)-m.firstPending() < 1 {
 			continue

@@ -69,6 +69,11 @@ func (e *Engine) nextFailureEvent() (machine int, at pmf.Tick, isRepair bool) {
 	machine, at = -1, noCompletion
 	for i := range e.failures {
 		fs := &e.failures[i]
+		if e.removedAt(i) {
+			// A removed machine's failure process is frozen; ReviveMachine
+			// re-arms any schedule that went stale in the interim.
+			continue
+		}
 		if fs.repairAt != noCompletion {
 			if at == noCompletion || fs.repairAt < at {
 				machine, at, isRepair = i, fs.repairAt, true

@@ -30,9 +30,10 @@ func (ev *MappingEvent) Batch() []*TaskState { return ev.e.batch }
 func (ev *MappingEvent) Machines() []*Machine { return ev.e.machines }
 
 // FreeSlots returns the number of open queue slots on machine m. A failed
-// machine advertises no free slots until repaired.
+// machine advertises no free slots until repaired; a removed machine
+// advertises none until revived.
 func (ev *MappingEvent) FreeSlots(m *Machine) int {
-	if ev.e.failed(m.Spec.Index) {
+	if ev.e.failed(m.Spec.Index) || ev.e.removedAt(m.Spec.Index) {
 		return 0
 	}
 	return ev.e.cfg.QueueCap - len(m.queue)

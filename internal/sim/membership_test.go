@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"github.com/hpcclab/taskdrop/internal/pmf"
+	"github.com/hpcclab/taskdrop/internal/router"
+)
+
+// membershipEngine builds a 3-machine open engine with a few tasks fed so
+// queues are non-empty when membership changes.
+func membershipEngine(t *testing.T, feed int) *Engine {
+	t.Helper()
+	m := testMatrix(t, 3, pmf.Delta(10))
+	e := NewOpen(m, fifoMapper{}, nil, cfgNoExclusion())
+	tasks := randomOpenTasks(feed, 21)
+	for i := range tasks {
+		e.Feed(&tasks[i])
+	}
+	return e
+}
+
+func TestRemoveMachineHandoff(t *testing.T) {
+	e := membershipEngine(t, 40)
+	before := e.LiveCounts()
+	if before.Queued == 0 {
+		t.Fatal("setup: no queued work to hand off")
+	}
+	if err := e.RemoveMachine(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LiveMachines(); got != 2 {
+		t.Fatalf("LiveMachines = %d after remove, want 2", got)
+	}
+	if got := e.RemovedMachines(); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("RemovedMachines = %v, want [1]", got)
+	}
+	// The removed machine's queue is empty; nothing on it survived.
+	if n := len(e.Machines()[1].Queue()); n != 0 {
+		t.Fatalf("removed machine still holds %d queue entries", n)
+	}
+	// Handoff semantics: no task silently disappears — every previously
+	// queued task is failed (the running one), still queued elsewhere
+	// (remapped), deferred back to the batch, or terminal.
+	after := e.recountLive()
+	total := after.Queued + after.Batch + after.Running
+	if total == 0 && before.Queued+before.Batch > 1 {
+		t.Fatalf("handoff lost all pending work: before %+v, after %+v", before, after)
+	}
+	if after.Failed == 0 && before.Running > 0 {
+		t.Fatalf("running task on removed machine not failed: %+v", after)
+	}
+
+	// Double-remove and out-of-range are errors.
+	if err := e.RemoveMachine(1, true); err == nil {
+		t.Fatal("second remove of machine 1 accepted")
+	}
+	if err := e.RemoveMachine(99, true); err == nil {
+		t.Fatal("remove of machine 99 accepted")
+	}
+}
+
+func TestRemoveMachineForceDrop(t *testing.T) {
+	e := membershipEngine(t, 40)
+	before := e.recountLive()
+	if err := e.RemoveMachine(0, false); err != nil {
+		t.Fatal(err)
+	}
+	after := e.recountLive()
+	// Force-drop: the machine's pending queue died with it. Failures can
+	// only grow, and nothing was handed back to the batch beyond what the
+	// mapping pipeline re-deferred.
+	if after.Failed <= before.Failed {
+		t.Fatalf("force-drop removed a loaded machine but Failed stayed %d → %d", before.Failed, after.Failed)
+	}
+}
+
+func TestReviveMachine(t *testing.T) {
+	e := membershipEngine(t, 20)
+	if err := e.ReviveMachine(2); err == nil {
+		t.Fatal("revive of a live machine accepted")
+	}
+	if err := e.RemoveMachine(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReviveMachine(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.LiveMachines(); got != 3 {
+		t.Fatalf("LiveMachines = %d after revive, want 3", got)
+	}
+	if got := e.RemovedMachines(); got != nil {
+		t.Fatalf("RemovedMachines = %v after revive, want nil", got)
+	}
+	// The revived machine is usable: keep feeding and drain cleanly.
+	tasks := randomOpenTasks(20, 31)
+	for i := range tasks {
+		e.Feed(&tasks[i])
+	}
+	if res := e.Drain(); res.Total == 0 {
+		t.Fatal("drain after revive accounted no tasks")
+	}
+}
+
+func TestAddMachine(t *testing.T) {
+	e := membershipEngine(t, 10)
+	i, err := e.AddMachine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 3 {
+		t.Fatalf("AddMachine index = %d, want 3", i)
+	}
+	spec := e.Machines()[i].Spec
+	if spec.Name != "added-0#0" || int(spec.Type) != 0 {
+		t.Fatalf("added machine spec = %+v", spec)
+	}
+	if spec.PriceHour != e.Machines()[0].Spec.PriceHour {
+		t.Fatalf("added machine price %v, want cloned %v", spec.PriceHour, e.Machines()[0].Spec.PriceHour)
+	}
+	if got := e.AddedMachineTypes(); !reflect.DeepEqual(got, []int{0}) {
+		t.Fatalf("AddedMachineTypes = %v, want [0]", got)
+	}
+	if got := e.LiveMachines(); got != 4 {
+		t.Fatalf("LiveMachines = %d, want 4", got)
+	}
+	if _, err := e.AddMachine(7); err == nil {
+		t.Fatal("AddMachine with unknown type accepted")
+	}
+}
+
+// TestMembershipOnTraceDrivenEngine: the classic engine's determinism
+// contract excludes runtime membership; the operations must refuse.
+func TestMembershipOnTraceDrivenEngine(t *testing.T) {
+	m := testMatrix(t, 2, pmf.Delta(10))
+	eng := New(m, makeTrace([]pmf.Tick{0}, []pmf.Tick{50}, []pmf.Tick{10}), fifoMapper{}, nil, cfgNoExclusion())
+	if err := eng.RemoveMachine(0, true); err == nil {
+		t.Fatal("RemoveMachine on trace-driven engine accepted")
+	}
+	if err := eng.ReviveMachine(0); err == nil {
+		t.Fatal("ReviveMachine on trace-driven engine accepted")
+	}
+	if _, err := eng.AddMachine(0); err == nil {
+		t.Fatal("AddMachine on trace-driven engine accepted")
+	}
+}
+
+// TestMembershipSnapshotRoundTrip extends the replay property to churned
+// engines: snapshot a live engine mid-churn (machine removed, machine
+// added), restore into a fresh replica, and require identical decisions,
+// snapshots and drained results from there on.
+func TestMembershipSnapshotRoundTrip(t *testing.T) {
+	cfg := cfgNoExclusion()
+	tasks := randomOpenTasks(120, 11)
+	live, replica := snapshotEngines(t, cfg)
+	for i := 0; i < 50; i++ {
+		live.Feed(&tasks[i])
+	}
+	if err := live.RemoveMachine(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.AddMachine(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 50; i < 60; i++ {
+		live.Feed(&tasks[i])
+	}
+
+	snap := live.Snapshot()
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded EngineSnapshot
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.RestoreSnapshot(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replica.LiveMachines(), live.LiveMachines(); got != want {
+		t.Fatalf("restored LiveMachines = %d, want %d", got, want)
+	}
+	if got, want := replica.RemovedMachines(), live.RemovedMachines(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored RemovedMachines = %v, want %v", got, want)
+	}
+
+	for i := 60; i < len(tasks); i++ {
+		a, b := live.Feed(&tasks[i]), replica.Feed(&tasks[i])
+		if a.Status != b.Status || a.Machine != b.Machine {
+			t.Fatalf("task %d diverged post-restore: live %v/m%d, replica %v/m%d",
+				i, a.Status, a.Machine, b.Status, b.Machine)
+		}
+	}
+	// A revive after restore behaves identically too.
+	if err := live.ReviveMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.ReviveMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := replica.Snapshot(), live.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatal("final snapshots diverged")
+	}
+	if got, want := replica.Drain(), live.Drain(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("drained results diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestUnchurnedSnapshotOmitsMembership pins the zero-cost contract: an
+// engine that never saw a membership operation serializes no membership
+// fields at all, so pre-membership logs and snapshots stay byte-compatible.
+func TestUnchurnedSnapshotOmitsMembership(t *testing.T) {
+	e := membershipEngine(t, 20)
+	blob, err := json.Marshal(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"removed_machines", "added_machines"} {
+		if containsKey(blob, key) {
+			t.Fatalf("unchurned snapshot carries %q: %s", key, blob)
+		}
+	}
+}
+
+func containsKey(blob []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}
+
+func TestGenerateChurnProperties(t *testing.T) {
+	const machines = 4
+	const window = pmf.Tick(20000)
+	cfg := ChurnConfig{MeanInterval: 500, MeanDown: 300, Seed: 7}
+
+	a := GenerateChurn(machines, window, cfg)
+	b := GenerateChurn(machines, window, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("churn plan is not deterministic for a fixed seed")
+	}
+	if len(a) == 0 {
+		t.Fatal("plan empty for an aggressive config")
+	}
+
+	down := make(map[int]bool)
+	last := pmf.Tick(0)
+	for _, ev := range a {
+		if ev.At < last {
+			t.Fatalf("plan out of order at %+v", ev)
+		}
+		last = ev.At
+		switch ev.Op {
+		case ChurnRemove:
+			if down[ev.Machine] {
+				t.Fatalf("machine %d removed twice without revive", ev.Machine)
+			}
+			down[ev.Machine] = true
+			if len(down) >= machines {
+				t.Fatal("plan killed the last live machine")
+			}
+		case ChurnRevive:
+			if !down[ev.Machine] {
+				t.Fatalf("machine %d revived while live", ev.Machine)
+			}
+			delete(down, ev.Machine)
+		default:
+			t.Fatalf("unexpected op %v in generated plan", ev.Op)
+		}
+		if ev.At >= window {
+			t.Fatalf("event at %d past window %d", ev.At, window)
+		}
+	}
+
+	if got := GenerateChurn(machines, window, ChurnConfig{}); got != nil {
+		t.Fatalf("disabled config generated %d events", len(got))
+	}
+	if got := GenerateChurn(1, window, cfg); got != nil {
+		t.Fatal("single-machine system generated churn")
+	}
+}
+
+// TestClusterChurn drives a generated plan through the cluster driver:
+// every event applies cleanly, the run is reproducible, and an Add event
+// (not part of generated plans) is rejected.
+func TestClusterChurn(t *testing.T) {
+	m, tr := clusterTestSystem(t, 400, 9)
+	cfg := Config{QueueCap: 6}
+	plan := GenerateChurn(len(m.Machines()), tr.Tasks[len(tr.Tasks)-1].Arrival, ChurnConfig{MeanInterval: 300, MeanDown: 200, Seed: 5})
+	if len(plan) == 0 {
+		t.Fatal("setup: empty plan")
+	}
+
+	run := func() *Result {
+		cl, err := NewCluster(m, 2, router.NewRoundRobin(), pamHeuristic(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := 0
+		for i := range tr.Tasks {
+			for next < len(plan) && plan[next].At <= tr.Tasks[i].Arrival {
+				if err := cl.ApplyChurn(plan[next]); err != nil {
+					t.Fatalf("event %d (%+v): %v", next, plan[next], err)
+				}
+				next++
+			}
+			cl.Feed(&tr.Tasks[i])
+		}
+		for ; next < len(plan); next++ {
+			if err := cl.ApplyChurn(plan[next]); err != nil {
+				t.Fatalf("trailing event %d: %v", next, err)
+			}
+		}
+		return cl.Drain()
+	}
+	r1, r2 := run(), run()
+	if *r1 != *r2 {
+		t.Fatalf("churned cluster not reproducible:\n %+v\n %+v", r1, r2)
+	}
+	if r1.Total != len(tr.Tasks) {
+		t.Fatalf("accounted %d tasks, want %d", r1.Total, len(tr.Tasks))
+	}
+
+	cl, err := NewCluster(m, 2, router.NewRoundRobin(), pamHeuristic(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.ApplyChurn(ChurnEvent{Op: ChurnAdd, Type: 0}); err == nil {
+		t.Fatal("cluster driver accepted an Add churn event")
+	}
+}

@@ -22,6 +22,12 @@ type EngineSnapshot struct {
 	Batch []int `json:"batch,omitempty"`
 	// Failures holds one cursor per machine when failure injection is on.
 	Failures []FailureSnapshot `json:"failures,omitempty"`
+	// Added lists the machine types of runtime-added machines (AddMachine)
+	// in order of addition; Removed lists the machine indexes currently out
+	// of the live set. Both are omitted on an engine whose membership never
+	// changed, keeping pre-churn snapshots byte-identical.
+	Added   []int `json:"added,omitempty"`
+	Removed []int `json:"removed,omitempty"`
 }
 
 // TaskSnapshot is one task's full record: the immutable arrival data and
@@ -102,6 +108,8 @@ func (e *Engine) Snapshot() *EngineSnapshot {
 			Draws: fs.draws, NextFailAt: fs.nextFailAt, RepairAt: fs.repairAt,
 		})
 	}
+	s.Added = append([]int(nil), e.addedTypes...)
+	s.Removed = e.RemovedMachines()
 	return s
 }
 
@@ -116,6 +124,14 @@ func (e *Engine) RestoreSnapshot(s *EngineSnapshot) error {
 	}
 	if len(e.tasks) != 0 || e.clock != 0 {
 		return fmt.Errorf("sim: RestoreSnapshot on a non-fresh engine (%d tasks, clock %d)", len(e.tasks), e.clock)
+	}
+	// Re-attach runtime-added machines before any count check: the fresh
+	// engine was built over the original machine set, the snapshot covers
+	// the grown one.
+	for _, mt := range s.Added {
+		if _, err := e.attachMachine(pet.MachineType(mt)); err != nil {
+			return err
+		}
 	}
 	if len(s.Machines) != len(e.machines) {
 		return fmt.Errorf("sim: snapshot has %d machines, engine has %d", len(s.Machines), len(e.machines))
@@ -191,6 +207,20 @@ func (e *Engine) RestoreSnapshot(s *EngineSnapshot) error {
 		}
 		fs.nextFailAt = fc.NextFailAt
 		fs.repairAt = fc.RepairAt
+	}
+
+	for _, ri := range s.Removed {
+		if ri < 0 || ri >= len(e.machines) {
+			return fmt.Errorf("sim: snapshot removes machine %d of %d", ri, len(e.machines))
+		}
+		if e.removed == nil {
+			e.removed = make([]bool, len(e.machines))
+		}
+		if e.removed[ri] {
+			return fmt.Errorf("sim: snapshot removes machine %d twice", ri)
+		}
+		e.removed[ri] = true
+		e.totalSlots -= e.cfg.QueueCap
 	}
 
 	e.tasks = tasks

@@ -46,6 +46,7 @@ type Scenario struct {
 	queueCap    int
 	grace       Tick
 	failures    FailureConfig
+	churn       ChurnConfig
 	workers     int
 	maxImpulses int
 	shards      int
@@ -137,6 +138,17 @@ func WithQueueCap(n int) ScenarioOption {
 // while staying reproducible.
 func WithFailures(fc FailureConfig) ScenarioOption {
 	return func(s *Scenario) { s.failures = fc }
+}
+
+// WithChurn enables machine churn injection: a deterministic plan of
+// remove/revive membership events (GenerateChurn) is applied to the trial
+// while it feeds — the offline analogue of the service's runtime machine
+// churn, with removed queues handed back to the batch. The config's Seed
+// is offset by the trial index, like WithFailures. Churn differs from
+// failures: a failed machine's queue is lost and rebuilt by the recovery
+// model, a churned machine leaves gracefully with its queue handed off.
+func WithChurn(cc ChurnConfig) ScenarioOption {
+	return func(s *Scenario) { s.churn = cc }
 }
 
 // WithGrace sets the reactive-dropping grace window of the
@@ -270,6 +282,11 @@ func (s *Scenario) validate() error {
 		return fmt.Errorf("taskdrop: WithQueueCap(%d), want >= 1", s.queueCap)
 	case s.grace < 0:
 		return fmt.Errorf("taskdrop: WithGrace(%d), want >= 0", s.grace)
+	case s.churn.MeanInterval < 0 || s.churn.MeanDown < 0:
+		return fmt.Errorf("taskdrop: WithChurn mean interval %d / mean down %d, want >= 0",
+			s.churn.MeanInterval, s.churn.MeanDown)
+	case s.churn.Enabled() && s.churn.MeanDown < 1:
+		return fmt.Errorf("taskdrop: WithChurn needs MeanDown >= 1 when enabled (got %d)", s.churn.MeanDown)
 	case s.workers < 0:
 		return fmt.Errorf("taskdrop: WithWorkers(%d), want >= 0", s.workers)
 	case s.maxImpulses < 0:
@@ -368,7 +385,11 @@ func (s *Scenario) Engine(trial int) (*Engine, error) {
 func (s *Scenario) runTrial(ctx context.Context, trial int) (*Result, error) {
 	var res *Result
 	var err error
-	if s.shards > 1 {
+	if s.shards > 1 || s.churn.Enabled() {
+		// Churn always runs on the cluster driver, even single-shard: the
+		// membership operations live on the open engine underneath it. With
+		// an empty plan the 1-shard cluster is bit-identical to the classic
+		// engine.
 		res, err = s.runClusterTrial(ctx, trial)
 	} else {
 		var eng *Engine
@@ -413,8 +434,19 @@ func (s *Scenario) runClusterTrial(ctx context.Context, trial int) (*Result, err
 			eng.Calc().MaxImpulses = s.maxImpulses
 		}
 	}
+	// The churn plan is pre-generated per trial (seed offset like failure
+	// schedules) and applied at arrival boundaries: every event due at or
+	// before a task's arrival fires before that task is routed, so the run
+	// stays a pure function of (trace, plan).
+	var plan []ChurnEvent
+	if s.churn.Enabled() {
+		cc := s.churn
+		cc.Seed = s.churn.Seed + int64(trial)
+		plan = sim.GenerateChurn(len(s.Matrix().Machines()), s.window, cc)
+	}
 	tr := s.trace(trial)
 	done := ctx.Done()
+	next := 0
 	for i := range tr.Tasks {
 		if done != nil && i%256 == 0 {
 			select {
@@ -423,7 +455,20 @@ func (s *Scenario) runClusterTrial(ctx context.Context, trial int) (*Result, err
 			default:
 			}
 		}
+		for next < len(plan) && plan[next].At <= tr.Tasks[i].Arrival {
+			if err := cl.ApplyChurn(plan[next]); err != nil {
+				return nil, err
+			}
+			next++
+		}
 		cl.Feed(&tr.Tasks[i])
+	}
+	// Trailing events (revives past the last arrival) fire before the
+	// drain so the drained system reflects the full plan.
+	for ; next < len(plan); next++ {
+		if err := cl.ApplyChurn(plan[next]); err != nil {
+			return nil, err
+		}
 	}
 	return cl.Drain(), nil
 }

@@ -342,3 +342,63 @@ func TestRunResultSerializes(t *testing.T) {
 		t.Fatalf("Summary JSON missing robustness: %v", decoded.Summary)
 	}
 }
+
+func TestScenarioChurnIsDeterministicAndActive(t *testing.T) {
+	churn := taskdrop.ChurnConfig{MeanInterval: 200, MeanDown: 100, Seed: 7}
+	a, err := tinyScenario(t, taskdrop.WithTrials(2), taskdrop.WithChurn(churn)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tinyScenario(t, taskdrop.WithTrials(2), taskdrop.WithChurn(churn)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Trials, b.Trials) {
+		t.Fatal("churned scenario is not reproducible across runs")
+	}
+	base, err := tinyScenario(t, taskdrop.WithTrials(2)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Trials, base.Trials) {
+		t.Fatal("churn injection inert: churned trials identical to baseline")
+	}
+	// Distinct trials must draw distinct churn plans (seed offset by trial).
+	if *a.Trials[0] == *a.Trials[1] {
+		t.Fatal("trial churn plans not independently seeded")
+	}
+}
+
+func TestScenarioEmptyChurnMatchesBaseline(t *testing.T) {
+	// A zero-value churn config must leave the classic single-engine path
+	// untouched: results byte-identical to a scenario that never mentioned
+	// churn at all.
+	base, err := tinyScenario(t, taskdrop.WithTrials(2)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	churned, err := tinyScenario(t, taskdrop.WithTrials(2), taskdrop.WithChurn(taskdrop.ChurnConfig{})).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := json.Marshal(base.Trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := json.Marshal(churned.Trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bb) != string(cb) {
+		t.Fatalf("empty churn plan perturbed results:\nbase    %s\nchurned %s", bb, cb)
+	}
+}
+
+func TestScenarioChurnValidation(t *testing.T) {
+	if _, err := taskdrop.NewScenario("video", taskdrop.WithChurn(taskdrop.ChurnConfig{MeanInterval: -1})); err == nil {
+		t.Error("negative churn interval must be rejected")
+	}
+	if _, err := taskdrop.NewScenario("video", taskdrop.WithChurn(taskdrop.ChurnConfig{MeanInterval: 50})); err == nil {
+		t.Error("enabled churn with MeanDown < 1 must be rejected")
+	}
+}

@@ -45,9 +45,12 @@ curl -sf "http://$ADDR/healthz" >/dev/null || { echo "server did not come up" >&
     -tasks "$TASKS" -scale "$SCALE" -seed "$SEED" -no-drain
 
 # Metrics lint + trace completeness, against both the service listener
-# and the debug listener (the debug mux shares the service handler).
-"$BIN/obslint" -metrics "http://$ADDR/metrics" -traces "http://$ADDR/debug/traces" -min-traces 1
-"$BIN/obslint" -metrics "http://$DEBUG_ADDR/metrics" -traces "http://$DEBUG_ADDR/debug/traces" -min-traces 1
+# and the debug listener (the debug mux shares the service handler). The
+# dynamic-membership and rebalancer families must be present even on a
+# server that saw no churn.
+REQUIRED_FAMILIES=taskdrop_membership_ops_total,taskdrop_membership_live_machines,taskdrop_membership_removed_machines,taskdrop_membership_degraded,taskdrop_membership_shed_total,taskdrop_rebalance_moves_total
+"$BIN/obslint" -metrics "http://$ADDR/metrics" -require "$REQUIRED_FAMILIES" -traces "http://$ADDR/debug/traces" -min-traces 1
+"$BIN/obslint" -metrics "http://$DEBUG_ADDR/metrics" -require "$REQUIRED_FAMILIES" -traces "http://$DEBUG_ADDR/debug/traces" -min-traces 1
 echo "metrics lint clean; traces complete"
 
 # The pprof surface answers on the debug listener only.

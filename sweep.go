@@ -262,6 +262,21 @@ func FailurePlans(fcs ...FailureConfig) Axis {
 	return a
 }
 
+// ChurnPlans declares the machine-churn axis (runtime membership change,
+// see WithChurn). A zero ChurnConfig labels "none"; enabled configs label
+// "interval=<ticks>".
+func ChurnPlans(ccs ...ChurnConfig) Axis {
+	a := Axis{name: "churn"}
+	for _, cc := range ccs {
+		label := "none"
+		if cc.Enabled() {
+			label = fmt.Sprintf("interval=%d", cc.MeanInterval)
+		}
+		a.values = append(a.values, AxisValue{label: label, spec: label, opts: []ScenarioOption{WithChurn(cc)}})
+	}
+	return a
+}
+
 // SweepItem is anything NewSweep accepts: an Axis, or a sweep-level
 // option (SweepTrials, Baseline, …).
 type SweepItem interface{ applySweep(*Sweep) }

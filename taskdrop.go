@@ -140,6 +140,11 @@ type (
 	SimConfig = sim.Config
 	// FailureConfig enables machine failure injection (see WithFailures).
 	FailureConfig = sim.FailureConfig
+	// ChurnConfig enables machine churn injection — runtime membership
+	// change (see WithChurn).
+	ChurnConfig = sim.ChurnConfig
+	// ChurnEvent is one timed membership change of a generated churn plan.
+	ChurnEvent = sim.ChurnEvent
 	// Engine is the single-trial simulation engine (see Scenario.Engine).
 	Engine = sim.Engine
 	// TypeBreakdown is Engine.Breakdown's per-task-type statistics.
