@@ -16,6 +16,10 @@ import (
 const (
 	maxChainEvalAllocs = 1
 	maxDecideAllocs    = 4 // a Decide that drops returns a fresh index slice
+	// The warm persistent-cache path must be allocation-free outright: a
+	// stable root signature means every append is a trie hit, and hits
+	// touch no arena at all.
+	maxCachedChainEvalAllocs = 0
 )
 
 // allocQueue is a representative full queue (the paper's six slots,
@@ -61,6 +65,38 @@ func TestChainEvalAllocsSteadyState(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(200, eval); avg > maxChainEvalAllocs {
 		t.Fatalf("steady-state chain evaluation allocates %.1f/op, budget %d", avg, maxChainEvalAllocs)
+	}
+}
+
+// TestCachedChainEvalAllocsSteadyState asserts the persistent-cache path:
+// once a machine's chain cache is warm and its root signature stable, a
+// full chain walk across recycles is pure trie traversal — zero
+// allocations, zero arena traffic.
+func TestCachedChainEvalAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed under the race detector")
+	}
+	calc := allocCalculus(t)
+	cc := calc.NewChainCache()
+	queue := allocQueue()
+	eval := func() {
+		calc.Recycle()
+		s, start := calc.ChainStartCached(cc, 2, 100, queue)
+		for i := start; i < len(queue); i++ {
+			s = s.AppendTask(queue[i])
+		}
+		if s.PMF().IsZero() {
+			t.Fatal("chain evaluated to zero mass")
+		}
+	}
+	for i := 0; i < 8; i++ {
+		eval()
+	}
+	if avg := testing.AllocsPerRun(200, eval); avg > maxCachedChainEvalAllocs {
+		t.Fatalf("warm cached chain evaluation allocates %.1f/op, budget %d", avg, maxCachedChainEvalAllocs)
+	}
+	if st := calc.Stats(); st.RootMisses != 1 {
+		t.Fatalf("warm loop re-derived the root %d times, want 1", st.RootMisses)
 	}
 }
 

@@ -73,6 +73,11 @@ func NewApproxHeuristic(grace pmf.Tick) ApproxHeuristic {
 // Name implements Policy.
 func (ApproxHeuristic) Name() string { return "ApproxHeuristic" }
 
+// StableDecision implements StableDecider: Context.Grace is an engine
+// constant, so the walk's inputs reduce to the availability root, the
+// queue's types and deadlines, and β/η/grace.
+func (ApproxHeuristic) StableDecision() bool { return true }
+
 // Decide implements Policy.
 func (a ApproxHeuristic) Decide(ctx *Context) []int {
 	grace := a.Grace

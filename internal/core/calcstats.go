@@ -60,18 +60,30 @@ type CalcStats struct {
 	// ArenaHighWaterBytes is the convolution workspace's peak committed
 	// arena footprint (see pmf.Workspace.HighWaterBytes).
 	ArenaHighWaterBytes int64
+	// InvalidationsEvent/Churn/Overflow count persistent chain-cache
+	// resets by reason (see InvalidationReason).
+	InvalidationsEvent    uint64
+	InvalidationsChurn    uint64
+	InvalidationsOverflow uint64
+	// PinnedBytes is the impulse storage currently pinned across every
+	// ChainCache bound to this calculus — what survives a Recycle.
+	PinnedBytes int64
 }
 
 // Stats snapshots the calculus' introspection counters. Safe to call from
 // any goroutine while the owning loop keeps deciding.
 func (c *Calculus) Stats() CalcStats {
 	st := CalcStats{
-		ChainHits:           c.chainHits.Load(),
-		ChainMisses:         c.chainMisses.Load(),
-		RootHits:            c.rootHits.Load(),
-		RootMisses:          c.rootMisses.Load(),
-		WidthSum:            c.widthSum.Load(),
-		ArenaHighWaterBytes: c.ws.HighWaterBytes(),
+		ChainHits:             c.chainHits.Load(),
+		ChainMisses:           c.chainMisses.Load(),
+		RootHits:              c.rootHits.Load(),
+		RootMisses:            c.rootMisses.Load(),
+		WidthSum:              c.widthSum.Load(),
+		ArenaHighWaterBytes:   c.ws.HighWaterBytes(),
+		InvalidationsEvent:    c.invEvent.Load(),
+		InvalidationsChurn:    c.invChurn.Load(),
+		InvalidationsOverflow: c.invOverflow.Load(),
+		PinnedBytes:           c.pinnedBytes.Load(),
 	}
 	for i := range st.Widths {
 		st.Widths[i] = c.widths[i].Load()

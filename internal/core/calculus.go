@@ -41,6 +41,13 @@ type QueueTask struct {
 // working (storage is then reclaimed by the garbage collector), it just
 // isn't allocation-free.
 //
+// The one exception is PMFs obtained through a persistent ChainCache
+// (ChainStartCached and appends descending from it): those are already
+// pinned in the cache's own arena and survive Recycle, staying valid
+// until the cache invalidates — which any mapping event may trigger. The
+// only safe lifetime across events therefore remains a CloneInto copy the
+// caller owns.
+//
 // # Shared-prefix chain cache
 //
 // Within one recycle epoch the calculus memoizes every Eq. 1 chain it
@@ -51,6 +58,8 @@ type QueueTask struct {
 // removed" — therefore share all common prefix convolutions instead of
 // rechaining from availability, and the mapper's tail-completion chains
 // reuse the prefixes the dropper already computed at the same event.
+// ChainStartCached extends the same sharing across events through a
+// per-machine persistent trie (see ChainCache in chaincache.go).
 //
 // A Calculus owns a convolution workspace and is therefore not safe for
 // concurrent use; give each simulation engine (or test goroutine) its own.
@@ -59,14 +68,23 @@ type Calculus struct {
 	MaxImpulses int
 	ws          pmf.Workspace
 
-	// Chain trie, recycled per epoch.
+	// Per-event chain trie, recycled per epoch. Persistent per-machine
+	// tries live in ChainCaches (see chaincache.go) and survive Recycle.
 	epoch uint64
-	nodes []chainNode
+	eph   chainTrie
 	roots []chainRoot
 
-	// Policy scratch, reused across Decide calls (see heuristicWalk).
+	// execPat lazily caches one kernel occupancy pattern per PET cell
+	// (task type × machine type): execution PMFs are matrix constants, so
+	// every Eq. 1 append reuses the pattern instead of rebuilding it.
+	execPat [][]uint64
+
+	// Policy scratch, reused across Decide calls (see heuristicWalk,
+	// CompletionPMFs, SuccessProbs).
 	scratchQ []QueueTask
 	scratchI []int
+	scratchP []pmf.PMF
+	scratchF []float64
 
 	// Introspection counters (see Stats). Atomics because metrics scrapes
 	// read them while the owning decision loop writes; uncontended adds on
@@ -78,6 +96,10 @@ type Calculus struct {
 	rootMisses  atomic.Uint64
 	widths      [NumWidthBuckets]atomic.Uint64
 	widthSum    atomic.Uint64
+	invEvent    atomic.Uint64
+	invChurn    atomic.Uint64
+	invOverflow atomic.Uint64
+	pinnedBytes atomic.Int64
 }
 
 // chainKey identifies one Eq. 1 transition out of a chain node: appending
@@ -96,10 +118,35 @@ type chainEdge struct {
 
 // chainNode is one memoized chain state: the completion PMF of its prefix
 // plus the transitions already taken from it. Queues hold at most a
-// handful of tasks, so edges stay tiny and are scanned linearly.
+// handful of tasks, so edges stay tiny and are scanned linearly (hits
+// transpose the found edge one slot forward, so a persistent root's
+// hottest candidate edges bubble ahead of stale deadlines).
 type chainNode struct {
 	cp    pmf.PMF
 	edges []chainEdge
+}
+
+// chainTrie is one arena of memoized chain nodes. The calculus owns an
+// ephemeral one (wiped by Recycle); every ChainCache owns a persistent
+// one (wiped only by invalidation).
+type chainTrie struct {
+	nodes []chainNode
+}
+
+func (t *chainTrie) reset() { t.nodes = t.nodes[:0] }
+
+// newNode appends a trie node, reusing the edge storage of a node
+// recycled by an earlier reset when available.
+func (t *chainTrie) newNode(cp pmf.PMF) int32 {
+	if len(t.nodes) < cap(t.nodes) {
+		t.nodes = t.nodes[:len(t.nodes)+1]
+		nd := &t.nodes[len(t.nodes)-1]
+		nd.cp = cp
+		nd.edges = nd.edges[:0]
+	} else {
+		t.nodes = append(t.nodes, chainNode{cp: cp})
+	}
+	return int32(len(t.nodes) - 1)
 }
 
 // chainRootKey identifies an availability root: machine type, event time
@@ -124,13 +171,16 @@ func NewCalculus(m *pet.Matrix) *Calculus {
 }
 
 // Recycle starts a new decision epoch: it reclaims the impulse arena and
-// the chain trie in O(1), invalidating every PMF previously returned by
-// this calculus. The owning engine calls it once per mapping event;
-// steady-state chain evaluation after warm-up then allocates nothing.
+// the per-event chain trie in O(1), invalidating every PMF previously
+// returned by this calculus through them. The owning engine calls it once
+// per mapping event; steady-state chain evaluation after warm-up then
+// allocates nothing. Persistent ChainCaches — and every PMF pinned in
+// them — survive Recycle untouched; they are reclaimed per machine, by
+// invalidation.
 func (c *Calculus) Recycle() {
 	c.ws.Reset()
 	c.epoch++
-	c.nodes = c.nodes[:0]
+	c.eph.reset()
 	c.roots = c.roots[:0]
 }
 
@@ -140,29 +190,29 @@ func (c *Calculus) Recycle() {
 // and must not be used.
 func (c *Calculus) Epoch() uint64 { return c.epoch }
 
-// newNode appends a trie node, reusing the edge storage of a node recycled
-// from an earlier epoch when available.
-func (c *Calculus) newNode(cp pmf.PMF) int32 {
-	if len(c.nodes) < cap(c.nodes) {
-		c.nodes = c.nodes[:len(c.nodes)+1]
-		nd := &c.nodes[len(c.nodes)-1]
-		nd.cp = cp
-		nd.edges = nd.edges[:0]
-	} else {
-		c.nodes = append(c.nodes, chainNode{cp: cp})
-	}
-	return int32(len(c.nodes) - 1)
-}
-
 // exec returns the execution-time PMF for (t, mt).
 func (c *Calculus) exec(t pet.TaskType, mt pet.MachineType) pmf.PMF {
 	return c.PET.ExecPMF(t, mt)
 }
 
+// pattern returns the cached kernel occupancy pattern for (t, mt),
+// building it on first use.
+func (c *Calculus) pattern(t pet.TaskType, mt pet.MachineType) []uint64 {
+	nm := c.PET.NumMachineTypes()
+	if c.execPat == nil {
+		c.execPat = make([][]uint64, c.PET.NumTaskTypes()*nm)
+	}
+	i := int(t)*nm + int(mt)
+	if c.execPat[i] == nil {
+		c.execPat[i] = pmf.Pattern(c.exec(t, mt))
+	}
+	return c.execPat[i]
+}
+
 // appendPMF chains Eq. 1 once through the workspace kernel and compacts
 // the result (in place when freshly produced) to the calculus budget.
 func (c *Calculus) appendPMF(prev pmf.PMF, t pet.TaskType, dl pmf.Tick, mt pet.MachineType) pmf.PMF {
-	cp := c.ws.NextCompletionCompact(prev, c.exec(t, mt), dl, c.MaxImpulses)
+	cp := c.ws.NextCompletionCompactPattern(prev, c.exec(t, mt), dl, c.MaxImpulses, c.pattern(t, mt))
 	c.observeWidth(cp.Len())
 	return cp
 }
@@ -183,7 +233,8 @@ func (c *Calculus) availability(key chainRootKey) pmf.PMF {
 	return c.ws.Delta(key.now)
 }
 
-// rootFor returns the (cached) trie root for the given availability key.
+// rootFor returns the (cached) per-event trie root for the given
+// availability key.
 func (c *Calculus) rootFor(key chainRootKey) int32 {
 	for _, r := range c.roots {
 		if r.key == key {
@@ -192,7 +243,7 @@ func (c *Calculus) rootFor(key chainRootKey) int32 {
 		}
 	}
 	c.rootMisses.Add(1)
-	id := c.newNode(c.availability(key))
+	id := c.eph.newNode(c.availability(key))
 	c.roots = append(c.roots, chainRoot{key: key, node: id})
 	return id
 }
@@ -200,12 +251,23 @@ func (c *Calculus) rootFor(key chainRootKey) int32 {
 // ChainState is a memoized position in a completion-time chain: the
 // completion PMF of some prefix of kept tasks, rooted at a machine's
 // availability. Appending the same task (type and truncation deadline) to
-// the same state twice computes the convolution once. States are
-// invalidated by Recycle, like the PMFs they hold.
+// the same state twice computes the convolution once. A state from the
+// per-event trie (cc == nil) is invalidated by Recycle, like the PMFs it
+// holds; a state from a persistent ChainCache is invalidated by the
+// cache's reset instead.
 type ChainState struct {
 	c    *Calculus
+	cc   *ChainCache // nil: per-event trie
 	mt   pet.MachineType
 	node int32
+}
+
+// trie returns the node storage the state lives in.
+func (s ChainState) trie() *chainTrie {
+	if s.cc != nil {
+		return &s.cc.trie
+	}
+	return &s.c.eph
 }
 
 // ChainStart returns the chain state at machine mt's availability for
@@ -222,28 +284,40 @@ func (c *Calculus) ChainStart(mt pet.MachineType, now pmf.Tick, q []QueueTask) (
 	return ChainState{c: c, mt: mt, node: c.rootFor(key)}, first
 }
 
-// PMF returns the completion PMF of the state's prefix. The result may
-// alias the calculus arena (valid until Recycle).
-func (s ChainState) PMF() pmf.PMF { return s.c.nodes[s.node].cp }
+// PMF returns the completion PMF of the state's prefix. A per-event
+// state's PMF may alias the calculus arena (valid until Recycle); a
+// cached state's PMF is pinned (valid until the cache invalidates).
+func (s ChainState) PMF() pmf.PMF { return s.trie().nodes[s.node].cp }
 
 // Append chains one task of type t with truncation deadline dl onto the
 // state, reusing the memoized result if this transition was already
-// evaluated in the current epoch.
+// evaluated — within the current epoch for per-event states, since the
+// last invalidation for cached states. Fresh results under a cache are
+// pinned so they survive Recycle.
 func (s ChainState) Append(t pet.TaskType, dl pmf.Tick) ChainState {
 	c := s.c
+	tr := s.trie()
 	key := chainKey{t: t, dl: dl}
-	for _, e := range c.nodes[s.node].edges {
+	edges := tr.nodes[s.node].edges
+	for i, e := range edges {
 		if e.key == key {
 			c.chainHits.Add(1)
-			return ChainState{c: c, mt: s.mt, node: e.node}
+			if i > 0 {
+				edges[i-1], edges[i] = edges[i], edges[i-1]
+			}
+			return ChainState{c: c, cc: s.cc, mt: s.mt, node: e.node}
 		}
 	}
 	c.chainMisses.Add(1)
-	cp := c.appendPMF(c.nodes[s.node].cp, t, dl, s.mt)
-	id := c.newNode(cp) // may grow c.nodes; re-take the parent below
-	nd := &c.nodes[s.node]
+	prev := tr.nodes[s.node].cp
+	cp := c.appendPMF(prev, t, dl, s.mt)
+	if s.cc != nil {
+		cp = s.cc.adopt(prev, cp)
+	}
+	id := tr.newNode(cp) // may grow tr.nodes; re-take the parent below
+	nd := &tr.nodes[s.node]
 	nd.edges = append(nd.edges, chainEdge{key: key, node: id})
-	return ChainState{c: c, mt: s.mt, node: id}
+	return ChainState{c: c, cc: s.cc, mt: s.mt, node: id}
 }
 
 // AppendTask is Append for a QueueTask (strict-deadline truncation).
@@ -265,8 +339,14 @@ func (c *Calculus) Availability(mt pet.MachineType, now pmf.Tick, q []QueueTask)
 // queue, in queue order, per Eq. 1. Index 0 of a running head is its
 // conditional completion time. Each PMF is compacted to the calculus
 // budget; all of them may alias the calculus arena (valid until Recycle).
+// The returned slice is calculus-owned scratch, overwritten by the next
+// CompletionPMFs call (same contract as scratchQ): consume it within one
+// decision, or copy it out.
 func (c *Calculus) CompletionPMFs(mt pet.MachineType, now pmf.Tick, q []QueueTask) []pmf.PMF {
-	out := make([]pmf.PMF, len(q))
+	if cap(c.scratchP) < len(q) {
+		c.scratchP = make([]pmf.PMF, len(q))
+	}
+	out := c.scratchP[:len(q)]
 	s, start := c.ChainStart(mt, now, q)
 	if start == 1 {
 		out[0] = s.PMF()
@@ -280,8 +360,13 @@ func (c *Calculus) CompletionPMFs(mt pet.MachineType, now pmf.Tick, q []QueueTas
 
 // SuccessProbs returns the chance of success (Eq. 2) of every task in the
 // queue: the mass of its completion PMF strictly before its deadline.
+// The returned slice is calculus-owned scratch, overwritten by the next
+// SuccessProbs call (same contract as scratchQ).
 func (c *Calculus) SuccessProbs(mt pet.MachineType, now pmf.Tick, q []QueueTask) []float64 {
-	ps := make([]float64, len(q))
+	if cap(c.scratchF) < len(q) {
+		c.scratchF = make([]float64, len(q))
+	}
+	ps := c.scratchF[:len(q)]
 	s, start := c.ChainStart(mt, now, q)
 	if start == 1 {
 		ps[0] = s.PMF().MassBefore(q[0].Deadline)

@@ -37,6 +37,10 @@ func NewHeuristic() Heuristic { return Heuristic{Beta: DefaultBeta, Eta: Default
 // Name implements Policy.
 func (h Heuristic) Name() string { return "Heuristic" }
 
+// StableDecision implements StableDecider: the walk reads only the
+// availability root, the queue's types and deadlines, and β/η.
+func (h Heuristic) StableDecision() bool { return true }
+
 // Decide implements Policy.
 func (h Heuristic) Decide(ctx *Context) []int {
 	if h.Beta < 1 || h.Eta < 1 {
@@ -80,7 +84,7 @@ func heuristicWalk(ctx *Context, beta float64, eta int, value valueFunc, dlOf de
 		return nil
 	}
 	calc := ctx.Calc
-	start, _ := calc.ChainStart(ctx.Machine, ctx.Now, q)
+	start, _ := ctx.ChainStart()
 
 	// work holds the not-yet-decided pending suffix of the queue; orig maps
 	// its entries back to original queue indexes.

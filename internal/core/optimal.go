@@ -20,6 +20,10 @@ type Optimal struct{}
 // Name implements Policy.
 func (Optimal) Name() string { return "Optimal" }
 
+// StableDecision implements StableDecider: the subset enumeration reads
+// only the availability root and the queue's types and deadlines.
+func (Optimal) StableDecision() bool { return true }
+
 // optimalSearch carries the shared state of one decision-tree walk.
 type optimalSearch struct {
 	cands []QueueTask // droppable tasks (queue[first:last])
@@ -38,7 +42,7 @@ func (Optimal) Decide(ctx *Context) []int {
 	if last-first <= 0 {
 		return nil
 	}
-	start, _ := ctx.Calc.ChainStart(ctx.Machine, ctx.Now, q)
+	start, _ := ctx.ChainStart()
 	s := &optimalSearch{
 		cands: q[first:last],
 		tail:  q[last:],

@@ -9,7 +9,12 @@ import (
 // which tasks to proactively drop from one machine queue at a mapping
 // event.
 type Context struct {
-	Calc    *Calculus
+	Calc *Calculus
+	// Cache is the machine's persistent chain cache when the caller owns
+	// one (the engine passes each machine's); policies route their chain
+	// roots through it via ChainStart. Nil falls back to the per-event
+	// trie with identical results.
+	Cache   *ChainCache
 	Machine pet.MachineType
 	Now     pmf.Tick
 	Queue   []QueueTask
@@ -25,6 +30,13 @@ type Context struct {
 	Grace pmf.Tick
 }
 
+// ChainStart returns the chain state at the context queue's availability
+// root and the index of the first pending entry, through the persistent
+// per-machine cache when the context carries one.
+func (ctx *Context) ChainStart() (ChainState, int) {
+	return ctx.Calc.ChainStartCached(ctx.Cache, ctx.Machine, ctx.Now, ctx.Queue)
+}
+
 // Policy decides, for one machine queue, which pending tasks to
 // proactively drop. Decide returns indexes into ctx.Queue, in ascending
 // order. Policies must never return the index of a running task.
@@ -32,6 +44,20 @@ type Policy interface {
 	// Name identifies the policy in experiment tables (e.g. "Heuristic").
 	Name() string
 	Decide(ctx *Context) []int
+}
+
+// StableDecider is an optional Policy refinement. A policy advertises a
+// stable decision when Decide is a pure function of the machine's
+// availability root, the queued tasks' types and deadlines, and the
+// policy's own (engine-constant) parameters — in particular, it must not
+// read Context.BatchPressure or any other per-event input. The engine
+// exploits this: when none of those inputs changed bitwise since a
+// decision that dropped nothing, re-consulting the policy would reproduce
+// the identical empty decision, so the engine skips it outright.
+type StableDecider interface {
+	// StableDecision reports that repeated decisions over unchanged
+	// inputs are identical.
+	StableDecision() bool
 }
 
 // ReactiveOnly is the no-proactive-dropping baseline ("+ReactDrop" in the

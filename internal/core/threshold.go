@@ -51,7 +51,7 @@ func (t Threshold) Decide(ctx *Context) []int {
 	if len(q)-first < 1 {
 		return nil
 	}
-	prev, _ := ctx.Calc.ChainStart(ctx.Machine, ctx.Now, q)
+	prev, _ := ctx.ChainStart()
 
 	var drops []int
 	// Unlike the paper's heuristic, the threshold baseline may prune any

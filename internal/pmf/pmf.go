@@ -83,6 +83,14 @@ func (p PMF) IsZero() bool { return len(p.imp) == 0 }
 // is shared with the PMF and must not be modified.
 func (p PMF) Impulses() []Impulse { return p.imp }
 
+// Rank returns the number of impulses with time at or before t. For an
+// execution-time PMF and an elapsed running time it is the conditioning
+// cut of ConditionalRemainingShift: the impulses the condition T > elapsed
+// removes. The cut (not the clock) is what determines the bit pattern of a
+// conditional availability, which is how the persistent chain cache knows
+// a cached root is still exact.
+func (p PMF) Rank(t Tick) int { return searchImpulses(p.imp, t+1) }
+
 // At returns the mass at exactly tick t (zero if no impulse there).
 func (p PMF) At(t Tick) float64 {
 	i := searchImpulses(p.imp, t)

@@ -18,7 +18,10 @@ import (
 //   - dense: masses accumulate into a reusable time-indexed window, whose
 //     non-zero cells are harvested in order into the arena — O(n1·n2 +
 //     span). Completion PMFs in this system span a few thousand ticks, so
-//     this is the cache-friendly common case.
+//     this is the cache-friendly common case. When the window is tight
+//     relative to the contribution count (linearFillFactor) the kernel
+//     skips the touched-cell bitmap entirely: accumulation is a pure
+//     strided load-add-store loop and the harvest is one range scan.
 //   - merge: both operands are already time-sorted, so the output is the
 //     union of one sorted run per left-hand impulse (the right-hand PMF
 //     shifted and scaled); a k-way merge produces sorted, deduplicated
@@ -41,14 +44,17 @@ type Workspace struct {
 	lastOff int       // offset of the most recent allocation, for in-place compaction
 	dense   []float64 // dense accumulation window, reused across calls
 	touched []uint64  // bitmap of written dense cells, so harvest skips zero runs
+	ebits   []uint64  // per-call bitmap of the exec impulse pattern, reused
 	curs    []cursor  // merge cursors, reused across calls
 	heap    []int32   // k-way merge heap of cursor indexes, reused
 
-	// peakBytes tracks the arena high-water mark: the largest committed
-	// footprint of the current block across the workspace's lifetime (an
-	// atomic so metrics scrapes can read it while the owning loop
-	// convolves). Because a Workspace embeds an atomic it must not be
-	// copied after first use; owners hold it by pointer.
+	// peak is the arena high-water mark in impulses, and peakBytes its
+	// byte value published for concurrent metrics scrapes. commit guards
+	// the atomic store behind a plain compare on peak — the peak plateaus
+	// after warm-up, so the kernel hot path pays one predictable branch,
+	// not an atomic, per result. Because a Workspace embeds an atomic it
+	// must not be copied after first use; owners hold it by pointer.
+	peak      int
 	peakBytes atomic.Int64
 }
 
@@ -71,6 +77,14 @@ const (
 // maxDenseSpan bounds the dense window (one float64 per tick of output
 // span); anything wider uses the merge kernel, which is span-independent.
 const maxDenseSpan = 1 << 17
+
+// linearFillFactor selects between the two dense harvests: when the
+// window averages at least this many contributions per cell, nearly every
+// cell is occupied, so the straight window scan (no bitmap maintenance in
+// the accumulation loop, branch-predictable range passes to harvest) beats
+// flagging and walking touched words. Sparser windows keep the bitmap:
+// there the harvest cost tracks the contribution count, not the span.
+const linearFillFactor = 2
 
 // Reset recycles the arena. Every PMF previously returned by this
 // workspace (and everything derived from one by in-place compaction) is
@@ -107,8 +121,9 @@ func (w *Workspace) ensure(n int) {
 func (w *Workspace) commit(base, n int) PMF {
 	w.lastOff = base
 	w.used = base + n
-	if b := int64(w.used) * impulseBytes; b > w.peakBytes.Load() {
-		w.peakBytes.Store(b)
+	if w.used > w.peak {
+		w.peak = w.used
+		w.peakBytes.Store(int64(w.used) * impulseBytes)
 	}
 	return PMF{imp: w.block[base : base+n : base+n]}
 }
@@ -132,16 +147,19 @@ type cursor struct {
 //
 // The returned PMF may alias workspace memory; it is valid until Reset.
 func (w *Workspace) NextCompletion(prev, exec PMF, dl Tick) PMF {
-	return w.nextCompletion(prev, exec, dl, 0)
+	return w.nextCompletion(prev, exec, dl, 0, nil)
 }
 
 // nextCompletion is NextCompletion with an optional compaction budget:
 // with maxN > 0 the dense kernel bins over-budget output directly from the
 // accumulation window (identical to harvesting then compacting, without
 // materializing the intermediate impulses). maxN <= 0 harvests raw. The
-// merge kernel and the pass-through fast paths ignore maxN; the caller
-// compacts those.
-func (w *Workspace) nextCompletion(prev, exec PMF, dl Tick, maxN int) PMF {
+// merge kernel, the single-impulse shift-scale path and the pass-through
+// fast paths ignore maxN; the caller compacts those. pat, when non-nil,
+// is exec's precomputed occupancy pattern (see Pattern) — callers chaining
+// the same immutable exec PMFs repeatedly (the calculus, whose exec PMFs
+// are PET matrix cells) build each pattern once instead of per call.
+func (w *Workspace) nextCompletion(prev, exec PMF, dl Tick, maxN int, pat []uint64) PMF {
 	if prev.IsZero() {
 		return Zero()
 	}
@@ -155,6 +173,22 @@ func (w *Workspace) nextCompletion(prev, exec PMF, dl Tick, maxN int) PMF {
 	if k == 0 {
 		// Everything carries through.
 		return prev
+	}
+	if k == 1 && len(prev.imp) == 1 {
+		// One executing predecessor and nothing carrying through: the
+		// output is exec shifted and scaled — a single copy pass, same
+		// contribution order and massEps drops as the general kernels.
+		// This is every chain's first append off an idle (delta) root.
+		a := prev.imp[0]
+		w.ensure(len(exec.imp))
+		base := w.used
+		out := w.block[base:base]
+		for _, b := range exec.imp {
+			if v := a.P * b.P; v > massEps {
+				out = append(out, Impulse{T: a.T + b.T, P: v})
+			}
+		}
+		return w.commit(base, len(out))
 	}
 	// Output bounds. Impulses below dl expand by the execution span;
 	// impulses at or above dl carry through unchanged.
@@ -175,13 +209,47 @@ func (w *Workspace) nextCompletion(prev, exec PMF, dl Tick, maxN int) PMF {
 	}
 	total := k*len(exec.imp) + (len(prev.imp) - k)
 	if span := int(hi-lo) + 1; span > 0 && span <= maxDenseSpan {
-		d, bits := w.denseWindow(span)
-		for _, a := range prev.imp[:k] {
-			for _, b := range exec.imp {
-				i := uint(a.T + b.T - lo)
-				d[i] += a.P * b.P
-				bits[i>>6] |= 1 << (i & 63)
+		if span*linearFillFactor <= total {
+			// Tight window: accumulate without bitmap maintenance. The
+			// inner loop strides one subslice of the window per
+			// predecessor (row), so the generated code is a plain
+			// load-fma-store sequence the CPU pipelines well.
+			d := w.denseLinearWindow(span)
+			e0 := exec.imp[0].T
+			for _, a := range prev.imp[:k] {
+				row := d[a.T+e0-lo:]
+				ap := a.P
+				for _, b := range exec.imp {
+					row[b.T-e0] += ap * b.P
+				}
 			}
+			for _, a := range prev.imp[k:] {
+				d[a.T-lo] += a.P
+			}
+			if maxN > 0 {
+				return w.harvestCompactLinear(d, lo, maxN)
+			}
+			return w.harvestLinear(d, lo, total)
+		}
+		d, bits := w.denseWindow(span)
+		// Every executing predecessor touches the same exec-shaped cell
+		// pattern, shifted by its completion time. Accumulate row-wise (a
+		// strided load-fma-store loop, as in the linear path) and OR the
+		// pattern's precomputed bitmap into the touched words — a handful of
+		// word operations per row instead of one read-modify-write per
+		// contribution.
+		eb := pat
+		if eb == nil {
+			eb = w.execPattern(exec)
+		}
+		e0 := exec.imp[0].T
+		for _, a := range prev.imp[:k] {
+			row := d[a.T+e0-lo:]
+			ap := a.P
+			for _, b := range exec.imp {
+				row[b.T-e0] += ap * b.P
+			}
+			orShifted(bits, eb, int(a.T+e0-lo))
 		}
 		for _, a := range prev.imp[k:] {
 			i := uint(a.T - lo)
@@ -189,7 +257,7 @@ func (w *Workspace) nextCompletion(prev, exec PMF, dl Tick, maxN int) PMF {
 			bits[i>>6] |= 1 << (i & 63)
 		}
 		if maxN > 0 {
-			return w.harvestCompact(d, bits, lo, maxN)
+			return w.harvestCompact(d, bits, lo, maxN, total)
 		}
 		return w.harvest(d, bits, lo, total)
 	}
@@ -221,6 +289,18 @@ func (w *Workspace) Convolve(p, q PMF) PMF {
 	hi := p.imp[len(p.imp)-1].T + q.imp[len(q.imp)-1].T
 	total := len(p.imp) * len(q.imp)
 	if span := int(hi-lo) + 1; span > 0 && span <= maxDenseSpan {
+		if span*linearFillFactor <= total {
+			d := w.denseLinearWindow(span)
+			q0 := q.imp[0].T
+			for _, a := range p.imp {
+				row := d[a.T+q0-lo:]
+				ap := a.P
+				for _, b := range q.imp {
+					row[b.T-q0] += ap * b.P
+				}
+			}
+			return w.harvestLinear(d, lo, total)
+		}
 		d, bits := w.denseWindow(span)
 		for _, a := range p.imp {
 			for _, b := range q.imp {
@@ -241,15 +321,77 @@ func (w *Workspace) Convolve(p, q PMF) PMF {
 // denseWindow returns the zeroed span-cell accumulation window and its
 // touched-cell bitmap.
 func (w *Workspace) denseWindow(span int) ([]float64, []uint64) {
+	d := w.denseLinearWindow(span)
+	bits := w.touched[:(span+63)/64]
+	clear(bits)
+	return d, bits
+}
+
+// denseLinearWindow returns the zeroed span-cell accumulation window alone,
+// for the linear (bitmap-free) dense path.
+func (w *Workspace) denseLinearWindow(span int) []float64 {
 	if cap(w.dense) < span {
 		w.dense = make([]float64, span)
 		w.touched = make([]uint64, (cap(w.dense)+63)/64)
 	}
 	d := w.dense[:span]
 	clear(d)
-	bits := w.touched[:(span+63)/64]
-	clear(bits)
-	return d, bits
+	return d
+}
+
+// Pattern builds the occupancy bitmap of p's impulse times relative to its
+// first impulse, in fresh storage: the form the dense kernel ORs into its
+// touched-word bitmap once per accumulation row. Callers that convolve the
+// same immutable PMF repeatedly (execution-time PMFs are matrix constants)
+// build the pattern once and pass it to NextCompletionCompactPattern.
+func Pattern(p PMF) []uint64 {
+	if p.IsZero() {
+		return []uint64{}
+	}
+	p0 := p.imp[0].T
+	out := make([]uint64, int(p.imp[len(p.imp)-1].T-p0)>>6+1)
+	for _, b := range p.imp {
+		i := uint(b.T - p0)
+		out[i>>6] |= 1 << (i & 63)
+	}
+	return out
+}
+
+// execPattern builds the occupancy bitmap of exec's impulse times relative
+// to its first impulse, reused word-wise by every accumulation row.
+func (w *Workspace) execPattern(exec PMF) []uint64 {
+	e0 := exec.imp[0].T
+	words := int(exec.imp[len(exec.imp)-1].T-e0)>>6 + 1
+	if cap(w.ebits) < words {
+		w.ebits = make([]uint64, words)
+	}
+	eb := w.ebits[:words]
+	clear(eb)
+	for _, b := range exec.imp {
+		i := uint(b.T - e0)
+		eb[i>>6] |= 1 << (i & 63)
+	}
+	return eb
+}
+
+// orShifted ORs the pattern src, shifted left by off cells, into dst. The
+// caller guarantees every shifted bit lands inside dst.
+func orShifted(dst, src []uint64, off int) {
+	base, sh := off>>6, uint(off&63)
+	if sh == 0 {
+		for i, s := range src {
+			dst[base+i] |= s
+		}
+		return
+	}
+	carry := uint64(0)
+	for i, s := range src {
+		dst[base+i] |= s<<sh | carry
+		carry = s >> (64 - sh)
+	}
+	if carry != 0 {
+		dst[base+len(src)] |= carry
+	}
 }
 
 // harvest collects the non-negligible cells of the dense window, in time
@@ -275,49 +417,43 @@ func (w *Workspace) harvest(d []float64, bits []uint64, lo Tick, total int) PMF 
 	return w.commit(base, len(out))
 }
 
-// harvestCompact harvests the dense window and compacts to at most maxN
-// impulses in a single arena allocation, without materializing the raw
-// impulse list. The result is identical to harvest followed by Compact:
-// a first bitmap walk counts the non-negligible cells (and finds the true
-// support bounds); within budget, a plain harvest walk follows, otherwise
-// the second walk accumulates Compact's equal-width windows directly.
-func (w *Workspace) harvestCompact(d []float64, bits []uint64, lo Tick, maxN int) PMF {
-	count, first, last := 0, 0, 0
-	for wi, word := range bits {
-		for word != 0 {
-			i := wi<<6 + mathbits.TrailingZeros64(word)
-			word &= word - 1
-			if d[i] > massEps {
-				if count == 0 {
-					first = i
-				}
-				last = i
-				count++
-			}
-		}
+// harvestLinear is harvest for the bitmap-free dense path: one ascending
+// range pass over the window (bounds-check-free — the loop variable is the
+// slice's own index) appending every non-negligible cell. Untouched cells
+// are exactly zero, so the output is identical to the bitmap harvest.
+func (w *Workspace) harvestLinear(d []float64, lo Tick, total int) PMF {
+	if total > len(d) {
+		total = len(d)
 	}
-	if count == 0 {
-		return Zero()
-	}
-	w.ensure(count)
+	w.ensure(total)
 	base := w.used
 	out := w.block[base:base]
-	if count <= maxN {
-		// Within budget: plain harvest.
-		for wi, word := range bits {
-			for word != 0 {
-				i := wi<<6 + mathbits.TrailingZeros64(word)
-				word &= word - 1
-				if v := d[i]; v > massEps {
-					out = append(out, Impulse{T: lo + Tick(i), P: v})
-				}
-			}
+	for i, v := range d {
+		if v > massEps {
+			out = append(out, Impulse{T: lo + Tick(i), P: v})
 		}
-		return w.commit(base, len(out))
 	}
-	// Over budget: the windowed merge of compactInto, reading cells
-	// instead of impulses. Same window arithmetic, same accumulation and
-	// flush order, bit-identical results.
+	return w.commit(base, len(out))
+}
+
+// harvestCompactLinear is harvestCompact for the bitmap-free dense path:
+// the same fused windowed compaction, with the support-bound and window
+// walks as straight range scans. Bit-identical to harvestCompact over the
+// same window.
+func (w *Workspace) harvestCompactLinear(d []float64, lo Tick, maxN int) PMF {
+	first, last := 0, len(d)-1
+	for first < len(d) && d[first] <= massEps {
+		first++
+	}
+	if first == len(d) {
+		return Zero()
+	}
+	for d[last] <= massEps {
+		last--
+	}
+	w.ensure(last - first + 1)
+	base := w.used
+	out := w.block[base:base]
 	span := Tick(last-first) + 1
 	width := span / Tick(maxN)
 	if span%Tick(maxN) != 0 {
@@ -326,6 +462,7 @@ func (w *Workspace) harvestCompact(d []float64, bits []uint64, lo Tick, maxN int
 	if width < 1 {
 		width = 1
 	}
+	count := 0
 	var mass, weighted float64
 	flush := func() {
 		if mass > massEps {
@@ -334,24 +471,32 @@ func (w *Workspace) harvestCompact(d []float64, bits []uint64, lo Tick, maxN int
 		mass, weighted = 0, 0
 	}
 	nextBound := first // the first cell always opens a window
-	for wi, word := range bits {
-		for word != 0 {
-			i := wi<<6 + mathbits.TrailingZeros64(word)
-			word &= word - 1
-			v := d[i]
-			if v <= massEps {
-				continue
-			}
-			if i >= nextBound {
-				flush()
-				nextBound = first + (int(Tick(i-first)/width)+1)*int(width)
-			}
-			t := lo + Tick(i)
-			mass += v
-			weighted += float64(t) * v
+	for j, v := range d[first : last+1] {
+		if v <= massEps {
+			continue
 		}
+		count++
+		i := first + j
+		if i >= nextBound {
+			flush()
+			nextBound = first + (int(Tick(i-first)/width)+1)*int(width)
+		}
+		t := lo + Tick(i)
+		mass += v
+		weighted += float64(t) * v
 	}
 	flush()
+	if count <= maxN {
+		// Within budget after all: Compact would have left the impulses
+		// alone, so discard the windowed merge and harvest plain.
+		out = out[:0]
+		for i, v := range d[first : last+1] {
+			if v > massEps {
+				out = append(out, Impulse{T: lo + Tick(first+i), P: v})
+			}
+		}
+		return w.commit(base, len(out))
+	}
 	// Fold adjacent windows rounded to the same tick, as Compact does.
 	merged := out[:0]
 	for _, im := range out {
@@ -362,6 +507,120 @@ func (w *Workspace) harvestCompact(d []float64, bits []uint64, lo Tick, maxN int
 		}
 	}
 	return w.commit(base, len(merged))
+}
+
+// harvestCompact harvests the dense window and compacts to at most maxN
+// impulses in a single arena allocation, without materializing the raw
+// impulse list. The result is identical to harvest followed by Compact.
+// The support bounds come from two short directional scans; one bitmap
+// walk then accumulates Compact's equal-width windows while counting the
+// non-negligible cells, and the rare within-budget outcome (count ≤ maxN)
+// re-walks as a plain harvest. total bounds the number of non-zero cells.
+func (w *Workspace) harvestCompact(d []float64, bits []uint64, lo Tick, maxN, total int) PMF {
+	first, last, ok := supportBounds(d, bits)
+	if !ok {
+		return Zero()
+	}
+	if total > len(d) {
+		total = len(d)
+	}
+	w.ensure(total)
+	base := w.used
+	out := w.block[base:base]
+	// The windowed merge of compactInto, reading cells instead of
+	// impulses. Same window arithmetic, same accumulation and flush
+	// order, bit-identical results.
+	span := Tick(last-first) + 1
+	width := span / Tick(maxN)
+	if span%Tick(maxN) != 0 {
+		width++
+	}
+	if width < 1 {
+		width = 1
+	}
+	count := 0
+	var mass, weighted float64
+	flush := func() {
+		if mass > massEps {
+			out = append(out, Impulse{T: Tick(weighted/mass + 0.5), P: mass})
+		}
+		mass, weighted = 0, 0
+	}
+	nextBound := first // the first cell always opens a window
+	for wi := first >> 6; wi <= last>>6; wi++ {
+		word := bits[wi]
+		for word != 0 {
+			i := wi<<6 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			v := d[i]
+			if v <= massEps {
+				continue
+			}
+			count++
+			if i >= nextBound {
+				flush()
+				nextBound = first + (int(Tick(i-first)/width)+1)*int(width)
+			}
+			t := lo + Tick(i)
+			mass += v
+			weighted += float64(t) * v
+		}
+	}
+	flush()
+	if count <= maxN {
+		// Within budget after all: Compact would have left the impulses
+		// alone, so discard the windowed merge and harvest plain.
+		out = out[:0]
+		for wi := first >> 6; wi <= last>>6; wi++ {
+			word := bits[wi]
+			for word != 0 {
+				i := wi<<6 + mathbits.TrailingZeros64(word)
+				word &= word - 1
+				if v := d[i]; v > massEps {
+					out = append(out, Impulse{T: lo + Tick(i), P: v})
+				}
+			}
+		}
+		return w.commit(base, len(out))
+	}
+	// Fold adjacent windows rounded to the same tick, as Compact does.
+	merged := out[:0]
+	for _, im := range out {
+		if n := len(merged); n > 0 && merged[n-1].T == im.T {
+			merged[n-1].P += im.P
+		} else {
+			merged = append(merged, im)
+		}
+	}
+	return w.commit(base, len(merged))
+}
+
+// supportBounds finds the first and last window cells above massEps via
+// two directional bitmap scans; ok is false when no cell qualifies.
+func supportBounds(d []float64, bits []uint64) (first, last int, ok bool) {
+	for wi, word := range bits {
+		for word != 0 {
+			i := wi<<6 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			if d[i] > massEps {
+				first = i
+				goto forward
+			}
+		}
+	}
+	return 0, 0, false
+forward:
+	for wi := len(bits) - 1; wi >= 0; wi-- {
+		word := bits[wi]
+		for word != 0 {
+			i := wi<<6 + 63 - mathbits.LeadingZeros64(word)
+			if d[i] > massEps {
+				return first, i, true
+			}
+			word &^= 1 << uint(i&63)
+		}
+	}
+	return first, first, true
 }
 
 // mergeRuns k-way-merges the prepared cursors into fresh arena space.
@@ -450,10 +709,18 @@ func (w *Workspace) cursLess(a, b int32) bool {
 // still read — so an over-budget pass-through is compacted into fresh
 // storage instead of being mutated in place.
 func (w *Workspace) NextCompletionCompact(prev, exec PMF, dl Tick, maxN int) PMF {
+	return w.NextCompletionCompactPattern(prev, exec, dl, maxN, nil)
+}
+
+// NextCompletionCompactPattern is NextCompletionCompact with exec's
+// precomputed occupancy pattern (Pattern). The pattern must have been
+// built from this exact exec PMF; callers that chain immutable execution
+// PMFs repeatedly amortize the pattern across every append.
+func (w *Workspace) NextCompletionCompactPattern(prev, exec PMF, dl Tick, maxN int, pat []uint64) PMF {
 	if maxN <= 0 {
 		panic("pmf: non-positive impulse budget")
 	}
-	next := w.nextCompletion(prev, exec, dl, maxN)
+	next := w.nextCompletion(prev, exec, dl, maxN, pat)
 	if len(next.imp) <= maxN {
 		return next
 	}

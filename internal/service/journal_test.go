@@ -283,6 +283,53 @@ func TestVerifyShardCleanAndCrashed(t *testing.T) {
 	}
 }
 
+// TestVerifyWarmJournalColdReplay is the end-to-end transparency proof
+// for the persistent chain caches: the live server records its journal
+// with caches warm, and the same log must verify both against a warm
+// replay (caches on, hcreplay's default) and against a cold replay
+// (ColdChains — every cache invalidated at each event). If signature-gated
+// reuse ever changed a single decision, the cold pass would diverge from
+// the warm recording on that record.
+func TestVerifyWarmJournalColdReplay(t *testing.T) {
+	tr := testTrace(t, 260, 17)
+	cfg := Config{
+		Profile: "video", Mapper: "PAM", Dropper: "heuristic", Shards: 2, Router: "rr",
+		JournalDir: t.TempDir(), Fsync: "never", SnapshotEvery: 40,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decideRange(t, c, tr, 0, 260, 8)
+	// The recording side must actually have been warm.
+	var rootHits uint64
+	for _, sh := range c.shards {
+		rootHits += sh.eng.Calc().Stats().RootHits
+	}
+	if rootHits == 0 {
+		t.Fatal("controller served the trace without a single warm root hit")
+	}
+	if _, err := c.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyAll(cfg.JournalDir); err != nil {
+		t.Fatalf("warm replay failed verification: %v", err)
+	}
+	replayColdChains = true
+	defer func() { replayColdChains = false }()
+	stats, err := VerifyAll(cfg.JournalDir)
+	if err != nil {
+		t.Fatalf("cold replay diverged from the warm recording: %v", err)
+	}
+	var arrives int
+	for _, st := range stats {
+		arrives += st.Arrives
+	}
+	if arrives != 260 {
+		t.Errorf("cold replay verified %d arrives, want 260", arrives)
+	}
+}
+
 // TestAuditDecision replays up to one logged decision and explains it.
 func TestAuditDecision(t *testing.T) {
 	tr := testTrace(t, 120, 13)

@@ -36,6 +36,13 @@ import (
 // divergence.
 const robustnessTol = 1e-9
 
+// replayColdChains makes replay engines run with the persistent chain
+// caches disabled (sim.Config.ColdChains). The live server always records
+// warm; a cold verify pass recomputing the identical decision stream is
+// the end-to-end proof the caches are bitwise-transparent. Toggled by the
+// warm-vs-cold journal test.
+var replayColdChains bool
+
 // shardReplayer drives a from-scratch deterministic replay of one shard's
 // journal: a fresh engine (built from the manifest exactly as service.New
 // builds it), the shard's router view, and the derived records the replay
@@ -81,6 +88,7 @@ func newShardReplayer(root string, s int) (*shardReplayer, error) {
 		BoundaryExclusion: man.BoundaryExclusion,
 		DropOnArrival:     man.DropOnArrival,
 		ReactiveGrace:     man.Grace,
+		ColdChains:        replayColdChains,
 	}
 	cl, err := buildCluster(matrix, man.Partition, man.Shards, policy, func(int) (sim.Mapper, core.Policy, error) {
 		m, err := mapping.FromSpec(man.Mapper)

@@ -119,6 +119,10 @@ func writeCalcMetrics(w io.Writer, c *Controller) {
 		agg.ChainMisses += st.ChainMisses
 		agg.RootHits += st.RootHits
 		agg.RootMisses += st.RootMisses
+		agg.InvalidationsEvent += st.InvalidationsEvent
+		agg.InvalidationsChurn += st.InvalidationsChurn
+		agg.InvalidationsOverflow += st.InvalidationsOverflow
+		agg.PinnedBytes += st.PinnedBytes
 		agg.WidthSum += st.WidthSum
 		for i := range st.Widths {
 			agg.Widths[i] += st.Widths[i]
@@ -134,6 +138,14 @@ func writeCalcMetrics(w io.Writer, c *Controller) {
 	p("# TYPE taskdrop_chain_cache_misses_total counter\n")
 	p("taskdrop_chain_cache_misses_total{kind=\"edge\"} %d\n", agg.ChainMisses)
 	p("taskdrop_chain_cache_misses_total{kind=\"root\"} %d\n", agg.RootMisses)
+	p("# HELP taskdrop_chain_invalidations_total Persistent per-machine chain-cache resets, by reason: event = root signature drift, churn = membership change or snapshot restore, overflow = pinned-arena budget exceeded.\n")
+	p("# TYPE taskdrop_chain_invalidations_total counter\n")
+	p("taskdrop_chain_invalidations_total{reason=\"event\"} %d\n", agg.InvalidationsEvent)
+	p("taskdrop_chain_invalidations_total{reason=\"churn\"} %d\n", agg.InvalidationsChurn)
+	p("taskdrop_chain_invalidations_total{reason=\"overflow\"} %d\n", agg.InvalidationsOverflow)
+	p("# HELP taskdrop_chain_pinned_bytes Impulse storage currently pinned across all persistent chain caches.\n")
+	p("# TYPE taskdrop_chain_pinned_bytes gauge\n")
+	p("taskdrop_chain_pinned_bytes %d\n", agg.PinnedBytes)
 	p("# HELP taskdrop_arena_high_water_bytes Peak committed impulse-arena footprint per shard calculus.\n")
 	p("# TYPE taskdrop_arena_high_water_bytes gauge\n")
 	for s, hw := range shardHW {

@@ -229,6 +229,62 @@ func TestConcurrentDecideMetricsTraces(t *testing.T) {
 	}
 }
 
+// TestMetricsChainInvalidationFamilies pins the chain-cache invalidation
+// exposition: every reason label is present from the first scrape (zero
+// counters included, so rate() works from process start) and the pinned
+// gauge exists, before and after traffic.
+func TestMetricsChainInvalidationFamilies(t *testing.T) {
+	c, err := New(Config{Profile: "video", Mapper: "PAM", Dropper: "heuristic", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(NewHandler(c))
+	defer srv.Close()
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if issues := telemetry.Lint(bytes.NewReader(blob)); len(issues) > 0 {
+			t.Fatalf("/metrics fails lint:\n%s", strings.Join(issues, "\n"))
+		}
+		return string(blob)
+	}
+	want := []string{
+		`taskdrop_chain_invalidations_total{reason="event"} `,
+		`taskdrop_chain_invalidations_total{reason="churn"} `,
+		`taskdrop_chain_invalidations_total{reason="overflow"} `,
+		"taskdrop_chain_pinned_bytes ",
+	}
+	for pass, body := range map[string]string{"cold": scrape()} {
+		for _, line := range want {
+			if !strings.Contains(body, line) {
+				t.Fatalf("%s scrape lacks %q:\n%s", pass, line, body)
+			}
+		}
+	}
+	decideAll(t, c, testTrace(t, 120, 3), 8)
+	body := scrape()
+	for _, line := range want {
+		if !strings.Contains(body, line) {
+			t.Fatalf("warm scrape lacks %q", line)
+		}
+	}
+	// Traffic drives mapping events through the per-machine caches; the
+	// event-reason counter must have moved.
+	if strings.Contains(body, `taskdrop_chain_invalidations_total{reason="event"} 0`+"\n") {
+		t.Fatal("event invalidations still zero after a full trace")
+	}
+}
+
 // TestDecideTelemetryDisabledAllocsSteadyState holds the disabled-sampling
 // decide path to the same steady-state allocation budget as the
 // pre-telemetry controller: with TraceSample 0 the telemetry wiring must

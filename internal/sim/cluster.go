@@ -94,7 +94,7 @@ func (e *Engine) QueuedSuccessProbability(ts *TaskState) float64 {
 	}
 	m := e.machines[ts.Machine]
 	q := m.coreQueue(e.clock)
-	s, start := e.calc.ChainStart(m.Type(), e.clock, q)
+	s, start := e.calc.ChainStartCached(m.cache, m.Type(), e.clock, q)
 	if start == 1 && m.queue[0] == ts {
 		return s.PMF().MassBefore(ts.Task.Deadline)
 	}

@@ -38,6 +38,13 @@ type Config struct {
 	// still deliver partial utility (see sim.UtilityScore and
 	// core.ApproxHeuristic).
 	ReactiveGrace pmf.Tick
+	// ColdChains disables the per-machine persistent chain caches: every
+	// cache is invalidated at each mapping event, restoring the
+	// wipe-everything recycle discipline. A diagnostic/verification knob —
+	// the caches are bitwise-transparent, so enabling it must never change
+	// a decision (the warm-vs-cold differential tests and cold journal
+	// replay hold the engine to that).
+	ColdChains bool
 }
 
 // DefaultConfig mirrors the paper's experimental setup.
@@ -62,8 +69,12 @@ type Engine struct {
 	trace   *workload.Trace
 	mapper  Mapper
 	dropper core.Policy
-	calc    *core.Calculus
-	cfg     Config
+	// dropperStable caches whether dropper is a core.StableDecider, which
+	// lets proactiveDrops skip machines whose decision inputs are bitwise
+	// unchanged since an empty decision.
+	dropperStable bool
+	calc          *core.Calculus
+	cfg           Config
 
 	clock    pmf.Tick
 	machines []*Machine
@@ -83,6 +94,11 @@ type Engine struct {
 	addedTypes []int
 	// open marks an incrementally-fed engine (see NewOpen/Feed).
 	open bool
+	// coldChains disables the persistent chain caches (every machine's is
+	// invalidated at each event), restoring the wipe-everything recycle
+	// discipline. It exists for the warm-vs-cold differential tests, which
+	// assert the caches never change a decision.
+	coldChains bool
 	// live is the incremental lifecycle census of arrived tasks, kept in
 	// sync by arrive/transition so LiveCounts is O(1) — the admission
 	// service reads it on every metrics scrape without stalling the
@@ -172,12 +188,16 @@ func newEngineWith(m *pet.Matrix, specs []pet.MachineSpec, mapper Mapper, droppe
 		calc:    core.NewCalculus(m),
 		cfg:     cfg,
 	}
+	if sd, ok := dropper.(core.StableDecider); ok {
+		e.dropperStable = sd.StableDecision()
+	}
+	e.coldChains = cfg.ColdChains
 	e.machines = make([]*Machine, len(specs))
 	for i, s := range specs {
 		if s.Index != i {
 			panic(fmt.Sprintf("sim: machine spec %q has index %d at position %d", s.Name, s.Index, i))
 		}
-		e.machines[i] = &Machine{Spec: s, completeAt: noCompletion}
+		e.machines[i] = &Machine{Spec: s, completeAt: noCompletion, cache: e.calc.NewChainCache()}
 	}
 	e.totalSlots = len(specs) * cfg.QueueCap
 	return e
@@ -305,10 +325,17 @@ func (e *Engine) handleCompletion(m *Machine) {
 // mappingEvent performs the per-event pipeline of Fig. 1/Fig. 4: reactive
 // dropping, proactive dropping, mapping, and starting idle machines.
 // The calculus is recycled first: all completion-time chains evaluated
-// within one event share the arena and the prefix cache, and nothing but
-// the machines' pinned tail caches survives into the next event.
+// within one event share the arena and the prefix cache. The machines'
+// persistent chain caches survive the recycle; each revalidates lazily
+// against its root signature when first consulted in the new event.
 func (e *Engine) mappingEvent(fromCompletion bool) {
 	e.calc.Recycle()
+	if e.coldChains {
+		for _, m := range e.machines {
+			m.cache.Invalidate(core.InvalidateEvent)
+			m.tailValid = false
+		}
+	}
 	reacted := e.reactiveDrops()
 	if fromCompletion || reacted || e.cfg.DropOnArrival {
 		e.proactiveDrops()
@@ -360,15 +387,25 @@ func (e *Engine) proactiveDrops() {
 		if len(m.queue)-m.firstPending() < 1 {
 			continue
 		}
+		q := m.coreQueue(e.clock)
+		// A stable policy re-deciding over a bitwise-unchanged root and
+		// queue reproduces its previous decision; when that decision was
+		// "drop nothing", re-consulting it is a no-op — skip the walk.
+		if e.dropperStable && m.decNone && m.decVer == m.version &&
+			m.decGen == m.cache.Gen() && e.calc.RootStable(m.cache, m.Type(), e.clock, q) {
+			continue
+		}
 		ctx := core.Context{
 			Calc:          e.calc,
+			Cache:         m.cache,
 			Machine:       m.Type(),
 			Now:           e.clock,
-			Queue:         m.coreQueue(e.clock),
+			Queue:         q,
 			BatchPressure: pressure,
 			Grace:         e.cfg.ReactiveGrace,
 		}
 		idxs := e.dropper.Decide(&ctx)
+		m.decGen, m.decVer, m.decNone = m.cache.Gen(), m.version, len(idxs) == 0
 		if len(idxs) == 0 {
 			continue
 		}

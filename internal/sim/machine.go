@@ -27,15 +27,31 @@ type Machine struct {
 	// completion cache.
 	version uint64
 
+	// cache is the machine's persistent chain cache: its availability root
+	// and Eq. 1 chain trie survive mapping events until the root signature
+	// drifts (see core.ChainCache). Every chain evaluation for this
+	// machine — dropper decisions, mapper candidates, audit walks — runs
+	// through it.
+	cache *core.ChainCache
+
 	// Tail completion-chain cache: the memoized chain state of the last
-	// queued task, valid while (epoch, version, now) all match. The chain
-	// lives in the calculus' per-event trie, so the epoch guard drops it
-	// whenever the calculus recycles.
+	// queued task, valid while (cache generation, version, now) all match.
+	// The chain lives in the persistent cache, so it survives recycles; a
+	// cache reset bumps the generation and drops it.
 	tailVer   uint64
 	tailNow   pmf.Tick
-	tailEpoch uint64
+	tailGen   uint64
 	tailState core.ChainState
 	tailValid bool
+
+	// Proactive-decision memo: the last dropper consultation returned "no
+	// drops", valid while (cache generation, root signature, queue
+	// version) all hold and the policy is a core.StableDecider. A stable
+	// policy re-deciding over bitwise-unchanged inputs reproduces the
+	// identical empty decision, so the engine skips the walk entirely.
+	decGen  uint64
+	decVer  uint64
+	decNone bool
 	// qbuf is the reusable backing of coreQueue.
 	qbuf []core.QueueTask
 }
@@ -87,21 +103,22 @@ func (m *Machine) coreQueue(now pmf.Tick) []core.QueueTask {
 // tailChain returns the memoized chain state of the machine's last queued
 // task (the availability state a newly appended task would chain from; for
 // an empty queue, the machine-free-now root). The state is cached per
-// (calculus epoch, queue version, now); the chain itself runs through the
-// calculus' shared-prefix cache, so at a dropping event it reuses the
-// prefixes the dropper already convolved, and candidate completions
-// branching off it are memoized per (task type, deadline).
+// (cache generation, queue version, now): same queue and same clock imply
+// the same root signature, so a matching memo is valid even across
+// recycles without revalidating the persistent cache. The chain runs
+// through that cache, so candidate completions branching off the tail are
+// memoized per (task type, deadline) across events, not just within one.
 func (m *Machine) tailChain(calc *core.Calculus, now pmf.Tick) core.ChainState {
-	if m.tailValid && m.tailEpoch == calc.Epoch() && m.tailVer == m.version && m.tailNow == now {
+	if m.tailValid && m.tailGen == m.cache.Gen() && m.tailVer == m.version && m.tailNow == now {
 		return m.tailState
 	}
 	q := m.coreQueue(now)
-	s, start := calc.ChainStart(m.Type(), now, q)
+	s, start := calc.ChainStartCached(m.cache, m.Type(), now, q)
 	for i := start; i < len(q); i++ {
 		s = s.AppendTask(q[i])
 	}
 	m.tailState = s
-	m.tailEpoch, m.tailVer, m.tailNow, m.tailValid = calc.Epoch(), m.version, now, true
+	m.tailGen, m.tailVer, m.tailNow, m.tailValid = m.cache.Gen(), m.version, now, true
 	return s
 }
 

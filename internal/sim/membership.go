@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/stats"
@@ -101,6 +102,7 @@ func (e *Engine) detachMachine(i int, handoff bool) {
 		}
 	}
 	m.tailValid = false
+	m.cache.Invalidate(core.InvalidateChurn)
 	if e.removed == nil {
 		e.removed = make([]bool, len(e.machines))
 	}
@@ -124,6 +126,8 @@ func (e *Engine) ReviveMachine(i int) error {
 	}
 	e.removed[i] = false
 	e.totalSlots += e.cfg.QueueCap
+	e.machines[i].cache.Invalidate(core.InvalidateChurn)
+	e.machines[i].tailValid = false
 	if e.failures != nil {
 		fs := &e.failures[i]
 		if fs.repairAt != noCompletion || (fs.nextFailAt != noCompletion && fs.nextFailAt <= e.clock) {
@@ -183,7 +187,7 @@ func (e *Engine) attachMachine(mt pet.MachineType) (int, error) {
 		Name:      fmt.Sprintf("added-%d#%d", mt, len(e.addedTypes)),
 		PriceHour: price,
 	}
-	e.machines = append(e.machines, &Machine{Spec: spec, completeAt: noCompletion})
+	e.machines = append(e.machines, &Machine{Spec: spec, completeAt: noCompletion, cache: e.calc.NewChainCache()})
 	if e.removed != nil {
 		e.removed = append(e.removed, false)
 	}

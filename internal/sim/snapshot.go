@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"github.com/hpcclab/taskdrop/internal/core"
 	"github.com/hpcclab/taskdrop/internal/pet"
 	"github.com/hpcclab/taskdrop/internal/pmf"
 	"github.com/hpcclab/taskdrop/internal/workload"
@@ -184,6 +185,10 @@ func (e *Engine) RestoreSnapshot(s *EngineSnapshot) error {
 		m.busy = ms.Busy
 		m.version++
 		m.tailValid = false
+		// Hygiene, not correctness: the signature check would catch any
+		// drift lazily, but a restored engine should not start life
+		// trusting chains cached for a different queue history.
+		m.cache.Invalidate(core.InvalidateChurn)
 	}
 
 	e.batch = e.batch[:0]

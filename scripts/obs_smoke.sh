@@ -48,10 +48,27 @@ curl -sf "http://$ADDR/healthz" >/dev/null || { echo "server did not come up" >&
 # and the debug listener (the debug mux shares the service handler). The
 # dynamic-membership and rebalancer families must be present even on a
 # server that saw no churn.
-REQUIRED_FAMILIES=taskdrop_membership_ops_total,taskdrop_membership_live_machines,taskdrop_membership_removed_machines,taskdrop_membership_degraded,taskdrop_membership_shed_total,taskdrop_rebalance_moves_total
+REQUIRED_FAMILIES=taskdrop_membership_ops_total,taskdrop_membership_live_machines,taskdrop_membership_removed_machines,taskdrop_membership_degraded,taskdrop_membership_shed_total,taskdrop_rebalance_moves_total,taskdrop_chain_invalidations_total,taskdrop_chain_pinned_bytes
 "$BIN/obslint" -metrics "http://$ADDR/metrics" -require "$REQUIRED_FAMILIES" -traces "http://$ADDR/debug/traces" -min-traces 1
 "$BIN/obslint" -metrics "http://$DEBUG_ADDR/metrics" -require "$REQUIRED_FAMILIES" -traces "http://$DEBUG_ADDR/debug/traces" -min-traces 1
 echo "metrics lint clean; traces complete"
+
+# Steady-state chain-cache effectiveness: the persistent per-machine
+# caches must be serving warm roots (signature-stable across events) and
+# a healthy share of warm edges. The floors are deliberately loose —
+# they catch the cache being disabled or thrashing, not tuning drift.
+metrics=$(curl -sf "http://$ADDR/metrics")
+read -r root_hits edge_hits edge_misses <<EOF
+$(echo "$metrics" | awk '
+    /^taskdrop_chain_cache_hits_total\{kind="root"\}/   { rh = $2 }
+    /^taskdrop_chain_cache_hits_total\{kind="edge"\}/   { eh = $2 }
+    /^taskdrop_chain_cache_misses_total\{kind="edge"\}/ { em = $2 }
+    END { print rh+0, eh+0, em+0 }')
+EOF
+[ "$root_hits" -gt 0 ] || { echo "FAIL: no warm root hits — persistent chain caches never reused" >&2; exit 1; }
+rate=$(( 100 * edge_hits / (edge_hits + edge_misses) ))
+[ "$rate" -ge 20 ] || { echo "FAIL: chain edge hit rate ${rate}% < 20%" >&2; exit 1; }
+echo "chain cache warm: $root_hits root hits, edge hit rate ${rate}%"
 
 # The pprof surface answers on the debug listener only.
 curl -sf "http://$DEBUG_ADDR/debug/pprof/profile?seconds=1" -o "$BIN/profile.pb.gz"
